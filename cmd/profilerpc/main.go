@@ -1,0 +1,39 @@
+// Command profilerpc reproduces the paper's profiling artifacts: Table I
+// (per-<protocol,method> memory adjustments and serialization/send times in
+// a Sort job), Figure 1 (buffer-allocation share of call receive time), and
+// Figure 3 (message size locality).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpcoib/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1 | fig1 | fig3 | all")
+	dataGB := flag.Int("data-gb", 4, "Sort input size in GB for table1/fig3 (paper: 4)")
+	iters := flag.Int("iters", 20, "calls per Figure 1 payload point")
+	flag.Parse()
+
+	switch *experiment {
+	case "table1":
+		bench.Table1Profile(os.Stdout, *dataGB)
+	case "fig1":
+		bench.Fig1AllocRatio(os.Stdout, nil, *iters)
+	case "fig3":
+		res := bench.Table1Profile(nil, *dataGB)
+		bench.Fig3SizeLocality(os.Stdout, res)
+	case "all":
+		res := bench.Table1Profile(os.Stdout, *dataGB)
+		fmt.Println()
+		bench.Fig3SizeLocality(os.Stdout, res)
+		fmt.Println()
+		bench.Fig1AllocRatio(os.Stdout, nil, *iters)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,53 @@
+// Command rpcbench runs the RPC micro-benchmarks of the paper's Figure 5:
+// ping-pong latency across payload sizes (5a) and aggregate throughput
+// versus concurrent clients (5b), comparing default Hadoop RPC over 10GigE
+// and IPoIB with RPCoIB over native InfiniBand. It can also sweep the
+// eager/RDMA threshold and the buffer-pool policies (the ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpcoib/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: latency | throughput | threshold | pool | readers | all")
+	iters := flag.Int("iters", 200, "calls per measurement")
+	flag.Parse()
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	any := false
+	if run("latency") {
+		bench.Fig5aLatency(os.Stdout, nil, *iters)
+		fmt.Println()
+		any = true
+	}
+	if run("throughput") {
+		bench.Fig5bThroughput(os.Stdout, nil, *iters)
+		fmt.Println()
+		any = true
+	}
+	if run("threshold") {
+		bench.AblationRDMAThreshold(os.Stdout, 64<<10, nil, *iters)
+		fmt.Println()
+		any = true
+	}
+	if run("pool") {
+		bench.AblationPoolPolicy(os.Stdout, 512, *iters)
+		fmt.Println()
+		any = true
+	}
+	if run("readers") {
+		bench.AblationReaders(os.Stdout, nil, 32, *iters)
+		fmt.Println()
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,79 @@
+// clustersim: the paper's headline micro-comparison as a tiny program —
+// stand up a simulated 9-node InfiniBand cluster and measure the same RPC
+// workload over default Hadoop RPC (IPoIB sockets) and over RPCoIB,
+// printing the latency reduction and buffer-pool behaviour. Run with:
+//
+//	go run ./examples/clustersim
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib"
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+func measure(mode core.Mode, payload int) (time.Duration, *bufpool.ShadowPool) {
+	cl := cluster.New(cluster.ClusterB())
+	pool := rpcoib.NewBufferPool(rpcoib.PolicyHistory)
+	netFor := func(node int) transport.Network {
+		if mode == core.ModeRPCoIB {
+			return cl.RPCoIBNet(node)
+		}
+		return cl.SocketNet(perfmodel.IPoIB, node)
+	}
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv := core.NewServer(netFor(0), core.Options{Mode: mode, Costs: cl.Costs})
+		srv.Register("demo.PingProtocol", "ping",
+			func() wire.Writable { return &wire.BytesWritable{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+		if err := srv.Start(e, 9000); err != nil {
+			panic(err)
+		}
+	})
+	var avg time.Duration
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client := core.NewClient(netFor(1), core.Options{Mode: mode, Costs: cl.Costs, Pool: pool})
+		param := &wire.BytesWritable{Value: make([]byte, payload)}
+		var reply wire.BytesWritable
+		for i := 0; i < 3; i++ {
+			client.Call(e, "node0:9000", "demo.PingProtocol", "ping", param, &reply)
+		}
+		start := e.Now()
+		const iters = 100
+		for i := 0; i < iters; i++ {
+			client.Call(e, "node0:9000", "demo.PingProtocol", "ping", param, &reply)
+		}
+		avg = (e.Now() - start) / iters
+	})
+	cl.RunUntil(time.Minute)
+	return avg, pool
+}
+
+func main() {
+	fmt.Println("simulated 9-node QDR InfiniBand cluster, 100 warm calls per point")
+	fmt.Printf("%8s %14s %12s %12s\n", "payload", "IPoIB (def.)", "RPCoIB", "reduction")
+	for _, payload := range []int{1, 256, 1024, 4096} {
+		base, _ := measure(core.ModeBaseline, payload)
+		rdma, pool := measure(core.ModeRPCoIB, payload)
+		fmt.Printf("%7dB %12.1fus %10.1fus %11.0f%%\n",
+			payload,
+			float64(base.Microseconds()),
+			float64(rdma.Microseconds()),
+			100*(1-float64(rdma)/float64(base)))
+		if payload == 4096 {
+			st := pool.StatsSnapshot()
+			fmt.Printf("\nbuffer pool at 4KB: %d acquires, %d re-gets (history hit rate %.1f%%)\n",
+				st.Acquires, st.Regets,
+				100*float64(st.Acquires-st.Regets)/float64(st.Acquires))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// kvstore: a small replicated-cache-style key/value service over the RPC
+// engine with custom Writable types, demonstrating how a downstream user
+// defines their own protocol. Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"rpcoib"
+	"rpcoib/internal/wire"
+)
+
+// KVRequest is a custom Writable carrying an operation.
+type KVRequest struct {
+	Key   string
+	Value []byte
+}
+
+func (r *KVRequest) Write(out *wire.DataOutput) {
+	out.WriteText(r.Key)
+	out.WriteInt32(int32(len(r.Value)))
+	out.WriteBytes(r.Value)
+}
+
+func (r *KVRequest) ReadFields(in *wire.DataInput) {
+	r.Key = in.ReadText()
+	n := in.ReadInt32()
+	r.Value = append([]byte(nil), in.ReadBytes(int(n))...)
+}
+
+// KVReply is a custom Writable carrying a lookup result.
+type KVReply struct {
+	Found bool
+	Value []byte
+}
+
+func (r *KVReply) Write(out *wire.DataOutput) {
+	out.WriteBool(r.Found)
+	out.WriteInt32(int32(len(r.Value)))
+	out.WriteBytes(r.Value)
+}
+
+func (r *KVReply) ReadFields(in *wire.DataInput) {
+	r.Found = in.ReadBool()
+	n := in.ReadInt32()
+	r.Value = append([]byte(nil), in.ReadBytes(int(n))...)
+}
+
+func main() {
+	env := rpcoib.NewRealEnv(1)
+	nw := rpcoib.NewTCPNetwork("")
+
+	var mu sync.Mutex
+	store := map[string][]byte{}
+
+	srv := rpcoib.NewServer(nw, rpcoib.Options{Mode: rpcoib.ModeRPCoIB, Handlers: 8})
+	srv.Register("kv.StoreProtocol", "put",
+		func() rpcoib.Writable { return &KVRequest{} },
+		func(e rpcoib.Env, p rpcoib.Writable) (rpcoib.Writable, error) {
+			req := p.(*KVRequest)
+			mu.Lock()
+			store[req.Key] = req.Value
+			mu.Unlock()
+			return &rpcoib.BooleanWritable{Value: true}, nil
+		})
+	srv.Register("kv.StoreProtocol", "get",
+		func() rpcoib.Writable { return &KVRequest{} },
+		func(e rpcoib.Env, p rpcoib.Writable) (rpcoib.Writable, error) {
+			req := p.(*KVRequest)
+			mu.Lock()
+			v, ok := store[req.Key]
+			mu.Unlock()
+			return &KVReply{Found: ok, Value: v}, nil
+		})
+	if err := srv.Start(env, 0); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	client := rpcoib.NewClient(nw, rpcoib.Options{Mode: rpcoib.ModeRPCoIB})
+	defer client.Close()
+
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if err := client.Call(env, srv.Addr(), "kv.StoreProtocol", "put",
+			&KVRequest{Key: key, Value: []byte(fmt.Sprintf("profile-%d", i*i))}, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var reply KVReply
+	if err := client.Call(env, srv.Addr(), "kv.StoreProtocol", "get",
+		&KVRequest{Key: "user-3"}, &reply); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get(user-3) -> found=%v value=%q\n", reply.Found, reply.Value)
+	if err := client.Call(env, srv.Addr(), "kv.StoreProtocol", "get",
+		&KVRequest{Key: "missing"}, &reply); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get(missing) -> found=%v\n", reply.Found)
+}

@@ -1,0 +1,54 @@
+// Quickstart: a real (TCP) RPC server and client using the public API, with
+// the RPCoIB buffer management enabled. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpcoib"
+)
+
+func main() {
+	env := rpcoib.NewRealEnv(1)
+	nw := rpcoib.NewTCPNetwork("")
+
+	// Server: one protocol with two methods.
+	srv := rpcoib.NewServer(nw, rpcoib.Options{Mode: rpcoib.ModeRPCoIB})
+	srv.Register("demo.GreeterProtocol", "greet",
+		func() rpcoib.Writable { return &rpcoib.Text{} },
+		func(e rpcoib.Env, p rpcoib.Writable) (rpcoib.Writable, error) {
+			return &rpcoib.Text{Value: "hello, " + p.(*rpcoib.Text).Value + "!"}, nil
+		})
+	srv.Register("demo.GreeterProtocol", "add",
+		func() rpcoib.Writable { return &rpcoib.LongWritable{} },
+		func(e rpcoib.Env, p rpcoib.Writable) (rpcoib.Writable, error) {
+			return &rpcoib.LongWritable{Value: p.(*rpcoib.LongWritable).Value + 42}, nil
+		})
+	if err := srv.Start(env, 0); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+	fmt.Println("server listening on", srv.Addr())
+
+	// Client: same options; the history-based buffer pool sizes every call's
+	// serialization buffer after the first one.
+	client := rpcoib.NewClient(nw, rpcoib.Options{Mode: rpcoib.ModeRPCoIB})
+	defer client.Close()
+
+	var greeting rpcoib.Text
+	if err := client.Call(env, srv.Addr(), "demo.GreeterProtocol", "greet",
+		&rpcoib.Text{Value: "world"}, &greeting); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("greet ->", greeting.Value)
+
+	var sum rpcoib.LongWritable
+	if err := client.Call(env, srv.Addr(), "demo.GreeterProtocol", "add",
+		&rpcoib.LongWritable{Value: 100}, &sum); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("add(100) ->", sum.Value)
+}

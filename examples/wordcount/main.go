@@ -1,0 +1,81 @@
+// wordcount: a full MapReduce job on the simulated cluster — write input
+// into mini-HDFS, run a map/shuffle/reduce job over it, and inspect the
+// committed output, all in virtual time. Run with:
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+	"rpcoib/internal/perfmodel"
+)
+
+func main() {
+	// A 5-node cluster: node 0 runs the NameNode + JobTracker, nodes 1-4 run
+	// DataNode + TaskTracker pairs.
+	cl := cluster.New(cluster.ClusterA(5))
+	slaves := []int{1, 2, 3, 4}
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: slaves, BlockSize: 16 << 20, Replication: 2,
+		RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
+	})
+	mr := mapred.Deploy(cl, mapred.Config{
+		JobTracker: 0, TaskTrackers: slaves,
+		MapSlots: 4, ReduceSlots: 2,
+		RPCKind: perfmodel.IPoIB, ShuffleKind: perfmodel.IPoIB,
+	}, fs)
+
+	cl.SpawnOn(0, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		dfs := fs.NewClient(0)
+
+		// Load 8 input "documents" of 16 MB each.
+		var files []string
+		var sizes []int64
+		for i := 0; i < 8; i++ {
+			path := fmt.Sprintf("/books/volume-%02d", i)
+			if err := dfs.CreateFile(e, path, 16<<20, 2); err != nil {
+				log.Fatal(err)
+			}
+			files = append(files, path)
+			sizes = append(sizes, 16<<20)
+		}
+		fmt.Printf("[%8.2fs] loaded %d input files\n", e.Now().Seconds(), len(files))
+
+		// The word-count job: maps tokenize (output smaller than input),
+		// reduces aggregate heavily.
+		result, err := mr.RunJob(e, 0, mapred.SubmitJobParam{
+			Name: "wordcount", NumReduces: 4,
+			InputFiles: files, InputSizes: sizes,
+			OutputPath: "/wordcount-out", OutputReplication: 2,
+			MapCPUPerMBNs:     int64(4 * time.Millisecond),
+			ReduceCPUPerMBNs:  int64(2 * time.Millisecond),
+			MapOutputRatioPct: 40, ReduceOutRatioPct: 10,
+			WritesHDFSOutput: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8.2fs] wordcount finished: %d maps, %d reduces in %.1fs (virtual)\n",
+			e.Now().Seconds(), result.Status.MapsDone, result.Status.ReducesDone,
+			result.Duration.Seconds())
+
+		entries, err := dfs.GetListing(e, "/wordcount-out")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ent := range entries {
+			fmt.Printf("  output %-28s %8d bytes\n", ent.Path, ent.Length)
+		}
+		mr.Stop()
+		fs.Stop()
+	})
+	cl.RunUntil(time.Hour)
+}

@@ -1,0 +1,3 @@
+module rpcoib
+
+go 1.22

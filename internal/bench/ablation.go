@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/wire"
+)
+
+// PolicyRow is one buffer-pool ablation measurement: the same RPCoIB
+// transport with a different buffer-management policy, isolating how much of
+// the win is the two-level history pool versus the verbs transport.
+type PolicyRow struct {
+	Policy       bufpool.Policy
+	Latency      time.Duration
+	Regets       int64
+	PeakBytes    int64 // peak registered native memory on the client
+	Unregistered int64 // sends that paid on-the-fly registration
+}
+
+// AblationPoolPolicy measures ping-pong latency under each pool policy.
+func AblationPoolPolicy(w io.Writer, payload, iters int) []PolicyRow {
+	Fprintf(w, "Ablation: buffer-pool policy at %dB payload (RPCoIB transport held fixed)\n", payload)
+	Fprintf(w, "%-12s %12s %8s %14s %14s\n", "policy", "latency(us)", "regets", "peakReg(KB)", "unregSends")
+	policies := []bufpool.Policy{
+		bufpool.PolicyHistory, bufpool.PolicyFixedSmall,
+		bufpool.PolicyFixedLarge, bufpool.PolicyNoPool,
+	}
+	rows := make([]PolicyRow, 0, len(policies))
+	for _, policy := range policies {
+		row := poolPolicyOnce(policy, payload, iters)
+		rows = append(rows, row)
+		Fprintf(w, "%-12s %12.1f %8d %14d %14d\n", row.Policy,
+			us(row.Latency), row.Regets, row.PeakBytes/1024, row.Unregistered)
+	}
+	return rows
+}
+
+func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
+	cl := cluster.New(cluster.ClusterB())
+	clientPool := bufpool.NewShadowPool(bufpool.NewNativePool(0), policy)
+	serverPool := bufpool.NewShadowPool(bufpool.NewNativePool(0), policy)
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv := core.NewServer(cl.RPCoIBNet(0), core.Options{
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: serverPool,
+		})
+		srv.Register("bench.PingPongProtocol", "pingpong",
+			func() wire.Writable { return &wire.BytesWritable{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+		if err := srv.Start(e, 9000); err != nil {
+			panic(err)
+		}
+	})
+	row := PolicyRow{Policy: policy}
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client := core.NewClient(cl.RPCoIBNet(1), core.Options{
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: clientPool,
+		})
+		param := &wire.BytesWritable{Value: make([]byte, payload)}
+		var reply wire.BytesWritable
+		for i := 0; i < 3; i++ {
+			if err := client.Call(e, "node0:9000", "bench.PingPongProtocol", "pingpong", param, &reply); err != nil {
+				panic(err)
+			}
+		}
+		start := e.Now()
+		for i := 0; i < iters; i++ {
+			if err := client.Call(e, "node0:9000", "bench.PingPongProtocol", "pingpong", param, &reply); err != nil {
+				panic(err)
+			}
+		}
+		row.Latency = (e.Now() - start) / time.Duration(iters)
+	})
+	cl.RunUntil(time.Minute)
+	st := clientPool.StatsSnapshot()
+	row.Regets = st.Regets
+	row.PeakBytes = clientPool.Native().StatsSnapshot().PeakRegistered
+	row.Unregistered = cl.IBNet().Device(1).StatsSnapshot().UnregisteredTx
+	return row
+}
+
+// ThresholdRow is one eager/RDMA threshold ablation point.
+type ThresholdRow struct {
+	Threshold int
+	Latency   time.Duration
+	Eager     int64
+	RDMA      int64
+}
+
+// AblationRDMAThreshold sweeps the send/recv-vs-RDMA crossover (the paper's
+// "tunable threshold") at a fixed payload.
+func AblationRDMAThreshold(w io.Writer, payload int, thresholds []int, iters int) []ThresholdRow {
+	if len(thresholds) == 0 {
+		thresholds = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	}
+	Fprintf(w, "Ablation: RDMA threshold sweep at %dB payload\n", payload)
+	Fprintf(w, "%12s %12s %8s %8s\n", "threshold", "latency(us)", "eager", "rdma")
+	rows := make([]ThresholdRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		row := thresholdOnce(th, payload, iters)
+		rows = append(rows, row)
+		Fprintf(w, "%12d %12.1f %8d %8d\n", row.Threshold, us(row.Latency), row.Eager, row.RDMA)
+	}
+	return rows
+}
+
+func thresholdOnce(threshold, payload, iters int) ThresholdRow {
+	cc := cluster.ClusterB()
+	cc.RDMAThreshold = threshold
+	cl := cluster.New(cc)
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv := core.NewServer(cl.RPCoIBNet(0), core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs})
+		srv.Register("bench.PingPongProtocol", "pingpong",
+			func() wire.Writable { return &wire.BytesWritable{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+		if err := srv.Start(e, 9000); err != nil {
+			panic(err)
+		}
+	})
+	row := ThresholdRow{Threshold: threshold}
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client := core.NewClient(cl.RPCoIBNet(1), core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs})
+		param := &wire.BytesWritable{Value: make([]byte, payload)}
+		var reply wire.BytesWritable
+		for i := 0; i < 3; i++ {
+			if err := client.Call(e, "node0:9000", "bench.PingPongProtocol", "pingpong", param, &reply); err != nil {
+				panic(err)
+			}
+		}
+		start := e.Now()
+		for i := 0; i < iters; i++ {
+			if err := client.Call(e, "node0:9000", "bench.PingPongProtocol", "pingpong", param, &reply); err != nil {
+				panic(err)
+			}
+		}
+		row.Latency = (e.Now() - start) / time.Duration(iters)
+	})
+	cl.RunUntil(time.Minute)
+	st := cl.IBNet().Device(1).StatsSnapshot()
+	row.Eager = st.EagerSends
+	row.RDMA = st.RDMASends
+	return row
+}
+
+// ReadersRow is one Reader-pool-width ablation point: baseline RPC
+// throughput as the Hadoop 1.0.3 ipc.server.read.threadpool.size grows.
+type ReadersRow struct {
+	Readers    int
+	Throughput float64 // ops/sec
+}
+
+// AblationReaders sweeps the baseline server's read-stage width,
+// quantifying how much of RPCoIB's throughput win is the per-connection
+// Reader design versus the buffer management.
+func AblationReaders(w io.Writer, widths []int, clients, callsPerClient int) []ReadersRow {
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	Fprintf(w, "Ablation: baseline reader-pool width (512B payload, %d clients)\n", clients)
+	Fprintf(w, "%8s %14s\n", "readers", "Kops/sec")
+	rows := make([]ReadersRow, 0, len(widths))
+	for _, n := range widths {
+		tput := readersOnce(n, clients, callsPerClient)
+		rows = append(rows, ReadersRow{Readers: n, Throughput: tput})
+		Fprintf(w, "%8d %14.1f\n", n, tput/1000)
+	}
+	return rows
+}
+
+func readersOnce(readers, clients, callsPerClient int) float64 {
+	cl := cluster.New(cluster.ClusterB())
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv := core.NewServer(cl.SocketNet(perfmodel.IPoIB, 0), core.Options{
+			Mode: core.ModeBaseline, Costs: cl.Costs, Handlers: 8, Readers: readers,
+		})
+		srv.Register("bench.PingPongProtocol", "pingpong",
+			func() wire.Writable { return &wire.BytesWritable{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+		if err := srv.Start(e, 9000); err != nil {
+			panic(err)
+		}
+	})
+	done := 0
+	var finish time.Duration
+	for i := 0; i < clients; i++ {
+		node := 1 + i%8
+		cl.SpawnOn(node, "client", func(e exec.Env) {
+			e.Sleep(time.Millisecond)
+			client := core.NewClient(cl.SocketNet(perfmodel.IPoIB, node),
+				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs})
+			param := &wire.BytesWritable{Value: make([]byte, 512)}
+			var reply wire.BytesWritable
+			for j := 0; j < callsPerClient; j++ {
+				if err := client.Call(e, "node0:9000", "bench.PingPongProtocol", "pingpong", param, &reply); err != nil {
+					panic(err)
+				}
+				done++
+			}
+			if e.Now() > finish {
+				finish = e.Now()
+			}
+		})
+	}
+	cl.RunUntil(10 * time.Minute)
+	return float64(done) / (finish - time.Millisecond).Seconds()
+}

@@ -1,0 +1,113 @@
+// Package cloudburst models the CloudBurst application the paper evaluates
+// (Figure 6(b)): highly sensitive short-read mapping as two chained
+// MapReduce jobs. Alignment is the large compute-heavy job (240 maps / 48
+// reduces in the default configuration on 9 nodes: seed-and-extend against
+// the reference genome); Filtering is the small follow-up job (24/24) that
+// keeps the best alignments.
+package cloudburst
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+)
+
+// Default CloudBurst job shape (the paper's "default data and default
+// configurations").
+const (
+	AlignmentMaps    = 240
+	AlignmentReduces = 48
+	FilteringMaps    = 24
+	FilteringReduces = 24
+
+	// splitBytes sizes each alignment input split (reference chunks plus
+	// read batches).
+	splitBytes = 4 << 20
+)
+
+// Result reports both jobs, matching Figure 6(b)'s three bars.
+type Result struct {
+	Alignment *mapred.JobResult
+	Filtering *mapred.JobResult
+}
+
+// Total returns the end-to-end application time.
+func (r *Result) Total() time.Duration {
+	return r.Alignment.Duration + r.Filtering.Duration
+}
+
+// PrepareInput writes the synthetic genome/read splits into HDFS.
+func PrepareInput(e exec.Env, fs *hdfs.HDFS, clientNode int) error {
+	dfs := fs.NewClient(clientNode)
+	if err := dfs.Mkdirs(e, "/cloudburst/in"); err != nil {
+		return err
+	}
+	for i := 0; i < AlignmentMaps; i++ {
+		path := fmt.Sprintf("/cloudburst/in/split-%05d", i)
+		if err := dfs.CreateFile(e, path, splitBytes, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the two jobs back to back, as CloudBurst does.
+func Run(e exec.Env, mr *mapred.MapReduce, fs *hdfs.HDFS, clientNode int) (*Result, error) {
+	files := make([]string, AlignmentMaps)
+	sizes := make([]int64, AlignmentMaps)
+	for i := range files {
+		files[i] = fmt.Sprintf("/cloudburst/in/split-%05d", i)
+		sizes[i] = splitBytes
+	}
+	alignment, err := mr.RunJob(e, clientNode, mapred.SubmitJobParam{
+		Name: "cloudburst-alignment", NumReduces: AlignmentReduces,
+		InputFiles: files, InputSizes: sizes,
+		OutputPath: "/cloudburst/align", OutputReplication: 1,
+		// Seed-and-extend alignment is compute-bound.
+		MapCPUPerMBNs:     int64(7 * time.Second), // seed-and-extend dominates
+		ReduceCPUPerMBNs:  int64(400 * time.Millisecond),
+		MapOutputRatioPct: 60, ReduceOutRatioPct: 50,
+		WritesHDFSOutput: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("alignment: %w", err)
+	}
+
+	// Filtering consumes the alignment output.
+	dfs := fs.NewClient(clientNode)
+	entries, err := dfs.GetListing(e, "/cloudburst/align")
+	if err != nil {
+		return nil, err
+	}
+	var ffiles []string
+	var fsizes []int64
+	for _, ent := range entries {
+		if !ent.IsDir {
+			ffiles = append(ffiles, ent.Path)
+			fsizes = append(fsizes, ent.Length)
+		}
+	}
+	// CloudBurst repartitions the alignments into 24 filter splits; when the
+	// alignment job produced more parts, the small job reads them grouped.
+	for len(ffiles) > FilteringMaps {
+		ffiles = ffiles[:len(ffiles)-1]
+		fsizes[len(ffiles)-1] += fsizes[len(ffiles)]
+		fsizes = fsizes[:len(ffiles)]
+	}
+	filtering, err := mr.RunJob(e, clientNode, mapred.SubmitJobParam{
+		Name: "cloudburst-filtering", NumReduces: FilteringReduces,
+		InputFiles: ffiles, InputSizes: fsizes,
+		OutputPath: "/cloudburst/out", OutputReplication: 1,
+		MapCPUPerMBNs:     int64(150 * time.Millisecond),
+		ReduceCPUPerMBNs:  int64(50 * time.Millisecond),
+		MapOutputRatioPct: 100, ReduceOutRatioPct: 20,
+		WritesHDFSOutput: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("filtering: %w", err)
+	}
+	return &Result{Alignment: alignment, Filtering: filtering}, nil
+}

@@ -1,0 +1,67 @@
+package cloudburst
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+	"rpcoib/internal/perfmodel"
+)
+
+// TestCloudBurstStructure runs the application on a small cluster with the
+// full default task shape and checks the two-job structure end to end.
+// (The compute costs make this the slowest unit test in the repo; the
+// simulated time is ~20 minutes of virtual cluster time.)
+func TestCloudBurstStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cloudburst end-to-end is slow")
+	}
+	cl := cluster.New(cluster.ClusterA(9))
+	nodes := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: nodes, Replication: 2,
+		RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
+	})
+	mr := mapred.Deploy(cl, mapred.Config{
+		JobTracker: 0, TaskTrackers: nodes, MapSlots: 8, ReduceSlots: 4,
+		RPCKind: perfmodel.IPoIB, ShuffleKind: perfmodel.IPoIB,
+	}, fs)
+	var res *Result
+	cl.SpawnOn(0, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		if err := PrepareInput(e, fs, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		var err error
+		res, err = Run(e, mr, fs, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		mr.Stop()
+		fs.Stop()
+	})
+	cl.RunUntil(6 * time.Hour)
+	if res == nil {
+		t.Fatal("cloudburst did not finish")
+	}
+	if res.Alignment.Status.MapsDone != AlignmentMaps ||
+		res.Alignment.Status.ReducesDone != AlignmentReduces {
+		t.Fatalf("alignment status %+v", res.Alignment.Status)
+	}
+	if int(res.Filtering.Status.MapsDone) > FilteringMaps ||
+		res.Filtering.Status.ReducesDone != FilteringReduces {
+		t.Fatalf("filtering status %+v", res.Filtering.Status)
+	}
+	// Alignment dominates, as in Figure 6(b).
+	if res.Alignment.Duration < 5*res.Filtering.Duration {
+		t.Fatalf("alignment (%v) should dwarf filtering (%v)",
+			res.Alignment.Duration, res.Filtering.Duration)
+	}
+	if res.Total() != res.Alignment.Duration+res.Filtering.Duration {
+		t.Fatal("total mismatch")
+	}
+}

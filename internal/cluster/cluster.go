@@ -1,0 +1,261 @@
+// Package cluster assembles the simulated testbed: nodes with CPU cores and
+// disks, the interconnect fabrics (1GigE / 10GigE / IPoIB / native IB over
+// the same hosts, like the paper's multi-rail clusters), the exec.Env
+// implementation that runs unmodified engine code inside the simulator, and
+// transport.Network adapters over netsim sockets and ibverbs endpoints.
+//
+// Preset topologies mirror the paper: Cluster A (65 nodes, 8 cores, IB QDR +
+// 1GigE) and Cluster B (9 nodes, additionally 10GigE).
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/ibverbs"
+	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
+)
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Nodes is the number of hosts.
+	Nodes int
+	// CoresPerNode models the dual quad-core Xeons of the paper's testbed.
+	CoresPerNode int
+	// DiskReadBW and DiskWriteBW are sequential HDD bandwidths (bytes/s).
+	DiskReadBW  float64
+	DiskWriteBW float64
+	// DiskSeek is the per-operation positioning cost.
+	DiskSeek time.Duration
+	// Seed drives all simulation randomness.
+	Seed int64
+	// RDMAThreshold is the verbs eager/RDMA crossover (0 = default).
+	RDMAThreshold int
+}
+
+// ClusterA returns the paper's 65-node QDR cluster (Intel Westmere, 8 cores,
+// 12 GB RAM, one HDD per node).
+func ClusterA(nodes int) Config {
+	if nodes <= 0 {
+		nodes = 65
+	}
+	return Config{
+		Nodes:        nodes,
+		CoresPerNode: 8,
+		DiskReadBW:   110e6,
+		DiskWriteBW:  95e6,
+		DiskSeek:     6 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+// ClusterB returns the paper's 9-node cluster that also has 10GigE.
+func ClusterB() Config { c := ClusterA(9); return c }
+
+// Cluster is a running simulated testbed.
+type Cluster struct {
+	Sim    *sim.Sim
+	Costs  *perfmodel.CPUCosts
+	Config Config
+
+	nodes   []*Node
+	fabrics map[perfmodel.LinkKind]*netsim.Fabric
+	ibnet   *ibverbs.Network
+}
+
+// Node is one simulated host.
+type Node struct {
+	ID   int
+	CPU  *sim.Resource
+	Disk *Disk
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.CoresPerNode < 1 {
+		cfg.CoresPerNode = 8
+	}
+	s := sim.New(cfg.Seed)
+	c := &Cluster{
+		Sim:     s,
+		Costs:   perfmodel.DefaultCPU(),
+		Config:  cfg,
+		fabrics: map[perfmodel.LinkKind]*netsim.Fabric{},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: i, CPU: s.NewResource(int64(cfg.CoresPerNode))}
+		n.Disk = &Disk{
+			r: s.NewResource(1), readBW: cfg.DiskReadBW,
+			writeBW: cfg.DiskWriteBW, seek: cfg.DiskSeek,
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	cpuOf := func(node int) *sim.Resource { return c.nodes[node].CPU }
+	for _, kind := range []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB} {
+		c.fabrics[kind] = netsim.NewFabric(s, perfmodel.Link(kind), cpuOf)
+	}
+	c.ibnet = ibverbs.NewNetwork(c.fabrics[perfmodel.NativeIB], c.Costs, cfg.RDMAThreshold)
+	return c
+}
+
+// Node returns host id (panics on bad ids to catch wiring mistakes).
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: no node %d", id))
+	}
+	return c.nodes[id]
+}
+
+// Nodes returns the host count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Fabric returns the fabric for a link kind.
+func (c *Cluster) Fabric(kind perfmodel.LinkKind) *netsim.Fabric { return c.fabrics[kind] }
+
+// IBNet returns the verbs network.
+func (c *Cluster) IBNet() *ibverbs.Network { return c.ibnet }
+
+// PartitionNode drops (or restores) all fabric traffic to and from a node,
+// for failure-injection experiments.
+func (c *Cluster) PartitionNode(node int, down bool) {
+	c.Node(node)
+	for _, f := range c.fabrics {
+		f.SetNodeDown(node, down)
+	}
+}
+
+// SpawnOn starts fn as a process on node (its Work and stack CPU contend for
+// that node's cores).
+func (c *Cluster) SpawnOn(node int, name string, fn func(exec.Env)) {
+	n := c.Node(node)
+	c.Sim.Spawn(name, func(p *sim.Proc) {
+		fn(&SimEnv{c: c, node: n, p: p})
+	})
+}
+
+// Run drives the simulation to completion and returns the final virtual time.
+func (c *Cluster) Run() time.Duration { return c.Sim.Run() }
+
+// RunUntil drives the simulation to a horizon.
+func (c *Cluster) RunUntil(d time.Duration) time.Duration { return c.Sim.RunUntil(d) }
+
+// Disk models one HDD with serialized access. Streaming APIs charge the
+// positioning cost only when the head moves between streams, so N
+// interleaved sequential writers degrade realistically instead of paying a
+// full seek per packet.
+type Disk struct {
+	r          *sim.Resource
+	readBW     float64
+	writeBW    float64
+	seek       time.Duration
+	lastStream int64
+
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int64
+}
+
+func (d *Disk) xfer(p *sim.Proc, stream, bytes int64, bw float64) {
+	dur := time.Duration(float64(bytes) / bw * float64(time.Second))
+	if stream == 0 || stream != d.lastStream {
+		dur += d.seek
+		d.Seeks++
+		d.lastStream = stream
+	}
+	d.r.Use(p, dur)
+}
+
+// Read occupies the disk for a positioned read of the given size.
+func (d *Disk) Read(p *sim.Proc, bytes int64) {
+	d.xfer(p, 0, bytes, d.readBW)
+	d.BytesRead += bytes
+}
+
+// Write occupies the disk for a positioned write of the given size.
+func (d *Disk) Write(p *sim.Proc, bytes int64) {
+	d.xfer(p, 0, bytes, d.writeBW)
+	d.BytesWritten += bytes
+}
+
+// ReadStream reads bytes as part of the sequential stream id (non-zero);
+// the seek is charged only when the head switches streams.
+func (d *Disk) ReadStream(p *sim.Proc, stream, bytes int64) {
+	d.xfer(p, stream, bytes, d.readBW)
+	d.BytesRead += bytes
+}
+
+// WriteStream writes bytes as part of the sequential stream id (non-zero).
+func (d *Disk) WriteStream(p *sim.Proc, stream, bytes int64) {
+	d.xfer(p, stream, bytes, d.writeBW)
+	d.BytesWritten += bytes
+}
+
+// SimEnv is the simulator-backed exec.Env: one per process, bound to a node.
+type SimEnv struct {
+	c    *Cluster
+	node *Node
+	p    *sim.Proc
+}
+
+// Proc exposes the underlying sim process for transport glue.
+func (e *SimEnv) Proc() *sim.Proc { return e.p }
+
+// NodeID returns the node this process runs on.
+func (e *SimEnv) NodeID() int { return e.node.ID }
+
+// Cluster returns the owning cluster.
+func (e *SimEnv) Cluster() *Cluster { return e.c }
+
+// Now implements exec.Env.
+func (e *SimEnv) Now() time.Duration { return e.p.Now() }
+
+// Sleep implements exec.Env.
+func (e *SimEnv) Sleep(d time.Duration) { e.p.Sleep(d) }
+
+// Work implements exec.Env: occupy one of the node's cores for d.
+func (e *SimEnv) Work(d time.Duration) {
+	if d > 0 {
+		e.node.CPU.Use(e.p, d)
+	}
+}
+
+// Spawn implements exec.Env: the child runs on the same node.
+func (e *SimEnv) Spawn(name string, fn func(exec.Env)) {
+	e.c.SpawnOn(e.node.ID, name, fn)
+}
+
+// NewQueue implements exec.Env.
+func (e *SimEnv) NewQueue(capacity int) exec.Queue {
+	return simQueue{q: e.c.Sim.NewQueue(capacity)}
+}
+
+// Rand implements exec.Env: the cluster-wide deterministic source.
+func (e *SimEnv) Rand() *rand.Rand { return e.c.Sim.Rand() }
+
+// simQueue adapts sim.Queue to exec.Queue by unwrapping the caller's env.
+type simQueue struct{ q *sim.Queue }
+
+func procOf(e exec.Env) *sim.Proc {
+	se, ok := e.(*SimEnv)
+	if !ok {
+		panic("cluster: exec.Env is not a SimEnv; queues must be used from simulated processes")
+	}
+	return se.p
+}
+
+func (s simQueue) Put(e exec.Env, v any) bool { return s.q.Put(procOf(e), v) }
+func (s simQueue) TryPut(v any) bool          { return s.q.TryPut(v) }
+func (s simQueue) Get(e exec.Env) (any, bool) { return s.q.Get(procOf(e)) }
+func (s simQueue) TryGet() (any, bool)        { return s.q.TryGet() }
+func (s simQueue) GetTimeout(e exec.Env, d time.Duration) (any, bool, bool) {
+	return s.q.GetTimeout(procOf(e), d)
+}
+func (s simQueue) Close()   { s.q.Close() }
+func (s simQueue) Len() int { return s.q.Len() }

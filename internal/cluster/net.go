@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"time"
+
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/ibverbs"
+	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/transport"
+)
+
+// SocketNet returns a node-bound transport.Network over one of the TCP-like
+// fabrics (1GigE, 10GigE, or IPoIB).
+func (c *Cluster) SocketNet(kind perfmodel.LinkKind, node int) transport.Network {
+	if kind == perfmodel.NativeIB {
+		panic("cluster: use RPCoIBNet for the native IB transport")
+	}
+	c.Node(node) // validate
+	return &sockNet{c: c, fabric: c.fabrics[kind], node: node, kind: kind.String()}
+}
+
+type sockNet struct {
+	c      *Cluster
+	fabric *netsim.Fabric
+	node   int
+	kind   string
+}
+
+func (n *sockNet) Kind() string { return n.kind }
+
+func (n *sockNet) Listen(_ exec.Env, port int) (transport.Listener, error) {
+	l, err := n.fabric.Listen(n.node, port)
+	if err != nil {
+		return nil, err
+	}
+	return &sockListener{l: l}, nil
+}
+
+func (n *sockNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
+	conn, err := n.fabric.Dial(procOf(e), n.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &sockConn{c: conn}, nil
+}
+
+type sockListener struct{ l *netsim.Listener }
+
+func (l *sockListener) Accept(e exec.Env) (transport.Conn, error) {
+	conn, err := l.l.Accept(procOf(e))
+	if err != nil {
+		return nil, err
+	}
+	return &sockConn{c: conn}, nil
+}
+
+func (l *sockListener) Close()       { l.l.Close() }
+func (l *sockListener) Addr() string { return l.l.Addr() }
+
+type sockConn struct{ c *netsim.SocketConn }
+
+var _ transport.SizedSender = (*sockConn)(nil)
+
+func (c *sockConn) Send(e exec.Env, data []byte) error { return c.c.Send(procOf(e), data) }
+
+func (c *sockConn) SendSized(e exec.Env, data []byte, size int) error {
+	return c.c.SendSized(procOf(e), data, size)
+}
+
+func (c *sockConn) Recv(e exec.Env) ([]byte, func(), error) {
+	data, err := c.c.Recv(procOf(e))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, transport.NopRelease, nil
+}
+
+func (c *sockConn) WireTime(n int) time.Duration { return c.c.WireTime(n) }
+
+func (c *sockConn) Close()             { c.c.Close() }
+func (c *sockConn) RemoteAddr() string { return c.c.RemoteAddr() }
+
+// RPCoIBNet returns the native-IB transport for node. Connection setup
+// follows the paper's bootstrap: the client dials the server's socket
+// address (over IPoIB), exchanges endpoint information there, and then all
+// communication flows over verbs. The returned conns implement
+// transport.PooledSender for zero-copy sends from registered buffers.
+func (c *Cluster) RPCoIBNet(node int) transport.Network {
+	c.Node(node)
+	return &ibNet{c: c, node: node}
+}
+
+// epInfoBytes sizes the QP/LID/rkey exchange blob.
+var epInfoBytes = make([]byte, 72)
+
+type ibNet struct {
+	c    *Cluster
+	node int
+}
+
+func (n *ibNet) Kind() string { return "RPCoIB" }
+
+func (n *ibNet) Listen(_ exec.Env, port int) (transport.Listener, error) {
+	sockLn, err := n.c.fabrics[perfmodel.IPoIB].Listen(n.node, port)
+	if err != nil {
+		return nil, err
+	}
+	ibLn, err := n.c.ibnet.Listen(n.node, port)
+	if err != nil {
+		sockLn.Close()
+		return nil, err
+	}
+	return &ibListener{c: n.c, sockLn: sockLn, ibLn: ibLn}, nil
+}
+
+func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
+	p := procOf(e)
+	sc, err := n.c.fabrics[perfmodel.IPoIB].Dial(p, n.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	if err := sc.Send(p, epInfoBytes); err != nil {
+		return nil, err
+	}
+	if _, err := sc.Recv(p); err != nil { // server's endpoint info / ack
+		return nil, err
+	}
+	ep, err := n.c.ibnet.Dial(p, n.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ibConn{c: n.c, ep: ep, dev: n.c.ibnet.Device(n.node)}, nil
+}
+
+type ibListener struct {
+	c      *Cluster
+	sockLn *netsim.Listener
+	ibLn   *ibverbs.EPListener
+}
+
+func (l *ibListener) Accept(e exec.Env) (transport.Conn, error) {
+	p := procOf(e)
+	sc, err := l.sockLn.Accept(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sc.Recv(p); err != nil { // client endpoint info
+		sc.Close()
+		return nil, err
+	}
+	if err := sc.Send(p, epInfoBytes); err != nil { // our endpoint info
+		sc.Close()
+		return nil, err
+	}
+	ep, err := l.ibLn.Accept(p)
+	sc.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &ibConn{c: l.c, ep: ep, dev: l.ibLn.Device()}, nil
+}
+
+func (l *ibListener) Close() {
+	l.sockLn.Close()
+	l.ibLn.Close()
+}
+
+func (l *ibListener) Addr() string { return l.sockLn.Addr() }
+
+// ibConn adapts a verbs endpoint to transport.Conn (+ PooledSender).
+type ibConn struct {
+	c   *Cluster
+	ep  *ibverbs.EndPoint
+	dev *ibverbs.Device
+}
+
+var _ transport.PooledSender = (*ibConn)(nil)
+var _ transport.SizedSender = (*ibConn)(nil)
+
+// SendSized stages the (small) real bytes through a registered buffer and
+// bills the virtual size to the verbs transport.
+func (c *ibConn) SendSized(e exec.Env, data []byte, size int) error {
+	b := c.dev.RecvPool().Get(len(data))
+	copy(b.Data, data)
+	err := c.ep.SendSized(procOf(e), b, len(data), size)
+	c.dev.RecvPool().Put(b)
+	return err
+}
+
+// SendPooled transmits from a registered buffer with zero copies.
+func (c *ibConn) SendPooled(e exec.Env, b *bufpool.Buffer, n int) error {
+	return c.ep.Send(procOf(e), b, n)
+}
+
+// Send is the non-pooled fallback (bootstrap/control payloads): it stages
+// data through a registered buffer, paying one copy — exactly the cost the
+// pooled path avoids.
+func (c *ibConn) Send(e exec.Env, data []byte) error {
+	e.Work(c.c.Costs.Copy(len(data)))
+	b := c.dev.RecvPool().Get(len(data))
+	copy(b.Data, data)
+	err := c.ep.Send(procOf(e), b, len(data))
+	c.dev.RecvPool().Put(b)
+	return err
+}
+
+func (c *ibConn) Recv(e exec.Env) ([]byte, func(), error) {
+	return c.ep.Recv(procOf(e))
+}
+
+func (c *ibConn) WireTime(n int) time.Duration { return c.ep.WireTime(n) }
+
+func (c *ibConn) Close()             { c.ep.Close() }
+func (c *ibConn) RemoteAddr() string { return c.ep.RemoteAddr() }

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/trace"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// ErrTimeout reports that a call exceeded the client's timeout.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// ErrClosed reports a connection torn down with calls in flight.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// RemoteError carries a server-side failure back to the caller.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// ClientStats counts client activity.
+type ClientStats struct {
+	Calls    atomic.Int64
+	Errors   atomic.Int64
+	BytesOut atomic.Int64
+}
+
+// Client issues RPC calls. One Client multiplexes any number of caller
+// threads over cached per-server connections, exactly like Hadoop's
+// RPC.getProxy machinery: callers serialize and send under a per-connection
+// lock; a dedicated Connection thread receives and dispatches responses.
+type Client struct {
+	engine
+	net     transport.Network
+	timeout time.Duration
+
+	mu     sync.Mutex
+	connMu *emutex
+	conns  map[string]*Connection
+	idSeq  atomic.Int32
+
+	// Stats counts issued calls and failures.
+	Stats ClientStats
+}
+
+// NewClient creates a client over net with the given options.
+func NewClient(net transport.Network, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		engine:  engine{opts: opts},
+		net:     net,
+		timeout: opts.CallTimeout,
+		conns:   map[string]*Connection{},
+	}
+}
+
+// Connection is the client side of one transport connection plus its
+// pending-call table and receiver thread.
+type Connection struct {
+	client    *Client
+	tc        transport.Conn
+	sendMu    *emutex
+	mu        sync.Mutex
+	calls     map[int32]*callState
+	streamBuf []byte // persistent BufferedOutputStream analog (baseline)
+	lastSend  time.Duration
+	closed    bool
+	closeErr  error
+}
+
+type callState struct {
+	reply  wire.Writable
+	replyQ exec.Queue
+}
+
+// connection returns (establishing on demand) the connection to addr.
+func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
+	c.mu.Lock()
+	if c.connMu == nil {
+		c.connMu = newEmutex(e)
+	}
+	mu := c.connMu
+	c.mu.Unlock()
+
+	// The emutex may be held across the blocking Dial; a sync.Mutex must
+	// not be (it would wedge the cooperative scheduler).
+	mu.lock(e)
+	defer mu.unlock()
+	c.mu.Lock()
+	conn := c.conns[addr]
+	c.mu.Unlock()
+	if conn != nil && !conn.closed {
+		return conn, nil
+	}
+	tc, err := c.net.Dial(e, addr)
+	if err != nil {
+		return nil, err
+	}
+	conn = &Connection{client: c, tc: tc, sendMu: newEmutex(e), calls: map[int32]*callState{}}
+	c.mu.Lock()
+	c.conns[addr] = conn
+	c.mu.Unlock()
+	e.Spawn("rpc-conn-recv:"+addr, conn.receiveLoop)
+	return conn, nil
+}
+
+func (conn *Connection) addCall(id int32, cs *callState) {
+	conn.mu.Lock()
+	conn.calls[id] = cs
+	conn.mu.Unlock()
+}
+
+func (conn *Connection) takeCall(id int32) *callState {
+	conn.mu.Lock()
+	cs := conn.calls[id]
+	delete(conn.calls, id)
+	conn.mu.Unlock()
+	return cs
+}
+
+// fail tears the connection down and fails every pending call.
+func (conn *Connection) fail(err error) {
+	conn.mu.Lock()
+	if conn.closed {
+		conn.mu.Unlock()
+		return
+	}
+	conn.closed = true
+	conn.closeErr = err
+	pending := conn.calls
+	conn.calls = map[int32]*callState{}
+	conn.mu.Unlock()
+	conn.tc.Close()
+	for _, cs := range pending {
+		cs.replyQ.Close()
+	}
+}
+
+// Call invokes protocol.method(param) on the server at addr, deserializing
+// the result into reply (which may be nil for void-like methods whose value
+// the caller ignores). It blocks the calling thread until the response
+// arrives, a timeout fires, or the connection fails.
+func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wire.Writable) error {
+	c.Stats.Calls.Add(1)
+	conn, err := c.connection(e, addr)
+	if err != nil {
+		c.Stats.Errors.Add(1)
+		return err
+	}
+	id := c.idSeq.Add(1)
+	cs := &callState{reply: reply, replyQ: e.NewQueue(1)}
+	conn.addCall(id, cs)
+
+	conn.sendMu.lock(e)
+	if conn.closed {
+		conn.sendMu.unlock()
+		conn.takeCall(id)
+		c.Stats.Errors.Add(1)
+		return ErrClosed
+	}
+	var sample trace.SendSample
+	sample.Key = trace.Key{Protocol: protocol, Method: method}
+	if c.opts.Mode == ModeRPCoIB {
+		err = c.sendRPCoIB(e, conn, id, protocol, method, param, &sample)
+	} else {
+		err = c.sendBaseline(e, conn, id, protocol, method, param, &sample)
+	}
+	conn.sendMu.unlock()
+	if err != nil {
+		conn.takeCall(id)
+		conn.fail(err)
+		c.Stats.Errors.Add(1)
+		return err
+	}
+	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
+	c.opts.Tracer.RecordSend(sample)
+
+	v, ok, timedOut := cs.replyQ.GetTimeout(e, c.timeout)
+	switch {
+	case timedOut:
+		conn.takeCall(id)
+		c.Stats.Errors.Add(1)
+		return ErrTimeout
+	case !ok:
+		c.Stats.Errors.Add(1)
+		if conn.closeErr != nil {
+			return fmt.Errorf("%w: %v", ErrClosed, conn.closeErr)
+		}
+		return ErrClosed
+	case v != nil:
+		c.Stats.Errors.Add(1)
+		return v.(error)
+	}
+	return nil
+}
+
+// sendBaseline is the paper's Listing 1: serialize into a fresh 32-byte
+// DataOutputBuffer (Algorithm 1 growth), copy onto the connection's stream
+// buffer behind a 4-byte length, copy heap-to-native, syscall, send.
+func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+	cost := c.cost()
+	t0 := e.Now()
+	d := wire.NewDataOutputBuffer()
+	out := wire.NewDataOutput(d)
+	encodeRequestHeader(out, id, protocol, method)
+	if param != nil {
+		param.Write(out)
+	}
+	st := d.TakeStats()
+	c.work(e, cost.Serialize(out.Ops())+cost.Copy(d.Len())+c.bufferCost(st))
+	sample.Serialize = e.Now() - t0
+
+	t1 := e.Now()
+	n := d.Len()
+	if cap(conn.streamBuf) < 4+n {
+		// The BufferedOutputStream's backing array grows rarely and
+		// persists across calls; its growth is not part of the per-call
+		// bottleneck, so it is not charged.
+		conn.streamBuf = make([]byte, 4+n)
+	}
+	frame := conn.streamBuf[:4+n]
+	binary.BigEndian.PutUint32(frame, uint32(n))
+	copy(frame[4:], d.Data())
+	c.work(e, cost.Copy(4+n))
+	native := append([]byte(nil), frame...) // the heap-to-native crossing
+	c.work(e, cost.HeapNative(4+n)+cost.Syscall+cost.RPCOverhead)
+	err := conn.tc.Send(e, native)
+	sample.Send = e.Now() - t1
+	sample.MsgBytes = n
+	sample.Adjustments = st.Adjustments
+	return err
+}
+
+// poolKey builds the shadow-pool history key for a call kind.
+func poolKey(protocol, method string) string { return protocol + "+" + method }
+
+// sendRPCoIB serializes straight into a history-sized registered buffer and
+// hands it to the verbs transport with zero copies.
+func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+	cost := c.cost()
+	t0 := e.Now()
+	s := NewRDMAOutputStream(c.opts.Pool, poolKey(protocol, method))
+	c.work(e, cost.PoolGet)
+	out := wire.NewDataOutput(s)
+	encodeRequestHeader(out, id, protocol, method)
+	if param != nil {
+		param.Write(out)
+	}
+	c.work(e, cost.Serialize(out.Ops())+cost.Copy(s.Len())+c.regetCost(s))
+	sample.Serialize = e.Now() - t0
+
+	t1 := e.Now()
+	buf, n := s.Buffer()
+	c.work(e, cost.RPCOverhead)
+	if conn.lastSend > 0 && e.Now()-conn.lastSend < cost.ReapIdleGap {
+		c.work(e, cost.SendReap)
+	}
+	conn.lastSend = e.Now()
+	var err error
+	if ps, ok := conn.tc.(transport.PooledSender); ok {
+		err = ps.SendPooled(e, buf, n)
+	} else {
+		// Real-mode fallback (plain TCP): the pool still eliminates the
+		// per-call serialization-buffer churn; the transport copy remains.
+		err = conn.tc.Send(e, append([]byte(nil), buf.Data[:n]...))
+	}
+	s.Release()
+	sample.Send = e.Now() - t1
+	sample.MsgBytes = n
+	sample.Adjustments = int64(s.Regets())
+	return err
+}
+
+// regetCost prices the doubling re-gets a cold history record causes.
+func (g *engine) regetCost(s *RDMAOutputStream) time.Duration {
+	cost := g.cost()
+	if s.Regets() == 0 {
+		return 0
+	}
+	d := time.Duration(s.Regets()) * (cost.PoolGet + cost.CopyBase)
+	d += time.Duration(int64(cost.CopyPerKB) * s.CopiedBytes() / 1024)
+	return d
+}
+
+// receiveLoop is the Connection thread: it reads every response on the
+// connection, deserializes it into the waiting caller's reply, and wakes the
+// caller.
+func (conn *Connection) receiveLoop(e exec.Env) {
+	c := conn.client
+	cost := c.cost()
+	baseline := c.opts.Mode == ModeBaseline
+	for {
+		data, release, err := conn.tc.Recv(e)
+		if err != nil {
+			conn.fail(err)
+			return
+		}
+		n := len(data)
+		if baseline {
+			// Listing 2 on the client: ByteBuffer.allocate(4) for the
+			// length, ByteBuffer.allocate(len) for the body, native-to-heap
+			// copy, then deserialize.
+			c.work(e, cost.Syscall+cost.Alloc(4)+cost.Alloc(n)+cost.HeapNative(n))
+		}
+		c.work(e, cost.RPCOverhead)
+		in := wire.NewDataInput(data)
+		if baseline {
+			in.ReadInt32() // frame length
+		}
+		id := in.ReadInt32()
+		status := in.ReadU8()
+		cs := conn.takeCall(id)
+		var result any
+		if cs != nil {
+			if status == statusSuccess {
+				if cs.reply != nil {
+					cs.reply.ReadFields(in)
+				}
+				if err := in.Err(); err != nil {
+					result = err
+				}
+			} else {
+				result = &RemoteError{Msg: in.ReadText()}
+			}
+		}
+		c.work(e, cost.Serialize(in.Ops())+cost.Copy(n))
+		release()
+		if cs != nil {
+			c.work(e, cost.ThreadHandoff)
+			cs.replyQ.TryPut(result)
+		}
+	}
+}
+
+// Close tears down every cached connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := make([]*Connection, 0, len(c.conns))
+	for _, conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = map[string]*Connection{}
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.fail(ErrClosed)
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's contribution: a Hadoop-RPC-compatible
+// engine with two wire paths selected by a runtime switch (the paper's
+// rpc.ib.enabled):
+//
+//   - ModeBaseline reproduces default Hadoop RPC byte for byte: Writable
+//     serialization into a fresh 32-byte DataOutputBuffer grown by
+//     Algorithm 1, a copy onto the connection's buffered stream, a
+//     JVM-heap-to-native copy at the socket, per-call ByteBuffer allocation
+//     and a native-to-heap copy on receive (the paper's Listings 1 and 2).
+//
+//   - ModeRPCoIB is the proposed design: serialization writes directly into
+//     pre-registered native buffers acquired from the history-based
+//     two-level pool (RDMAOutputStream), messages travel over verbs
+//     (send/recv below the tunable threshold, RDMA rendezvous above), and
+//     receives deserialize in place from pre-posted registered buffers
+//     (RDMAInputStream semantics) — no per-call allocation, no heap/native
+//     crossings.
+//
+// The threading model mirrors Hadoop's: the client has caller threads and a
+// per-connection Connection receiver thread; the server runs a Listener, a
+// Reader per connection, N Handlers draining the call queue, and a
+// Responder. The engine runs identically on real goroutines + TCP (examples,
+// real-mode benchmarks) and inside the simulator (paper experiments); in the
+// simulator the exact allocation/copy/adjustment counts produced by the code
+// are converted to virtual CPU time through the frozen perfmodel tables.
+package core
+
+import (
+	"time"
+
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/trace"
+	"rpcoib/internal/wire"
+)
+
+// Mode selects the RPC wire path (the paper's rpc.ib.enabled switch).
+type Mode int
+
+const (
+	// ModeBaseline is default Hadoop RPC over sockets.
+	ModeBaseline Mode = iota
+	// ModeRPCoIB is the paper's RDMA design.
+	ModeRPCoIB
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRPCoIB {
+		return "RPCoIB"
+	}
+	return "baseline"
+}
+
+// DefaultHandlers matches the handler count used in the paper's throughput
+// experiments.
+const DefaultHandlers = 8
+
+// DefaultCallTimeout bounds how long a caller waits for a response.
+const DefaultCallTimeout = 120 * time.Second
+
+// defaultCallQueueDepth matches Hadoop's bounded call queue.
+const defaultCallQueueDepth = 100
+
+// Options configures a Client or Server.
+type Options struct {
+	// Mode selects baseline sockets or RPCoIB.
+	Mode Mode
+	// Costs enables simulation cost accounting; nil (real mode) charges
+	// nothing — the work is genuinely performed by the code.
+	Costs *perfmodel.CPUCosts
+	// Pool is the two-level buffer pool for ModeRPCoIB (one is created if
+	// nil). Policy ablations inject pools with non-default policies.
+	Pool *bufpool.ShadowPool
+	// Tracer, when non-nil, records per-call profiling samples.
+	Tracer *trace.Tracer
+	// Handlers is the server handler-thread count (DefaultHandlers if 0).
+	Handlers int
+	// Readers is the width of the baseline server's read-processing stage:
+	// 1 (default) models Hadoop 0.20.2's single Listener thread; higher
+	// values model 1.0.3's ipc.server.read.threadpool.size. Ignored under
+	// ModeRPCoIB, which processes each connection on its own Reader as the
+	// paper's design does.
+	Readers int
+	// CallTimeout bounds a client call (DefaultCallTimeout if 0).
+	CallTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Handlers <= 0 {
+		o.Handlers = DefaultHandlers
+	}
+	if o.Readers <= 0 {
+		o.Readers = 1
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.Mode == ModeRPCoIB && o.Pool == nil {
+		o.Pool = bufpool.NewShadowPool(bufpool.NewNativePool(0), bufpool.PolicyHistory)
+	}
+	return o
+}
+
+// engine carries the cost-charging machinery common to client and server.
+type engine struct {
+	opts Options
+}
+
+// work charges d of modeled CPU time (no-op in real mode or for d <= 0).
+func (g *engine) work(e exec.Env, d time.Duration) {
+	if g.opts.Costs != nil && d > 0 {
+		e.Work(d)
+	}
+}
+
+// bufferCost converts exact DataOutputBuffer traffic counts into modeled
+// time: every allocation and every Algorithm-1 copy the baseline performed.
+func (g *engine) bufferCost(st wire.BufferStats) time.Duration {
+	c := g.opts.Costs
+	if c == nil {
+		return 0
+	}
+	var d time.Duration
+	d += time.Duration(st.Allocs) * c.AllocBase
+	d += time.Duration(int64(c.AllocPerKB) * st.AllocBytes / 1024)
+	d += time.Duration(st.Adjustments) * c.CopyBase
+	d += time.Duration(int64(c.CopyPerKB) * st.MovedBytes / 1024)
+	return d
+}
+
+// cost is a nil-safe accessor for the model.
+func (g *engine) cost() *perfmodel.CPUCosts {
+	if g.opts.Costs != nil {
+		return g.opts.Costs
+	}
+	return &zeroCosts
+}
+
+var zeroCosts perfmodel.CPUCosts
+
+// ---- wire format ----
+//
+// Request:  [frame len int32 (baseline only)] [call id int32]
+//           [protocol UTF] [method UTF] [param fields...]
+// Response: [frame len int32 (baseline only)] [call id int32]
+//           [status byte] [value fields... | error Text]
+
+const (
+	statusSuccess = 0
+	statusError   = 1
+)
+
+func encodeRequestHeader(out *wire.DataOutput, id int32, protocol, method string) {
+	out.WriteInt32(id)
+	out.WriteUTF(protocol)
+	out.WriteUTF(method)
+}
+
+func decodeRequestHeader(in *wire.DataInput) (id int32, protocol, method string) {
+	id = in.ReadInt32()
+	protocol = in.ReadUTF()
+	method = in.ReadUTF()
+	return
+}
+
+// emutex is a mutex usable from both environments, built on a capacity-1
+// queue (Hadoop synchronizes concurrent callers writing one connection).
+type emutex struct{ q exec.Queue }
+
+func newEmutex(e exec.Env) *emutex { return &emutex{q: e.NewQueue(1)} }
+
+func (m *emutex) lock(e exec.Env) { m.q.Put(e, struct{}{}) }
+func (m *emutex) unlock()         { m.q.TryGet() }
+
+// esema is a counting semaphore on a bounded queue, usable from both
+// environments (the baseline server's Reader-pool width).
+type esema struct{ q exec.Queue }
+
+func newEsema(e exec.Env, n int) *esema { return &esema{q: e.NewQueue(n)} }
+
+func (s *esema) acquire(e exec.Env) { s.q.Put(e, struct{}{}) }
+func (s *esema) release()           { s.q.TryGet() }

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// startEchoServer registers a small test protocol on a real TCP server:
+//
+//	echo(BytesWritable) -> BytesWritable
+//	add(LongWritable)   -> LongWritable (adds 1)
+//	boom(Text)          -> error
+func startEchoServer(t *testing.T, env exec.Env, opts Options) (*Server, string) {
+	t.Helper()
+	nw := transport.NewTCPNetwork("")
+	srv := NewServer(nw, opts)
+	srv.Register("test.EchoProtocol", "echo",
+		func() wire.Writable { return &wire.BytesWritable{} },
+		func(e exec.Env, param wire.Writable) (wire.Writable, error) {
+			return param, nil
+		})
+	srv.Register("test.EchoProtocol", "add",
+		func() wire.Writable { return &wire.LongWritable{} },
+		func(e exec.Env, param wire.Writable) (wire.Writable, error) {
+			return &wire.LongWritable{Value: param.(*wire.LongWritable).Value + 1}, nil
+		})
+	srv.Register("test.EchoProtocol", "boom",
+		func() wire.Writable { return &wire.Text{} },
+		func(e exec.Env, param wire.Writable) (wire.Writable, error) {
+			return nil, errors.New("kaboom: " + param.(*wire.Text).Value)
+		})
+	if err := srv.Start(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return srv, srv.Addr()
+}
+
+func testModes(t *testing.T, fn func(t *testing.T, opts Options)) {
+	for _, mode := range []Mode{ModeBaseline, ModeRPCoIB} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) { fn(t, Options{Mode: mode}) })
+	}
+}
+
+func TestRealModeEchoBothModes(t *testing.T) {
+	testModes(t, func(t *testing.T, opts Options) {
+		env := exec.NewRealEnv(1)
+		_, addr := startEchoServer(t, env, opts)
+		client := NewClient(transport.NewTCPNetwork(""), opts)
+		defer client.Close()
+		var reply wire.BytesWritable
+		err := client.Call(env, addr, "test.EchoProtocol", "echo",
+			&wire.BytesWritable{Value: []byte("payload-123")}, &reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reply.Value) != "payload-123" {
+			t.Fatalf("reply = %q", reply.Value)
+		}
+	})
+}
+
+func TestRealModeRemoteError(t *testing.T) {
+	testModes(t, func(t *testing.T, opts Options) {
+		env := exec.NewRealEnv(1)
+		_, addr := startEchoServer(t, env, opts)
+		client := NewClient(transport.NewTCPNetwork(""), opts)
+		defer client.Close()
+		err := client.Call(env, addr, "test.EchoProtocol", "boom", &wire.Text{Value: "x"}, nil)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("err = %v, want RemoteError", err)
+		}
+		if !strings.Contains(re.Msg, "kaboom: x") {
+			t.Fatalf("msg = %q", re.Msg)
+		}
+	})
+}
+
+func TestRealModeUnknownMethod(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	_, addr := startEchoServer(t, env, Options{})
+	client := NewClient(transport.NewTCPNetwork(""), Options{})
+	defer client.Close()
+	err := client.Call(env, addr, "test.EchoProtocol", "nope", &wire.Text{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown protocol too.
+	err = client.Call(env, addr, "test.Missing", "echo", &wire.Text{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealModeConcurrentCallers(t *testing.T) {
+	testModes(t, func(t *testing.T, opts Options) {
+		env := exec.NewRealEnv(1)
+		_, addr := startEchoServer(t, env, opts)
+		client := NewClient(transport.NewTCPNetwork(""), opts)
+		defer client.Close()
+		const callers, calls = 16, 50
+		var wg sync.WaitGroup
+		errs := make(chan error, callers)
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					var reply wire.LongWritable
+					v := int64(g*1000 + i)
+					if err := client.Call(env, addr, "test.EchoProtocol", "add",
+						&wire.LongWritable{Value: v}, &reply); err != nil {
+						errs <- err
+						return
+					}
+					if reply.Value != v+1 {
+						errs <- errors.New("wrong reply value")
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if got := client.Stats.Calls.Load(); got != callers*calls {
+			t.Fatalf("calls=%d", got)
+		}
+	})
+}
+
+func TestRealModeConnectionReuse(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	_, addr := startEchoServer(t, env, Options{})
+	client := NewClient(transport.NewTCPNetwork(""), Options{})
+	defer client.Close()
+	for i := 0; i < 10; i++ {
+		var reply wire.LongWritable
+		if err := client.Call(env, addr, "test.EchoProtocol", "add",
+			&wire.LongWritable{Value: 1}, &reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.mu.Lock()
+	n := len(client.conns)
+	client.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("connections=%d, want 1 (reused)", n)
+	}
+}
+
+func TestRealModeDialFailure(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	client := NewClient(transport.NewTCPNetwork(""), Options{})
+	defer client.Close()
+	err := client.Call(env, "127.0.0.1:1", "p", "m", nil, nil)
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestRealModeServerStopFailsPendingCalls(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	nw := transport.NewTCPNetwork("")
+	srv := NewServer(nw, Options{})
+	block := make(chan struct{})
+	srv.Register("p", "hang",
+		func() wire.Writable { return &wire.NullWritable{} },
+		func(e exec.Env, param wire.Writable) (wire.Writable, error) {
+			<-block
+			return nil, nil
+		})
+	if err := srv.Start(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(nw, Options{CallTimeout: 5 * time.Second})
+	defer client.Close()
+	defer close(block)
+	done := make(chan error, 1)
+	go func() {
+		done <- client.Call(env, srv.Addr(), "p", "hang", nil, nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure after server stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call did not fail after server stop")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	nw := transport.NewTCPNetwork("")
+	srv := NewServer(nw, Options{})
+	block := make(chan struct{})
+	defer close(block)
+	srv.Register("p", "hang",
+		func() wire.Writable { return &wire.NullWritable{} },
+		func(e exec.Env, param wire.Writable) (wire.Writable, error) {
+			<-block
+			return nil, nil
+		})
+	if err := srv.Start(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	client := NewClient(nw, Options{CallTimeout: 100 * time.Millisecond})
+	defer client.Close()
+	err := client.Call(env, srv.Addr(), "p", "hang", nil, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestRPCoIBPoolLearnsAcrossCalls(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	opts := Options{Mode: ModeRPCoIB}.withDefaults()
+	_, addr := startEchoServer(t, env, opts)
+	client := NewClient(transport.NewTCPNetwork(""), opts)
+	defer client.Close()
+	payload := &wire.BytesWritable{Value: make([]byte, 3000)}
+	for i := 0; i < 5; i++ {
+		var reply wire.BytesWritable
+		if err := client.Call(env, addr, "test.EchoProtocol", "echo", payload, &reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := opts.Pool.StatsSnapshot()
+	// Only the first call should need doubling re-gets; history serves the
+	// rest first-try.
+	if st.Regets == 0 {
+		t.Fatal("expected re-gets on cold history")
+	}
+	if st.Acquires < 5 {
+		t.Fatalf("acquires=%d", st.Acquires)
+	}
+	if got := opts.Pool.HistorySize(poolKey("test.EchoProtocol", "echo")); got < 3000 {
+		t.Fatalf("history=%d", got)
+	}
+	// Steady state: a warmed key acquires without re-gets.
+	before := st.Regets
+	var reply wire.BytesWritable
+	if err := client.Call(env, addr, "test.EchoProtocol", "echo", payload, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if after := opts.Pool.StatsSnapshot().Regets; after != before {
+		t.Fatalf("regets grew %d -> %d on warm history", before, after)
+	}
+}
+
+func TestRDMAOutputStreamGrowth(t *testing.T) {
+	opts := Options{Mode: ModeRPCoIB}.withDefaults()
+	s := NewRDMAOutputStream(opts.Pool, "k")
+	payload := make([]byte, 10000)
+	s.Write(payload)
+	buf, n := s.Buffer()
+	if n != 10000 || buf.Cap() < 10000 {
+		t.Fatalf("n=%d cap=%d", n, buf.Cap())
+	}
+	if s.Regets() == 0 {
+		t.Fatal("expected growth re-gets")
+	}
+	s.Release()
+	// Second stream for the same key starts big enough.
+	s2 := NewRDMAOutputStream(opts.Pool, "k")
+	defer s2.Release()
+	if s2.buf.Cap() < 10000 {
+		t.Fatalf("cold restart: cap=%d", s2.buf.Cap())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBaseline.String() != "baseline" || ModeRPCoIB.String() != "RPCoIB" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	srv := NewServer(transport.NewTCPNetwork(""), Options{})
+	f := func() wire.Writable { return &wire.NullWritable{} }
+	h := func(e exec.Env, p wire.Writable) (wire.Writable, error) { return nil, nil }
+	srv.Register("p", "m", f, h)
+	srv.Register("p", "m", f, h)
+}
+
+func TestHandlerPanicBecomesRemoteError(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	nw := transport.NewTCPNetwork("")
+	srv := NewServer(nw, Options{})
+	srv.Register("p", "boom",
+		func() wire.Writable { return &wire.NullWritable{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+			panic("handler exploded")
+		})
+	srv.Register("p", "ok",
+		func() wire.Writable { return &wire.NullWritable{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+			return &wire.BooleanWritable{Value: true}, nil
+		})
+	if err := srv.Start(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	client := NewClient(nw, Options{})
+	defer client.Close()
+	err := client.Call(env, srv.Addr(), "p", "boom", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "handler exploded") {
+		t.Fatalf("err = %v, want RemoteError with panic message", err)
+	}
+	// The server must still serve subsequent calls.
+	var reply wire.BooleanWritable
+	if err := client.Call(env, srv.Addr(), "p", "ok", nil, &reply); err != nil || !reply.Value {
+		t.Fatalf("server dead after handler panic: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// TestPropertyEchoRoundTrip drives random BytesWritable payloads through a
+// real TCP server in both modes and requires byte-exact echoes.
+func TestPropertyEchoRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeRPCoIB} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			env := exec.NewRealEnv(1)
+			opts := Options{Mode: mode}
+			_, addr := startEchoServer(t, env, opts)
+			client := NewClient(transport.NewTCPNetwork(""), opts)
+			defer client.Close()
+			f := func(payload []byte) bool {
+				var reply wire.BytesWritable
+				if err := client.Call(env, addr, "test.EchoProtocol", "echo",
+					&wire.BytesWritable{Value: payload}, &reply); err != nil {
+					t.Logf("call error: %v", err)
+					return false
+				}
+				if len(payload) == 0 {
+					return len(reply.Value) == 0
+				}
+				return bytes.Equal(reply.Value, payload)
+			}
+			cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyMixedTypesRoundTrip exercises every standard Writable type as
+// both param and reply over one connection.
+func TestPropertyMixedTypesRoundTrip(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	nw := transport.NewTCPNetwork("")
+	opts := Options{Mode: ModeRPCoIB}
+	srv := NewServer(nw, opts)
+	srv.Register("p", "identText",
+		func() wire.Writable { return &wire.Text{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+	srv.Register("p", "identLong",
+		func() wire.Writable { return &wire.LongWritable{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+	srv.Register("p", "identStrings",
+		func() wire.Writable { return &wire.StringsWritable{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+	if err := srv.Start(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	client := NewClient(nw, opts)
+	defer client.Close()
+
+	f := func(s string, v int64, parts []string) bool {
+		var rt wire.Text
+		if err := client.Call(env, srv.Addr(), "p", "identText", &wire.Text{Value: s}, &rt); err != nil || rt.Value != s {
+			return false
+		}
+		var rl wire.LongWritable
+		if err := client.Call(env, srv.Addr(), "p", "identLong", &wire.LongWritable{Value: v}, &rl); err != nil || rl.Value != v {
+			return false
+		}
+		var rs wire.StringsWritable
+		if err := client.Call(env, srv.Addr(), "p", "identStrings", &wire.StringsWritable{Values: parts}, &rs); err != nil {
+			return false
+		}
+		if len(rs.Values) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if rs.Values[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientReconnectsAfterServerRestart verifies the connection cache drops
+// failed connections and re-dials transparently.
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	env := exec.NewRealEnv(1)
+	nw := transport.NewTCPNetwork("")
+	opts := Options{Mode: ModeBaseline}
+	srv1, addr := startEchoServer(t, env, opts)
+	client := NewClient(nw, opts)
+	defer client.Close()
+
+	var reply wire.LongWritable
+	if err := client.Call(env, addr, "test.EchoProtocol", "add",
+		&wire.LongWritable{Value: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Stop()
+
+	// First call after the stop may observe the dying connection; the cache
+	// must be marked dead either way.
+	client.Call(env, addr, "test.EchoProtocol", "add", &wire.LongWritable{Value: 2}, &reply)
+
+	// Bring a new server up on the same port.
+	port := portOf(t, addr)
+	srv2 := NewServer(nw, opts)
+	srv2.Register("test.EchoProtocol", "add",
+		func() wire.Writable { return &wire.LongWritable{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+			return &wire.LongWritable{Value: p.(*wire.LongWritable).Value + 1}, nil
+		})
+	if err := srv2.Start(env, port); err != nil {
+		t.Skipf("port %d not immediately reusable: %v", port, err)
+	}
+	defer srv2.Stop()
+
+	ok := false
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := client.Call(env, addr, "test.EchoProtocol", "add",
+			&wire.LongWritable{Value: 10}, &reply); err == nil {
+			ok = reply.Value == 11
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("client did not reconnect after server restart")
+	}
+}
+
+func portOf(t *testing.T, addr string) int {
+	t.Helper()
+	i := strings.LastIndexByte(addr, ':')
+	if i < 0 {
+		t.Fatalf("bad addr %q", addr)
+	}
+	port, err := strconv.Atoi(addr[i+1:])
+	if err != nil {
+		t.Fatalf("bad addr %q: %v", addr, err)
+	}
+	return port
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/trace"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// MethodFunc is a server-side RPC method implementation. param is the
+// deserialized argument; the returned Writable (which may be nil) is
+// serialized as the response value. Returned errors travel to the caller as
+// RemoteError.
+type MethodFunc func(e exec.Env, param wire.Writable) (wire.Writable, error)
+
+type methodDef struct {
+	newParam func() wire.Writable
+	fn       MethodFunc
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	CallsReceived atomic.Int64
+	CallsHandled  atomic.Int64
+	CallErrors    atomic.Int64
+	BytesIn       atomic.Int64
+	BytesOut      atomic.Int64
+}
+
+// Server is the Hadoop-style RPC server: a Listener accepting connections, a
+// Reader per connection deserializing calls into a bounded call queue, N
+// Handler threads invoking methods, and a Responder sending results.
+type Server struct {
+	engine
+	net       transport.Network
+	mu        sync.Mutex
+	protocols map[string]map[string]methodDef
+	callQ     exec.Queue
+	respQ     exec.Queue
+	readerSem *esema // baseline only: the Listener/Reader-pool width
+	lastReap  time.Duration
+	ln        transport.Listener
+	conns     []transport.Conn
+	running   bool
+
+	// Stats counts server activity.
+	Stats ServerStats
+}
+
+// NewServer creates a server over net with the given options.
+func NewServer(net transport.Network, opts Options) *Server {
+	return &Server{
+		engine:    engine{opts: opts.withDefaults()},
+		net:       net,
+		protocols: map[string]map[string]methodDef{},
+	}
+}
+
+// Register adds method under protocol. newParam constructs the parameter
+// object the reader deserializes into (ReflectionUtils.newInstance's role).
+// Registration must precede Start.
+func (s *Server) Register(protocol, method string, newParam func() wire.Writable, fn MethodFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		panic("rpc: Register after Start")
+	}
+	p, ok := s.protocols[protocol]
+	if !ok {
+		p = map[string]methodDef{}
+		s.protocols[protocol] = p
+	}
+	if _, dup := p[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate method %s.%s", protocol, method))
+	}
+	p[method] = methodDef{newParam: newParam, fn: fn}
+}
+
+// Start binds the listener on port and spawns the server threads.
+func (s *Server) Start(e exec.Env, port int) error {
+	ln, err := s.net.Listen(e, port)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.running = true
+	s.mu.Unlock()
+	s.callQ = e.NewQueue(defaultCallQueueDepth)
+	s.respQ = e.NewQueue(0)
+	if s.opts.Mode == ModeBaseline {
+		// Default Hadoop (0.20.2) funnels every connection's read
+		// processing through the single Listener thread (Readers=1);
+		// Hadoop 1.0.3's ipc.server.read.threadpool.size widens this pool.
+		// RPCoIB introduces per-connection Reader threads (Section III-D),
+		// so it has no such bottleneck.
+		s.readerSem = newEsema(e, s.opts.Readers)
+	}
+	e.Spawn("rpc-listener", s.listenLoop)
+	for i := 0; i < s.opts.Handlers; i++ {
+		e.Spawn(fmt.Sprintf("rpc-handler-%d", i), s.handlerLoop)
+	}
+	e.Spawn("rpc-responder", s.responderLoop)
+	return nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr() }
+
+// Stop closes the listener, all connections, and the worker queues.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	ln := s.ln
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.callQ.Close()
+	s.respQ.Close()
+}
+
+// serverCall is one inbound invocation moving through the queues.
+type serverCall struct {
+	id       int32
+	protocol string
+	method   string
+	param    wire.Writable
+	fn       MethodFunc
+	errStr   string // pre-invoke failure (unknown method, bad payload)
+	conn     transport.Conn
+}
+
+// response is one outbound result for the Responder.
+type response struct {
+	conn   transport.Conn
+	data   []byte            // baseline: serialized heap buffer view
+	stream *RDMAOutputStream // RPCoIB: registered buffer to send + release
+}
+
+func (s *Server) listenLoop(e exec.Env) {
+	for {
+		conn, err := s.ln.Accept(e)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if !s.running {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		e.Spawn("rpc-reader:"+conn.RemoteAddr(), func(re exec.Env) { s.readerLoop(re, conn) })
+	}
+}
+
+// readerLoop is the paper's Reader thread: it polls one connection,
+// deserializes each call (Listing 2), and pushes it to the call queue.
+func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
+	cost := s.cost()
+	baseline := s.opts.Mode == ModeBaseline
+	for {
+		data, release, err := conn.Recv(e)
+		if err != nil {
+			return
+		}
+		n := len(data)
+		s.Stats.CallsReceived.Add(1)
+		s.Stats.BytesIn.Add(int64(n))
+		if s.readerSem != nil {
+			s.readerSem.acquire(e)
+		}
+		t0 := e.Now()
+		var allocDur time.Duration
+		if baseline {
+			// Listing 2: lenBuffer = ByteBuffer.allocate(4); data =
+			// ByteBuffer.allocate(len); copy from the native IO layer.
+			s.work(e, cost.Syscall)
+			a0 := e.Now()
+			s.work(e, cost.Alloc(4)+cost.Alloc(n))
+			allocDur = e.Now() - a0
+			s.work(e, cost.HeapNative(n))
+		}
+		s.work(e, cost.RPCOverhead)
+		in := wire.NewDataInput(data)
+		if baseline {
+			in.ReadInt32() // frame length prefix
+		}
+		id, protocol, method := decodeRequestHeader(in)
+		call := &serverCall{id: id, protocol: protocol, method: method, conn: conn}
+		if md, ok := s.lookup(protocol, method); ok {
+			call.fn = md.fn
+			call.param = md.newParam()
+			call.param.ReadFields(in)
+			if err := in.Err(); err != nil {
+				call.errStr = fmt.Sprintf("bad request for %s.%s: %v", protocol, method, err)
+			}
+		} else {
+			call.errStr = fmt.Sprintf("unknown method %s.%s", protocol, method)
+		}
+		s.work(e, cost.Serialize(in.Ops())+cost.Copy(n))
+		release()
+		total := e.Now() - t0
+		if wt, ok := conn.(transport.WireTimer); ok {
+			// Figure 1's measurement spans the channelReadFully loop, which
+			// drains the message at wire speed before processing begins.
+			total += wt.WireTime(n)
+		}
+		s.opts.Tracer.RecordRecv(trace.RecvSample{
+			Key:      trace.Key{Protocol: protocol, Method: method},
+			MsgBytes: n,
+			Alloc:    allocDur,
+			Total:    total,
+		})
+		s.work(e, cost.ThreadHandoff)
+		ok := s.callQ.Put(e, call)
+		if s.readerSem != nil {
+			s.readerSem.release()
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+func (s *Server) lookup(protocol, method string) (methodDef, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.protocols[protocol]
+	if !ok {
+		return methodDef{}, false
+	}
+	md, ok := p[method]
+	return md, ok
+}
+
+// handlerLoop drains the call queue, invokes the target function, and
+// serializes the response (into a fresh 10 KB buffer in baseline mode, into
+// a pooled registered buffer keyed by call kind in RPCoIB mode).
+func (s *Server) handlerLoop(e exec.Env) {
+	cost := s.cost()
+	for {
+		v, ok := s.callQ.Get(e)
+		if !ok {
+			return
+		}
+		call := v.(*serverCall)
+		s.work(e, cost.Dispatch)
+		var value wire.Writable
+		var callErr error
+		if call.errStr != "" {
+			callErr = &RemoteError{Msg: call.errStr}
+		} else {
+			value, callErr = s.invoke(e, call)
+		}
+		s.Stats.CallsHandled.Add(1)
+		if callErr != nil {
+			s.Stats.CallErrors.Add(1)
+		}
+
+		resp := &response{conn: call.conn}
+		if s.opts.Mode == ModeRPCoIB {
+			st := NewRDMAOutputStream(s.opts.Pool, poolKey(call.protocol, call.method)+"#r")
+			s.work(e, cost.PoolGet)
+			out := wire.NewDataOutput(st)
+			writeResponseBody(out, call.id, value, callErr)
+			s.work(e, cost.Serialize(out.Ops())+cost.Copy(st.Len())+s.regetCost(st))
+			resp.stream = st
+		} else {
+			// Default Hadoop: each handler allocates a fresh 10 KB buffer
+			// per call (Section II-A).
+			d := wire.NewDataOutputBufferSize(wire.ServerInitialBufferSize)
+			out := wire.NewDataOutput(d)
+			writeResponseBody(out, call.id, value, callErr)
+			s.work(e, cost.Serialize(out.Ops())+cost.Copy(d.Len())+s.bufferCost(d.TakeStats()))
+			resp.data = d.Data()
+		}
+		s.work(e, cost.ThreadHandoff)
+		if !s.respQ.Put(e, resp) {
+			return
+		}
+	}
+}
+
+// invoke runs the method function, converting a panic into an error
+// response (as Hadoop marshals server-side exceptions back to the caller)
+// instead of taking the handler thread down.
+func (s *Server) invoke(e exec.Env, call *serverCall) (value wire.Writable, callErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			value = nil
+			callErr = &RemoteError{Msg: fmt.Sprintf("%s.%s: server error: %v", call.protocol, call.method, r)}
+		}
+	}()
+	return call.fn(e, call.param)
+}
+
+func writeResponseBody(out *wire.DataOutput, id int32, value wire.Writable, callErr error) {
+	out.WriteInt32(id)
+	if callErr != nil {
+		out.WriteU8(statusError)
+		out.WriteText(callErr.Error())
+		return
+	}
+	out.WriteU8(statusSuccess)
+	if value != nil {
+		value.Write(out)
+	}
+}
+
+// responderLoop is the paper's Responder thread: it sends every queued
+// response back on its originating connection.
+func (s *Server) responderLoop(e exec.Env) {
+	cost := s.cost()
+	for {
+		v, ok := s.respQ.Get(e)
+		if !ok {
+			return
+		}
+		r := v.(*response)
+		if r.stream != nil {
+			buf, n := r.stream.Buffer()
+			s.work(e, cost.RPCOverhead)
+			// The CQ is shared across connections: back-to-back sends from
+			// the responder reap the previous completion synchronously.
+			if s.lastReap > 0 && e.Now()-s.lastReap < cost.ReapIdleGap {
+				s.work(e, cost.SendReap)
+			}
+			s.lastReap = e.Now()
+			if ps, ok := r.conn.(transport.PooledSender); ok {
+				_ = ps.SendPooled(e, buf, n)
+			} else {
+				_ = r.conn.Send(e, append([]byte(nil), buf.Data[:n]...))
+			}
+			r.stream.Release()
+			s.Stats.BytesOut.Add(int64(n))
+			continue
+		}
+		n := len(r.data)
+		frame := make([]byte, 4+n)
+		binary.BigEndian.PutUint32(frame, uint32(n))
+		copy(frame[4:], r.data)
+		s.work(e, cost.Copy(4+n)+cost.HeapNative(4+n)+cost.Syscall+cost.RPCOverhead)
+		_ = r.conn.Send(e, frame)
+		s.Stats.BytesOut.Add(int64(n))
+	}
+}

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealQueueFIFO(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(0)
+	for i := 0; i < 100; i++ {
+		q.Put(e, i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Get(e)
+		if !ok || v.(int) != i {
+			t.Fatalf("get %d = %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRealQueueConcurrent(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(4)
+	const producers, perProducer = 8, 200
+	var sum int64
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= perProducer; j++ {
+				q.Put(e, j)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < producers*perProducer; i++ {
+			v, ok := q.Get(e)
+			if !ok {
+				t.Error("unexpected close")
+				return
+			}
+			atomic.AddInt64(&sum, int64(v.(int)))
+		}
+		close(done)
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer timed out")
+	}
+	want := int64(producers * perProducer * (perProducer + 1) / 2)
+	if sum != want {
+		t.Fatalf("sum=%d want=%d", sum, want)
+	}
+}
+
+func TestRealQueueGetTimeout(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(0)
+	start := time.Now()
+	_, _, timedOut := q.GetTimeout(e, 30*time.Millisecond)
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		q.Put(e, "v")
+	}()
+	v, ok, timedOut := q.GetTimeout(e, time.Second)
+	if timedOut || !ok || v.(string) != "v" {
+		t.Fatalf("v=%v ok=%v timedOut=%v", v, ok, timedOut)
+	}
+}
+
+func TestRealQueueCloseWakesGetters(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(0)
+	done := make(chan bool, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, ok := q.Get(e)
+			done <- ok
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatal("expected ok=false on closed queue")
+			}
+		case <-time.After(time.Second):
+			t.Fatal("getter not woken by Close")
+		}
+	}
+}
+
+func TestRealQueueBoundedBlocks(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(1)
+	q.Put(e, 1)
+	if q.TryPut(2) {
+		t.Fatal("TryPut should fail on full queue")
+	}
+	unblocked := make(chan struct{})
+	go func() {
+		q.Put(e, 2)
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("Put should block on full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Get(e)
+	select {
+	case <-unblocked:
+	case <-time.After(time.Second):
+		t.Fatal("Put not unblocked after Get")
+	}
+}
+
+func TestRealEnvSpawnAndNow(t *testing.T) {
+	e := NewRealEnv(1)
+	q := e.NewQueue(0)
+	e.Spawn("child", func(ce Env) { q.Put(ce, ce.Now()) })
+	v, ok := q.Get(e)
+	if !ok {
+		t.Fatal("no value")
+	}
+	if v.(time.Duration) < 0 {
+		t.Fatal("negative Now")
+	}
+}
+
+func TestRealRandIndependent(t *testing.T) {
+	e := NewRealEnv(42)
+	a, b := e.Rand(), e.Rand()
+	if a.Int63() == b.Int63() {
+		// Different seeds should (overwhelmingly) give different streams.
+		t.Fatal("rand streams identical")
+	}
+}

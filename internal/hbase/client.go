@@ -1,0 +1,192 @@
+package hbase
+
+import (
+	"fmt"
+
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/wire"
+)
+
+// GetParam asks for one row.
+type GetParam struct {
+	Table     string
+	Row       string
+	ValueSize int32 // logical value size the synthetic store returns
+}
+
+func (p *GetParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Table)
+	out.WriteText(p.Row)
+	out.WriteInt32(p.ValueSize)
+}
+
+func (p *GetParam) ReadFields(in *wire.DataInput) {
+	p.Table = in.ReadText()
+	p.Row = in.ReadText()
+	p.ValueSize = in.ReadInt32()
+}
+
+// Result carries a row value back.
+type Result struct {
+	Exists bool
+	Value  []byte
+}
+
+func (p *Result) Write(out *wire.DataOutput) {
+	out.WriteBool(p.Exists)
+	out.WriteInt32(int32(len(p.Value)))
+	out.WriteBytes(p.Value)
+}
+
+func (p *Result) ReadFields(in *wire.DataInput) {
+	p.Exists = in.ReadBool()
+	n := in.ReadInt32()
+	v := in.ReadBytes(int(n))
+	p.Value = append([]byte(nil), v...)
+}
+
+// PutParam writes one row.
+type PutParam struct {
+	Table string
+	Row   string
+	Value []byte
+}
+
+func (p *PutParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Table)
+	out.WriteText(p.Row)
+	out.WriteInt32(int32(len(p.Value)))
+	out.WriteBytes(p.Value)
+}
+
+func (p *PutParam) ReadFields(in *wire.DataInput) {
+	p.Table = in.ReadText()
+	p.Row = in.ReadText()
+	n := in.ReadInt32()
+	v := in.ReadBytes(int(n))
+	p.Value = append([]byte(nil), v...)
+}
+
+// MultiPutParam is the batched write the client buffer flushes. Row keys
+// travel in full; values are carried as a (virtually sized) block, matching
+// how the write buffer serializes one fat RPC.
+type MultiPutParam struct {
+	Table      string
+	Count      int32
+	Rows       []string
+	TotalBytes int64
+	payload    []byte
+}
+
+func (p *MultiPutParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Table)
+	out.WriteInt32(p.Count)
+	for _, r := range p.Rows {
+		out.WriteText(r)
+	}
+	out.WriteInt64(p.TotalBytes)
+	// The value payload: real bytes for modest batches keep serialization
+	// honest without materializing huge buffers for the biggest runs.
+	out.WriteInt32(int32(len(p.payload)))
+	out.WriteBytes(p.payload)
+}
+
+func (p *MultiPutParam) ReadFields(in *wire.DataInput) {
+	p.Table = in.ReadText()
+	p.Count = in.ReadInt32()
+	if p.Count < 0 || int(p.Count) > in.Remaining() {
+		return
+	}
+	p.Rows = make([]string, 0, p.Count)
+	for i := int32(0); i < p.Count; i++ {
+		p.Rows = append(p.Rows, in.ReadText())
+	}
+	p.TotalBytes = in.ReadInt64()
+	n := in.ReadInt32()
+	in.ReadBytes(int(n))
+}
+
+// HClient is an HBase client handle with an autoflush-off write buffer per
+// region server (the YCSB binding's configuration).
+type HClient struct {
+	h    *HBase
+	node int
+	rpc  *core.Client
+	buf  []clientBuffer
+}
+
+type clientBuffer struct {
+	rows  []string
+	bytes int64
+}
+
+// NewClient returns a client bound to node.
+func (h *HBase) NewClient(node int) *HClient {
+	return &HClient{
+		h: h, node: node,
+		rpc: core.NewClient(h.net(node), core.Options{
+			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+		}),
+		buf: make([]clientBuffer, len(h.rss)),
+	}
+}
+
+// Get fetches a row of the given value size.
+func (c *HClient) Get(e exec.Env, row string, valueSize int) error {
+	e.Work(clientGetCPU)
+	rs := c.h.regionOf(row)
+	var result Result
+	return c.rpc.Call(e, c.h.RSAddr(rs), RegionInterface, "get",
+		&GetParam{Table: "usertable", Row: row, ValueSize: int32(valueSize)}, &result)
+}
+
+// Put buffers a row write, flushing the per-server buffer when it exceeds
+// the write buffer size.
+func (c *HClient) Put(e exec.Env, row string, valueSize int) error {
+	e.Work(clientPutCPU)
+	rs := c.h.regionOf(row)
+	b := &c.buf[rs]
+	b.rows = append(b.rows, row)
+	b.bytes += int64(valueSize)
+	if b.bytes >= c.h.cfg.WriteBufferSize {
+		return c.flushServer(e, rs)
+	}
+	return nil
+}
+
+// Flush drains every buffered write.
+func (c *HClient) Flush(e exec.Env) error {
+	for rs := range c.buf {
+		if c.buf[rs].bytes > 0 {
+			if err := c.flushServer(e, rs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maxRealPayload bounds the materialized bytes per multiPut; the rest of the
+// batch travels as virtual size through the transport.
+const maxRealPayload = 64 << 10
+
+func (c *HClient) flushServer(e exec.Env, rs int) error {
+	b := &c.buf[rs]
+	real := b.bytes
+	if real > maxRealPayload {
+		real = maxRealPayload
+	}
+	param := &MultiPutParam{
+		Table: "usertable", Count: int32(len(b.rows)),
+		Rows: b.rows, TotalBytes: b.bytes,
+		payload: make([]byte, real),
+	}
+	var n wire.IntWritable
+	err := c.rpc.Call(e, c.h.RSAddr(rs), RegionInterface, "multiPut", param, &n)
+	if err == nil && int(n.Value) != len(b.rows) {
+		err = fmt.Errorf("multiPut applied %d of %d", n.Value, len(b.rows))
+	}
+	c.buf[rs] = clientBuffer{}
+	return err
+}

@@ -1,0 +1,226 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/perfmodel"
+)
+
+// deployTest builds NN on 0, DN+RS on 1..n, client driver on the last node.
+func deployTest(t *testing.T, n int, cfg Config, fn func(e exec.Env, h *HBase, c *HClient)) *HBase {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: n + 2, Seed: 1, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond})
+	nodes := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		nodes = append(nodes, i)
+	}
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: nodes, BlockSize: 16 << 20, Replication: 2,
+		RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
+	})
+	cfg.Master = 0
+	cfg.RegionServers = nodes
+	if cfg.HBaseKind == 0 && !cfg.HBaseRDMA {
+		cfg.HBaseKind = perfmodel.IPoIB
+	}
+	h := Deploy(cl, cfg, fs)
+	clientNode := n + 1
+	cl.SpawnOn(clientNode, "driver", func(e exec.Env) {
+		e.Sleep(50 * time.Millisecond)
+		fn(e, h, h.NewClient(clientNode))
+	})
+	cl.RunUntil(30 * time.Minute)
+	return h
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	deployTest(t, 3, Config{}, func(e exec.Env, h *HBase, c *HClient) {
+		for i := 0; i < 100; i++ {
+			if err := c.Put(e, fmt.Sprintf("row-%d", i), 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Flush(e); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 50; i++ {
+			if err := c.Get(e, fmt.Sprintf("row-%d", i), 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func TestOpsSpreadAcrossRegionServers(t *testing.T) {
+	h := deployTest(t, 4, Config{}, func(e exec.Env, h *HBase, c *HClient) {
+		for i := 0; i < 400; i++ {
+			if err := c.Put(e, fmt.Sprintf("key-%d", i), 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		c.Flush(e)
+	})
+	total := int64(0)
+	for _, rs := range h.RegionServers() {
+		if rs.Puts == 0 {
+			t.Errorf("region server %d got no puts", rs.index)
+		}
+		total += rs.Puts
+	}
+	if total != 400 {
+		t.Fatalf("puts=%d", total)
+	}
+}
+
+func TestWriteBufferBatches(t *testing.T) {
+	// With a 64 KB buffer and 1 KB values, ~64 puts produce one multiPut.
+	h := deployTest(t, 1, Config{WriteBufferSize: 64 << 10},
+		func(e exec.Env, h *HBase, c *HClient) {
+			for i := 0; i < 256; i++ {
+				if err := c.Put(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.Flush(e)
+		})
+	rs := h.RegionServers()[0]
+	if rs.Puts != 256 {
+		t.Fatalf("puts=%d", rs.Puts)
+	}
+}
+
+func TestMemstoreFlushWritesHDFS(t *testing.T) {
+	h := deployTest(t, 2, Config{MemstoreFlushSize: 1 << 20},
+		func(e exec.Env, h *HBase, c *HClient) {
+			for i := 0; i < 4096; i++ {
+				if err := c.Put(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.Flush(e)
+			e.Sleep(30 * time.Second) // let background flushes finish
+		})
+	flushes := int64(0)
+	for _, rs := range h.RegionServers() {
+		flushes += rs.Flushes
+	}
+	if flushes == 0 {
+		t.Fatal("no memstore flushes despite 4MB of puts and 1MB threshold")
+	}
+	// Store files must exist in HDFS.
+	found := false
+	for _, rs := range h.RegionServers() {
+		for _, sf := range rs.stores {
+			if locs := h.dfs.NameNode().LocationsOf(sf.path); len(locs) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no store files in HDFS")
+	}
+}
+
+func TestCacheMissReadsHDFS(t *testing.T) {
+	h := deployTest(t, 2, Config{MemstoreFlushSize: 1 << 20, CacheMissRatio: 1.0},
+		func(e exec.Env, h *HBase, c *HClient) {
+			for i := 0; i < 2048; i++ {
+				c.Put(e, fmt.Sprintf("k%d", i), 1024)
+			}
+			c.Flush(e)
+			e.Sleep(20 * time.Second)
+			for i := 0; i < 50; i++ {
+				if err := c.Get(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	misses := int64(0)
+	for _, rs := range h.RegionServers() {
+		misses += rs.Misses
+	}
+	if misses == 0 {
+		t.Fatal("no cache misses recorded at ratio 1.0")
+	}
+}
+
+func TestCompactionMergesStores(t *testing.T) {
+	h := deployTest(t, 2, Config{MemstoreFlushSize: 512 << 10, WriteBufferSize: 256 << 10},
+		func(e exec.Env, h *HBase, c *HClient) {
+			// Enough puts to trigger several flushes per region server.
+			for i := 0; i < 8192; i++ {
+				if err := c.Put(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c.Flush(e)
+			e.Sleep(2 * time.Minute) // let flushes + compactions settle
+		})
+	compactions := int64(0)
+	for _, rs := range h.RegionServers() {
+		compactions += rs.Compactions
+		if len(rs.stores) >= compactionThreshold+2 {
+			t.Errorf("rs %d still has %d store files", rs.index, len(rs.stores))
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("no compactions despite many flushes")
+	}
+}
+
+func TestHBaseoIBMode(t *testing.T) {
+	deployTest(t, 2, Config{HBaseRDMA: true}, func(e exec.Env, h *HBase, c *HClient) {
+		for i := 0; i < 64; i++ {
+			if err := c.Put(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Flush(e); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Get(e, "k1", 1024); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestHBaseoIBFasterThanSockets(t *testing.T) {
+	run := func(rdma bool) time.Duration {
+		var took time.Duration
+		deployTest(t, 2, Config{HBaseRDMA: rdma}, func(e exec.Env, h *HBase, c *HClient) {
+			start := e.Now()
+			for i := 0; i < 200; i++ {
+				if err := c.Get(e, fmt.Sprintf("k%d", i), 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			took = e.Now() - start
+		})
+		return took
+	}
+	sock, rdma := run(false), run(true)
+	t.Logf("200 gets: sockets=%v rdma=%v", sock, rdma)
+	if rdma >= sock {
+		t.Fatalf("HBaseoIB (%v) not faster than sockets (%v)", rdma, sock)
+	}
+}
+
+var _ = core.ModeBaseline

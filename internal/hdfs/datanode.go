@@ -1,0 +1,349 @@
+package hdfs
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/sim"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// Data-transfer opcodes (the mini DataTransferProtocol).
+const (
+	opWriteBlock = 80
+	opReadBlock  = 81
+)
+
+// DataNode stores block replicas, heartbeats to the NameNode, and serves the
+// streaming data-transfer protocol (write pipelines and block reads).
+type DataNode struct {
+	h      *HDFS
+	id     int32
+	node   int
+	rpc    *core.Client
+	blocks map[int64]int64 // block id -> length
+	dirty  *sim.Resource   // un-flushed page-cache bytes
+
+	// PacketsIn counts data packets received on write pipelines.
+	PacketsIn int64
+}
+
+func (dn *DataNode) reg() RegistrationID {
+	return RegistrationID{
+		NodeID:      dn.id,
+		StorageID:   fmt.Sprintf("DS-%08d-10.1.0.%d-50010-1372889999%03d", dn.id*7919%99999999, dn.node, dn.id),
+		InfoAddr:    dn.h.DataAddr(dn.node),
+		CTime:       1372889999,
+		LayoutVer:   -19,
+		NamespaceID: 463031076,
+	}
+}
+
+// run registers with the NameNode, starts the data server, sends the initial
+// block report, and heartbeats until the deployment stops.
+func (dn *DataNode) run(e exec.Env) {
+	if err := dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "register", ptr(dn.reg()), nil); err != nil {
+		panic(fmt.Sprintf("datanode %d: register: %v", dn.id, err))
+	}
+	ln, err := dn.h.dataNet(dn.node).Listen(e, dataPort)
+	if err != nil {
+		panic(fmt.Sprintf("datanode %d: listen: %v", dn.id, err))
+	}
+	e.Spawn(fmt.Sprintf("dn%d-dataserver", dn.id), func(se exec.Env) { dn.serveData(se, ln) })
+	dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "blockReport",
+		&BlockReportParam{Reg: dn.reg()}, nil)
+	// Heartbeats use a short call timeout so a partitioned DataNode resumes
+	// promptly once the network heals instead of blocking on a lost reply.
+	hbClient := core.NewClient(dn.h.rpcNet(dn.node), core.Options{
+		Mode: dn.h.cfg.RPCMode, Costs: dn.h.c.Costs, Tracer: dn.h.cfg.Tracer,
+		CallTimeout: 2*dn.h.cfg.HeartbeatInterval + time.Second,
+	})
+	for {
+		_, ok, timedOut := dn.h.stopQ.GetTimeout(e, dn.h.cfg.HeartbeatInterval)
+		if !timedOut && !ok {
+			ln.Close()
+			return
+		}
+		hb := &HeartbeatParam{Reg: dn.reg(), Capacity: 1 << 40,
+			DfsUsed: int64(len(dn.blocks)) * dn.h.cfg.BlockSize, Remaining: 1 << 39}
+		var reply HeartbeatReply
+		if err := hbClient.Call(e, dn.h.nnAddr, DatanodeProtocol, "sendHeartbeat", hb, &reply); err == nil {
+			for _, cmd := range reply.Commands {
+				var blockID int64
+				var target string
+				if _, err := fmt.Sscanf(cmd, "replicate %d %s", &blockID, &target); err == nil {
+					e.Spawn("dn-replicator", func(re exec.Env) { dn.replicateBlock(re, blockID, target) })
+				}
+			}
+		}
+	}
+}
+
+// replicateBlock copies a local replica to target (the repair transfer the
+// NameNode commanded).
+func (dn *DataNode) replicateBlock(e exec.Env, blockID int64, target string) {
+	length, ok := dn.blocks[blockID]
+	if !ok {
+		return
+	}
+	conn, err := dn.h.dataNet(dn.node).Dial(e, target)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if err := conn.Send(e, writeBlockHeader(blockID, nil)); err != nil {
+		return
+	}
+	if _, rel, err := conn.Recv(e); err != nil { // setup ack
+		return
+	} else {
+		rel()
+	}
+	se := e.(*cluster.SimEnv)
+	disk := dn.h.c.Node(dn.node).Disk
+	packet := int64(dn.h.cfg.PacketSize)
+	rdma := dn.h.cfg.DataRDMA
+	var seq int32
+	for off := int64(0); off < length; off += packet {
+		n := packet
+		if off+n > length {
+			n = length - off
+		}
+		disk.ReadStream(se.Proc(), blockID, n)
+		e.Work(packetCPU(rdma, int(n)))
+		hdr := packetHeader(seq, int32(n), off+n >= length)
+		if err := transport.SendSized(e, conn, hdr, len(hdr)+int(n)); err != nil {
+			return
+		}
+		seq++
+	}
+	if _, rel, err := conn.Recv(e); err == nil { // final ack
+		rel()
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func (dn *DataNode) serveData(e exec.Env, ln transport.Listener) {
+	for {
+		conn, err := ln.Accept(e)
+		if err != nil {
+			return
+		}
+		e.Spawn(fmt.Sprintf("dn%d-xceiver", dn.id), func(se exec.Env) { dn.handleConn(se, conn) })
+	}
+}
+
+// handleConn serves one data connection (an "xceiver" in HDFS terms).
+func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
+	defer conn.Close()
+	for {
+		data, release, err := conn.Recv(e)
+		if err != nil {
+			return
+		}
+		in := wire.NewDataInput(data)
+		op := in.ReadU8()
+		switch op {
+		case opWriteBlock:
+			blockID := in.ReadInt64()
+			nTargets := int(in.ReadVInt())
+			targets := make([]string, 0, nTargets)
+			for i := 0; i < nTargets; i++ {
+				targets = append(targets, in.ReadText())
+			}
+			release()
+			if in.Err() != nil {
+				return
+			}
+			if err := dn.receiveBlock(e, conn, blockID, targets); err != nil {
+				return
+			}
+		case opReadBlock:
+			blockID := in.ReadInt64()
+			release()
+			if in.Err() != nil {
+				return
+			}
+			if err := dn.sendBlock(e, conn, blockID); err != nil {
+				return
+			}
+		default:
+			release()
+			return
+		}
+	}
+}
+
+// packet header layout: [seq int32][dataLen int32][last bool]
+func packetHeader(seq int32, dataLen int32, last bool) []byte {
+	d := wire.NewDataOutputBufferSize(16)
+	out := wire.NewDataOutput(d)
+	out.WriteInt32(seq)
+	out.WriteInt32(dataLen)
+	out.WriteBool(last)
+	return append([]byte(nil), d.Data()...)
+}
+
+// receiveBlock implements the downstream side of the write pipeline:
+// establish the remaining pipeline, ack setup upstream, then for each packet
+// forward downstream first (cut-through) and write locally on an overlapped
+// disk-writer thread; ack upstream once the local disk and the downstream
+// replica both finished; finally report blockReceived to the NameNode.
+func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string) error {
+	var downstream transport.Conn
+	if len(targets) > 0 {
+		var err error
+		downstream, err = dn.h.dataNet(dn.node).Dial(e, targets[0])
+		if err != nil {
+			return err
+		}
+		defer downstream.Close()
+		if err := downstream.Send(e, writeBlockHeader(blockID, targets[1:])); err != nil {
+			return err
+		}
+		if _, rel, err := downstream.Recv(e); err != nil { // setup ack
+			return err
+		} else {
+			rel()
+		}
+	}
+	if err := upstream.Send(e, []byte{1}); err != nil { // setup ack
+		return err
+	}
+
+	// Writes land in the page cache; a background flusher drains them to
+	// disk. The dirty-bytes budget provides kernel-writeback backpressure
+	// when sustained ingest outruns the spindle.
+	diskQ := e.NewQueue(0)
+	se := e.(*cluster.SimEnv)
+	node := dn.h.c.Node(dn.node)
+	e.Spawn("dn-flusher", func(de exec.Env) {
+		dse := de.(*cluster.SimEnv)
+		for {
+			v, ok := diskQ.Get(de)
+			if !ok {
+				return
+			}
+			n := v.(int64)
+			// Writeback coalescing: drain everything already queued and
+			// write one large extent (the kernel elevator's merging), so
+			// concurrent block streams do not pay a head seek per packet.
+			for {
+				v2, ok2 := diskQ.TryGet()
+				if !ok2 {
+					break
+				}
+				n += v2.(int64)
+			}
+			node.Disk.WriteStream(dse.Proc(), blockID, n)
+			dn.dirty.Release(n)
+		}
+	})
+	rdma := dn.h.cfg.DataRDMA
+
+	var length int64
+	for {
+		data, release, err := upstream.Recv(e)
+		if err != nil {
+			diskQ.Close()
+			return err
+		}
+		in := wire.NewDataInput(data)
+		in.ReadInt32() // seq
+		dataLen := in.ReadInt32()
+		last := in.ReadBool()
+		release()
+		if in.Err() != nil {
+			diskQ.Close()
+			return in.Err()
+		}
+		dn.PacketsIn++
+		// Checksum verification, stream decode, write() copy.
+		e.Work(packetCPU(rdma, int(dataLen)))
+		if downstream != nil {
+			hdr := packetHeader(0, dataLen, last)
+			if err := transport.SendSized(e, downstream, hdr, len(hdr)+int(dataLen)); err != nil {
+				diskQ.Close()
+				return err
+			}
+		}
+		length += int64(dataLen)
+		if dataLen > 0 {
+			dn.dirty.Acquire(se.Proc(), int64(dataLen))
+			diskQ.Put(e, int64(dataLen))
+		}
+		if last {
+			break
+		}
+	}
+	diskQ.Close()
+	if downstream != nil {
+		if _, rel, err := downstream.Recv(e); err != nil { // final ack
+			return err
+		} else {
+			rel()
+		}
+	}
+	dn.blocks[blockID] = length
+	if err := upstream.Send(e, []byte{2}); err != nil { // final ack
+		return err
+	}
+	return dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived",
+		&BlockReceivedParam{Reg: dn.reg(), BlockID: blockID, Length: length, DelHint: ""}, nil)
+}
+
+// sendBlock streams a replica back to a reader.
+func (dn *DataNode) sendBlock(e exec.Env, conn transport.Conn, blockID int64) error {
+	length, ok := dn.blocks[blockID]
+	if !ok {
+		return conn.Send(e, []byte{0}) // NAK
+	}
+	if err := conn.Send(e, []byte{1}); err != nil {
+		return err
+	}
+	se := e.(*cluster.SimEnv)
+	disk := dn.h.c.Node(dn.node).Disk
+	packet := int64(dn.h.cfg.PacketSize)
+	rdma := dn.h.cfg.DataRDMA
+	var seq int32
+	for off := int64(0); off < length; off += packet {
+		n := packet
+		if off+n > length {
+			n = length - off
+		}
+		disk.ReadStream(se.Proc(), blockID, n)
+		e.Work(packetCPU(rdma, int(n)))
+		last := off+n >= length
+		hdr := packetHeader(seq, int32(n), last)
+		if err := transport.SendSized(e, conn, hdr, len(hdr)+int(n)); err != nil {
+			return err
+		}
+		seq++
+	}
+	return nil
+}
+
+func writeBlockHeader(blockID int64, targets []string) []byte {
+	d := wire.NewDataOutputBufferSize(64)
+	out := wire.NewDataOutput(d)
+	out.WriteU8(opWriteBlock)
+	out.WriteInt64(blockID)
+	out.WriteVInt(int32(len(targets)))
+	for _, t := range targets {
+		out.WriteText(t)
+	}
+	return append([]byte(nil), d.Data()...)
+}
+
+func readBlockHeader(blockID int64) []byte {
+	d := wire.NewDataOutputBufferSize(16)
+	out := wire.NewDataOutput(d)
+	out.WriteU8(opReadBlock)
+	out.WriteInt64(blockID)
+	return append([]byte(nil), d.Data()...)
+}

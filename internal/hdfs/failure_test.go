@@ -1,0 +1,184 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/perfmodel"
+)
+
+// failureCluster deploys HDFS with a short heartbeat so staleness detection
+// kicks in quickly.
+func failureCluster(dns int) (*cluster.Cluster, *HDFS) {
+	cl := cluster.New(cluster.Config{Nodes: dns + 2, Seed: 1, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond})
+	nodes := make([]int, 0, dns)
+	for i := 1; i <= dns; i++ {
+		nodes = append(nodes, i)
+	}
+	fs := Deploy(cl, Config{
+		NameNode: 0, DataNodes: nodes, Replication: 2,
+		RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
+		HeartbeatInterval: 500 * time.Millisecond,
+	})
+	return cl, fs
+}
+
+func TestStaleDataNodeExcludedFromPlacement(t *testing.T) {
+	cl, fs := failureCluster(4)
+	client := 5
+	var writeErr error
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		// Partition node 2, wait past the staleness window, then write.
+		cl.PartitionNode(2, true)
+		e.Sleep(5 * time.Second)
+		writeErr = fs.NewClient(client).CreateFile(e, "/after-failure", 8<<20, 2)
+		fs.Stop()
+	})
+	cl.RunUntil(10 * time.Minute)
+	if writeErr != nil {
+		t.Fatalf("write after DN failure: %v", writeErr)
+	}
+	for _, blockLocs := range fs.NameNode().LocationsOf("/after-failure") {
+		if len(blockLocs) != 2 {
+			t.Fatalf("replicas=%d", len(blockLocs))
+		}
+		for _, dn := range blockLocs {
+			if dn == 2 {
+				t.Fatal("dead DataNode chosen for placement")
+			}
+		}
+	}
+}
+
+func TestReadFailsOverToLiveReplica(t *testing.T) {
+	cl, fs := failureCluster(4)
+	client := 5
+	var readErr error
+	var readBytes int64
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		c := fs.NewClient(client)
+		if err := c.CreateFile(e, "/f", 8<<20, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		// Kill the first replica's node, then read: the client must fail
+		// over to the surviving replica.
+		locs := fs.NameNode().LocationsOf("/f")
+		down := int(locs[0][0])
+		cl.PartitionNode(down, true)
+		readBytes, readErr = c.ReadFile(e, "/f")
+		fs.Stop()
+	})
+	cl.RunUntil(10 * time.Minute)
+	if readErr != nil {
+		t.Fatalf("read with one dead replica: %v", readErr)
+	}
+	if readBytes != 8<<20 {
+		t.Fatalf("read %d bytes", readBytes)
+	}
+}
+
+func TestWriteRetriesAfterPipelineFailure(t *testing.T) {
+	// Partition a node mid-cluster but *before* staleness detection: the
+	// first addBlock may include it and the pipeline fails; the client must
+	// abandon the block and retry until the NameNode stops offering the
+	// dead node.
+	cl, fs := failureCluster(3)
+	client := 4
+	var writeErr error
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		cl.PartitionNode(1, true) // freshly dead, not yet stale
+		writeErr = fs.NewClient(client).CreateFile(e, "/risky", 4<<20, 2)
+		fs.Stop()
+	})
+	cl.RunUntil(10 * time.Minute)
+	if writeErr != nil {
+		t.Fatalf("write did not survive pipeline failure: %v", writeErr)
+	}
+	for _, blockLocs := range fs.NameNode().LocationsOf("/risky") {
+		if len(blockLocs) == 0 {
+			t.Fatal("block never replicated")
+		}
+	}
+}
+
+func TestPartitionHealRestoresPlacement(t *testing.T) {
+	cl, fs := failureCluster(3)
+	client := 4
+	placedOnHealed := false
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		cl.PartitionNode(2, true)
+		e.Sleep(5 * time.Second)
+		cl.PartitionNode(2, false)
+		// Wait for heartbeats to resume and freshen the node.
+		e.Sleep(5 * time.Second)
+		c := fs.NewClient(client)
+		for i := 0; i < 8 && !placedOnHealed; i++ {
+			path := "/heal" + string(rune('a'+i))
+			if err := c.CreateFile(e, path, 1<<20, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, blockLocs := range fs.NameNode().LocationsOf(path) {
+				for _, dn := range blockLocs {
+					if dn == 2 {
+						placedOnHealed = true
+					}
+				}
+			}
+		}
+		fs.Stop()
+	})
+	cl.RunUntil(10 * time.Minute)
+	if !placedOnHealed {
+		t.Fatal("healed DataNode never received a replica")
+	}
+}
+
+func TestUnderReplicatedBlockRepaired(t *testing.T) {
+	cl, fs := failureCluster(3)
+	client := 4
+	var repaired bool
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		c := fs.NewClient(client)
+		if err := c.CreateFile(e, "/precious", 4<<20, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		locs := fs.NameNode().LocationsOf("/precious")
+		if len(locs) != 1 || len(locs[0]) != 2 {
+			t.Errorf("initial placement %v", locs)
+			return
+		}
+		// Kill one replica holder and wait for the replication monitor to
+		// notice (staleness ~3.5s) and repair (copy a 4MB block).
+		dead := int(locs[0][0])
+		cl.PartitionNode(dead, true)
+		for i := 0; i < 60; i++ {
+			e.Sleep(time.Second)
+			live := 0
+			for _, dn := range fs.NameNode().LocationsOf("/precious")[0] {
+				if int(dn) != dead {
+					live++
+				}
+			}
+			if live >= 2 {
+				repaired = true
+				break
+			}
+		}
+		fs.Stop()
+	})
+	cl.RunUntil(10 * time.Minute)
+	if !repaired {
+		t.Fatal("under-replicated block never repaired")
+	}
+}

@@ -1,0 +1,455 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/wire"
+)
+
+// nnOpCost is the in-memory namespace manipulation cost per metadata op.
+const nnOpCost = 3 * time.Microsecond
+
+type fileEntry struct {
+	path        string
+	dir         bool
+	blocks      []int64
+	complete    bool
+	length      int64
+	replication int32
+	mtime       int64
+}
+
+type blockInfo struct {
+	id        int64
+	length    int64
+	repl      int32   // wanted replication
+	locations []int32 // datanode ids
+	// replicatingAt, when recent, suppresses duplicate re-replication
+	// commands for the same block.
+	replicatingAt time.Duration
+}
+
+type dnState struct {
+	id       int32
+	node     int
+	dataAddr string
+	lastHB   time.Duration
+	blocks   int64
+	cmds     []string // pending commands, delivered on the next heartbeat
+}
+
+// NameNode is the metadata server: a namespace tree (flat path map, as the
+// operations the experiments exercise never need more), a block map, and the
+// DataNode table. All state is guarded by the single-threaded discipline of
+// the RPC handlers plus a coarse check that mirrors the global FSNamesystem
+// lock.
+type NameNode struct {
+	h         *HDFS
+	namespace map[string]*fileEntry
+	blocks    map[int64]*blockInfo
+	dnodes    map[int32]*dnState
+	nextBlock int64
+
+	// MetadataOps counts ClientProtocol calls served.
+	MetadataOps int64
+	// BlockReceiveds counts DatanodeProtocol blockReceived calls.
+	BlockReceiveds int64
+}
+
+func newNameNode(h *HDFS) *NameNode {
+	return &NameNode{
+		h:         h,
+		namespace: map[string]*fileEntry{"/": {path: "/", dir: true}},
+		blocks:    map[int64]*blockInfo{},
+		dnodes:    map[int32]*dnState{},
+		nextBlock: 1000,
+	}
+}
+
+// register wires the NameNode's protocols onto an RPC server.
+func (nn *NameNode) register(srv *core.Server) {
+	reg := func(protocol, method string, newParam func() wire.Writable, fn core.MethodFunc) {
+		srv.Register(protocol, method, newParam, func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+			e.Work(nnOpCost)
+			return fn(e, p)
+		})
+	}
+
+	reg(ClientProtocol, "create", func() wire.Writable { return &CreateParam{} }, nn.create)
+	reg(ClientProtocol, "addBlock", func() wire.Writable { return &AddBlockParam{} }, nn.addBlock)
+	reg(ClientProtocol, "abandonBlock", func() wire.Writable { return &AbandonBlockParam{} }, nn.abandonBlock)
+	reg(ClientProtocol, "complete", func() wire.Writable { return &CompleteParam{} }, nn.complete)
+	reg(ClientProtocol, "getFileInfo", func() wire.Writable { return &PathParam{} }, nn.getFileInfo)
+	reg(ClientProtocol, "getBlockLocations", func() wire.Writable { return &GetBlockLocationsParam{} }, nn.getBlockLocations)
+	reg(ClientProtocol, "mkdirs", func() wire.Writable { return &PathParam{} }, nn.mkdirs)
+	reg(ClientProtocol, "rename", func() wire.Writable { return &RenameParam{} }, nn.rename)
+	reg(ClientProtocol, "delete", func() wire.Writable { return &PathParam{} }, nn.delete)
+	reg(ClientProtocol, "getListing", func() wire.Writable { return &PathParam{} }, nn.getListing)
+	reg(ClientProtocol, "renewLease", func() wire.Writable { return &wire.Text{} }, nn.renewLease)
+
+	reg(DatanodeProtocol, "register", func() wire.Writable { return &RegistrationID{} }, nn.registerDN)
+	reg(DatanodeProtocol, "sendHeartbeat", func() wire.Writable { return &HeartbeatParam{} }, nn.sendHeartbeat)
+	reg(DatanodeProtocol, "blockReceived", func() wire.Writable { return &BlockReceivedParam{} }, nn.blockReceived)
+	reg(DatanodeProtocol, "blockReport", func() wire.Writable { return &BlockReportParam{} }, nn.blockReport)
+}
+
+func (nn *NameNode) create(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*CreateParam)
+	if req.Path == "" || req.Path[0] != '/' {
+		return nil, fmt.Errorf("create: invalid path %q", req.Path)
+	}
+	if f, ok := nn.namespace[req.Path]; ok && !f.dir {
+		return nil, fmt.Errorf("create: %s already exists", req.Path)
+	}
+	repl := req.Replication
+	if repl < 1 {
+		repl = int32(nn.h.cfg.Replication)
+	}
+	nn.namespace[req.Path] = &fileEntry{
+		path:        req.Path,
+		replication: repl,
+		mtime:       int64(e.Now()),
+	}
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+// chooseTargets picks replication DataNodes, preferring the writer's own
+// node (standard HDFS placement: first replica local when the writer is a
+// DataNode).
+func (nn *NameNode) chooseTargets(e exec.Env, writerNode int, repl int, excluded []string) []*dnState {
+	staleAfter := 3*nn.h.cfg.HeartbeatInterval + 2*time.Second
+	excl := map[string]bool{}
+	for _, t := range excluded {
+		excl[t] = true
+	}
+	alive := make([]*dnState, 0, len(nn.dnodes))
+	for _, dn := range nn.dnodes {
+		if e.Now()-dn.lastHB > staleAfter {
+			continue // missed heartbeats: considered dead
+		}
+		if excl[dn.dataAddr] {
+			continue // client reported this node bad
+		}
+		alive = append(alive, dn)
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].id < alive[j].id })
+	if len(alive) == 0 {
+		return nil
+	}
+	if repl > len(alive) {
+		repl = len(alive)
+	}
+	targets := make([]*dnState, 0, repl)
+	used := map[int32]bool{}
+	for _, dn := range alive {
+		if dn.node == writerNode {
+			targets = append(targets, dn)
+			used[dn.id] = true
+			break
+		}
+	}
+	for len(targets) < repl {
+		dn := alive[e.Rand().Intn(len(alive))]
+		if used[dn.id] {
+			continue
+		}
+		targets = append(targets, dn)
+		used[dn.id] = true
+	}
+	return targets
+}
+
+func (nn *NameNode) addBlock(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*AddBlockParam)
+	f, ok := nn.namespace[req.Path]
+	if !ok || f.dir {
+		return nil, fmt.Errorf("addBlock: no open file %s", req.Path)
+	}
+	writerNode := parseClientNode(req.ClientName)
+	targets := nn.chooseTargets(e, writerNode, int(f.replication), req.Excluded)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("addBlock: no datanodes available")
+	}
+	nn.nextBlock++
+	id := nn.nextBlock
+	locs := make([]int32, 0, len(targets))
+	addrs := make([]string, 0, len(targets))
+	for _, dn := range targets {
+		locs = append(locs, dn.id)
+		addrs = append(addrs, dn.dataAddr)
+	}
+	nn.blocks[id] = &blockInfo{id: id, repl: f.replication}
+	f.blocks = append(f.blocks, id)
+	_ = locs
+	return &LocatedBlock{BlockID: id, GenStamp: 1, Targets: addrs}, nil
+}
+
+func (nn *NameNode) abandonBlock(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*AbandonBlockParam)
+	f, ok := nn.namespace[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("abandonBlock: no file %s", req.Path)
+	}
+	for i, b := range f.blocks {
+		if b == req.BlockID {
+			f.blocks = append(f.blocks[:i], f.blocks[i+1:]...)
+			break
+		}
+	}
+	delete(nn.blocks, req.BlockID)
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) complete(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*CompleteParam)
+	f, ok := nn.namespace[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("complete: no file %s", req.Path)
+	}
+	// A file only completes once every block has reached minimal
+	// replication (a blockReceived arrived); otherwise the client must
+	// retry, as DFSClient.completeFile does.
+	for _, b := range f.blocks {
+		if len(nn.blocks[b].locations) == 0 {
+			return &wire.BooleanWritable{Value: false}, nil
+		}
+	}
+	f.complete = true
+	var length int64
+	for _, b := range f.blocks {
+		length += nn.blocks[b].length
+	}
+	f.length = length
+	f.mtime = int64(e.Now())
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) getFileInfo(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	path := p.(*PathParam).Path
+	f, ok := nn.namespace[path]
+	if !ok {
+		return &FileStatus{Exists: false, Path: path}, nil
+	}
+	return &FileStatus{Exists: true, Path: f.path, Length: f.length, IsDir: f.dir,
+		Replication: f.replication, ModTime: f.mtime}, nil
+}
+
+func (nn *NameNode) getBlockLocations(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*GetBlockLocationsParam)
+	f, ok := nn.namespace[req.Path]
+	if !ok || f.dir {
+		return nil, fmt.Errorf("getBlockLocations: no file %s", req.Path)
+	}
+	reply := &LocatedBlocks{FileLength: f.length}
+	for _, id := range f.blocks {
+		b := nn.blocks[id]
+		lb := LocatedBlock{BlockID: id, GenStamp: 1, Length: b.length}
+		for _, dnID := range b.locations {
+			if dn, ok := nn.dnodes[dnID]; ok {
+				lb.Targets = append(lb.Targets, dn.dataAddr)
+			}
+		}
+		reply.Blocks = append(reply.Blocks, lb)
+	}
+	return reply, nil
+}
+
+func (nn *NameNode) mkdirs(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	path := p.(*PathParam).Path
+	if f, ok := nn.namespace[path]; ok && !f.dir {
+		return nil, fmt.Errorf("mkdirs: %s is a file", path)
+	}
+	nn.namespace[path] = &fileEntry{path: path, dir: true, mtime: int64(e.Now())}
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) rename(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	req := p.(*RenameParam)
+	f, ok := nn.namespace[req.Src]
+	if !ok {
+		return &wire.BooleanWritable{Value: false}, nil
+	}
+	delete(nn.namespace, req.Src)
+	f.path = req.Dst
+	nn.namespace[req.Dst] = f
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) delete(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	path := p.(*PathParam).Path
+	f, ok := nn.namespace[path]
+	if !ok {
+		return &wire.BooleanWritable{Value: false}, nil
+	}
+	if !f.dir {
+		for _, b := range f.blocks {
+			delete(nn.blocks, b)
+		}
+	}
+	delete(nn.namespace, path)
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) getListing(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	prefix := p.(*PathParam).Path
+	if prefix == "" || prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	var reply Listing
+	for path, f := range nn.namespace {
+		if len(path) > len(prefix) && path[:len(prefix)] == prefix {
+			reply.Entries = append(reply.Entries, FileStatus{Exists: true, Path: f.path,
+				Length: f.length, IsDir: f.dir, Replication: f.replication, ModTime: f.mtime})
+		}
+	}
+	sort.Slice(reply.Entries, func(i, j int) bool { return reply.Entries[i].Path < reply.Entries[j].Path })
+	return &reply, nil
+}
+
+func (nn *NameNode) renewLease(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.MetadataOps++
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) registerDN(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	reg := p.(*RegistrationID)
+	nn.dnodes[reg.NodeID] = &dnState{
+		id:       reg.NodeID,
+		node:     int(reg.NodeID),
+		dataAddr: reg.InfoAddr,
+		lastHB:   e.Now(),
+	}
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) sendHeartbeat(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	req := p.(*HeartbeatParam)
+	reply := &HeartbeatReply{}
+	if dn, ok := nn.dnodes[req.Reg.NodeID]; ok {
+		dn.lastHB = e.Now()
+		reply.Commands = dn.cmds
+		dn.cmds = nil
+	}
+	return reply, nil
+}
+
+func (nn *NameNode) blockReceived(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	nn.BlockReceiveds++
+	req := p.(*BlockReceivedParam)
+	b, ok := nn.blocks[req.BlockID]
+	if !ok {
+		return nil, fmt.Errorf("blockReceived: unknown block %d", req.BlockID)
+	}
+	b.length = req.Length
+	for _, loc := range b.locations {
+		if loc == req.Reg.NodeID {
+			return &wire.BooleanWritable{Value: true}, nil // duplicate report
+		}
+	}
+	b.locations = append(b.locations, req.Reg.NodeID)
+	if dn, ok := nn.dnodes[req.Reg.NodeID]; ok {
+		dn.blocks++
+	}
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+func (nn *NameNode) blockReport(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	req := p.(*BlockReportParam)
+	if dn, ok := nn.dnodes[req.Reg.NodeID]; ok {
+		dn.lastHB = e.Now()
+	}
+	return &wire.BooleanWritable{Value: true}, nil
+}
+
+// checkReplication scans for complete blocks with fewer live replicas than
+// wanted and queues a "replicate" command on a surviving holder, to be
+// delivered with its next heartbeat — HDFS's under-replication repair loop.
+func (nn *NameNode) checkReplication(e exec.Env) {
+	staleAfter := 3*nn.h.cfg.HeartbeatInterval + 2*time.Second
+	fresh := func(id int32) *dnState {
+		dn, ok := nn.dnodes[id]
+		if !ok || e.Now()-dn.lastHB > staleAfter {
+			return nil
+		}
+		return dn
+	}
+	ids := make([]int64, 0, len(nn.blocks))
+	for id := range nn.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := nn.blocks[id]
+		if b.length == 0 || b.repl <= 1 {
+			continue
+		}
+		if b.replicatingAt > 0 && e.Now()-b.replicatingAt < 30*time.Second {
+			continue
+		}
+		var live []*dnState
+		holder := map[int32]bool{}
+		for _, loc := range b.locations {
+			holder[loc] = true
+			if dn := fresh(loc); dn != nil {
+				live = append(live, dn)
+			}
+		}
+		if len(live) == 0 || len(live) >= int(b.repl) {
+			continue
+		}
+		// Pick a fresh non-holder target deterministically.
+		var target *dnState
+		cands := make([]*dnState, 0, len(nn.dnodes))
+		for _, dn := range nn.dnodes {
+			if !holder[dn.id] && fresh(dn.id) != nil {
+				cands = append(cands, dn)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+		target = cands[e.Rand().Intn(len(cands))]
+		src := live[0]
+		src.cmds = append(src.cmds, fmt.Sprintf("replicate %d %s", b.id, target.dataAddr))
+		b.replicatingAt = e.Now()
+	}
+}
+
+// parseClientNode extracts the node id from a client name of the form
+// "DFSClient_node<id>".
+func parseClientNode(name string) int {
+	var node int
+	if _, err := fmt.Sscanf(name, "DFSClient_node%d", &node); err != nil {
+		return -1
+	}
+	return node
+}
+
+// LocationsOf reports the replica nodes of every block of path (testing and
+// scheduling locality decisions).
+func (nn *NameNode) LocationsOf(path string) [][]int32 {
+	f, ok := nn.namespace[path]
+	if !ok {
+		return nil
+	}
+	out := make([][]int32, 0, len(f.blocks))
+	for _, id := range f.blocks {
+		out = append(out, append([]int32(nil), nn.blocks[id].locations...))
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+// Package hdfs implements the mini-HDFS substrate the paper's macro
+// experiments run on: a NameNode (namespace + block map) speaking
+// hdfs.ClientProtocol and hdfs.DatanodeProtocol over the RPC engine,
+// DataNodes with heartbeats, block reports and a pipelined, replicated
+// block-write data path, and a DFSClient. The RPC control plane and the
+// bulk data plane are independently switchable between socket transports
+// and RDMA, exactly as Figure 7's seven configurations require.
+package hdfs
+
+import "rpcoib/internal/wire"
+
+// Protocol names match the tuples Table I profiles.
+const (
+	ClientProtocol   = "hdfs.ClientProtocol"
+	DatanodeProtocol = "hdfs.DatanodeProtocol"
+)
+
+// CreateParam asks the NameNode to open a new file for writing.
+type CreateParam struct {
+	Path        string
+	ClientName  string
+	Replication int32
+	BlockSize   int64
+}
+
+func (p *CreateParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Path)
+	out.WriteText(p.ClientName)
+	out.WriteInt32(p.Replication)
+	out.WriteInt64(p.BlockSize)
+}
+
+func (p *CreateParam) ReadFields(in *wire.DataInput) {
+	p.Path = in.ReadText()
+	p.ClientName = in.ReadText()
+	p.Replication = in.ReadInt32()
+	p.BlockSize = in.ReadInt64()
+}
+
+// FileStatus is the getFileInfo/getListing entry.
+type FileStatus struct {
+	Path        string
+	Length      int64
+	IsDir       bool
+	Replication int32
+	ModTime     int64
+	Exists      bool
+}
+
+func (p *FileStatus) Write(out *wire.DataOutput) {
+	out.WriteBool(p.Exists)
+	out.WriteText(p.Path)
+	out.WriteInt64(p.Length)
+	out.WriteBool(p.IsDir)
+	out.WriteInt32(p.Replication)
+	out.WriteInt64(p.ModTime)
+}
+
+func (p *FileStatus) ReadFields(in *wire.DataInput) {
+	p.Exists = in.ReadBool()
+	p.Path = in.ReadText()
+	p.Length = in.ReadInt64()
+	p.IsDir = in.ReadBool()
+	p.Replication = in.ReadInt32()
+	p.ModTime = in.ReadInt64()
+}
+
+// AddBlockParam asks for the next block of an open file. Excluded lists
+// data-transfer addresses of nodes the client saw fail in a previous
+// pipeline attempt (DataStreamer's excludedNodes).
+type AddBlockParam struct {
+	Path       string
+	ClientName string
+	Excluded   []string
+}
+
+func (p *AddBlockParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Path)
+	out.WriteText(p.ClientName)
+	out.WriteVInt(int32(len(p.Excluded)))
+	for _, t := range p.Excluded {
+		out.WriteText(t)
+	}
+}
+
+func (p *AddBlockParam) ReadFields(in *wire.DataInput) {
+	p.Path = in.ReadText()
+	p.ClientName = in.ReadText()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.Excluded = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p.Excluded = append(p.Excluded, in.ReadText())
+	}
+}
+
+// LocatedBlock names a block and the data-transfer addresses of its
+// replicas, in pipeline order.
+type LocatedBlock struct {
+	BlockID  int64
+	GenStamp int64
+	Length   int64
+	Targets  []string
+}
+
+func (p *LocatedBlock) Write(out *wire.DataOutput) {
+	out.WriteInt64(p.BlockID)
+	out.WriteInt64(p.GenStamp)
+	out.WriteInt64(p.Length)
+	out.WriteVInt(int32(len(p.Targets)))
+	for _, t := range p.Targets {
+		out.WriteText(t)
+	}
+}
+
+func (p *LocatedBlock) ReadFields(in *wire.DataInput) {
+	p.BlockID = in.ReadInt64()
+	p.GenStamp = in.ReadInt64()
+	p.Length = in.ReadInt64()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.Targets = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p.Targets = append(p.Targets, in.ReadText())
+	}
+}
+
+// AbandonBlockParam removes a never-completed block from an open file after
+// a pipeline failure.
+type AbandonBlockParam struct {
+	Path       string
+	ClientName string
+	BlockID    int64
+}
+
+func (p *AbandonBlockParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Path)
+	out.WriteText(p.ClientName)
+	out.WriteInt64(p.BlockID)
+}
+
+func (p *AbandonBlockParam) ReadFields(in *wire.DataInput) {
+	p.Path = in.ReadText()
+	p.ClientName = in.ReadText()
+	p.BlockID = in.ReadInt64()
+}
+
+// GetBlockLocationsParam asks for a file's block layout.
+type GetBlockLocationsParam struct {
+	Path   string
+	Offset int64
+	Length int64
+}
+
+func (p *GetBlockLocationsParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Path)
+	out.WriteInt64(p.Offset)
+	out.WriteInt64(p.Length)
+}
+
+func (p *GetBlockLocationsParam) ReadFields(in *wire.DataInput) {
+	p.Path = in.ReadText()
+	p.Offset = in.ReadInt64()
+	p.Length = in.ReadInt64()
+}
+
+// LocatedBlocks is the getBlockLocations reply.
+type LocatedBlocks struct {
+	FileLength int64
+	Blocks     []LocatedBlock
+}
+
+func (p *LocatedBlocks) Write(out *wire.DataOutput) {
+	out.WriteInt64(p.FileLength)
+	out.WriteVInt(int32(len(p.Blocks)))
+	for i := range p.Blocks {
+		p.Blocks[i].Write(out)
+	}
+}
+
+func (p *LocatedBlocks) ReadFields(in *wire.DataInput) {
+	p.FileLength = in.ReadInt64()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.Blocks = make([]LocatedBlock, n)
+	for i := range p.Blocks {
+		p.Blocks[i].ReadFields(in)
+	}
+}
+
+// PathParam carries a single path (mkdirs, delete, getFileInfo, getListing).
+type PathParam struct{ Path string }
+
+func (p *PathParam) Write(out *wire.DataOutput)    { out.WriteText(p.Path) }
+func (p *PathParam) ReadFields(in *wire.DataInput) { p.Path = in.ReadText() }
+
+// RenameParam carries a source/destination pair.
+type RenameParam struct{ Src, Dst string }
+
+func (p *RenameParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Src)
+	out.WriteText(p.Dst)
+}
+
+func (p *RenameParam) ReadFields(in *wire.DataInput) {
+	p.Src = in.ReadText()
+	p.Dst = in.ReadText()
+}
+
+// Listing is the getListing reply.
+type Listing struct{ Entries []FileStatus }
+
+func (p *Listing) Write(out *wire.DataOutput) {
+	out.WriteVInt(int32(len(p.Entries)))
+	for i := range p.Entries {
+		p.Entries[i].Write(out)
+	}
+}
+
+func (p *Listing) ReadFields(in *wire.DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.Entries = make([]FileStatus, n)
+	for i := range p.Entries {
+		p.Entries[i].ReadFields(in)
+	}
+}
+
+// CompleteParam closes an open file.
+type CompleteParam struct {
+	Path       string
+	ClientName string
+}
+
+func (p *CompleteParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Path)
+	out.WriteText(p.ClientName)
+}
+
+func (p *CompleteParam) ReadFields(in *wire.DataInput) {
+	p.Path = in.ReadText()
+	p.ClientName = in.ReadText()
+}
+
+// RegistrationID is the DataNode identity blob carried on DatanodeProtocol
+// calls; its realistic bulk gives blockReceived its characteristic ~400-byte
+// message size.
+type RegistrationID struct {
+	NodeID      int32
+	StorageID   string
+	InfoAddr    string
+	CTime       int64
+	LayoutVer   int32
+	NamespaceID int32
+}
+
+func (p *RegistrationID) Write(out *wire.DataOutput) {
+	out.WriteInt32(p.NodeID)
+	out.WriteText(p.StorageID)
+	out.WriteText(p.InfoAddr)
+	out.WriteInt64(p.CTime)
+	out.WriteInt32(p.LayoutVer)
+	out.WriteInt32(p.NamespaceID)
+}
+
+func (p *RegistrationID) ReadFields(in *wire.DataInput) {
+	p.NodeID = in.ReadInt32()
+	p.StorageID = in.ReadText()
+	p.InfoAddr = in.ReadText()
+	p.CTime = in.ReadInt64()
+	p.LayoutVer = in.ReadInt32()
+	p.NamespaceID = in.ReadInt32()
+}
+
+// HeartbeatParam is the periodic DataNode status report.
+type HeartbeatParam struct {
+	Reg          RegistrationID
+	Capacity     int64
+	DfsUsed      int64
+	Remaining    int64
+	XceiverCount int32
+	XmitsInProg  int32
+}
+
+func (p *HeartbeatParam) Write(out *wire.DataOutput) {
+	p.Reg.Write(out)
+	out.WriteInt64(p.Capacity)
+	out.WriteInt64(p.DfsUsed)
+	out.WriteInt64(p.Remaining)
+	out.WriteInt32(p.XceiverCount)
+	out.WriteInt32(p.XmitsInProg)
+}
+
+func (p *HeartbeatParam) ReadFields(in *wire.DataInput) {
+	p.Reg.ReadFields(in)
+	p.Capacity = in.ReadInt64()
+	p.DfsUsed = in.ReadInt64()
+	p.Remaining = in.ReadInt64()
+	p.XceiverCount = in.ReadInt32()
+	p.XmitsInProg = in.ReadInt32()
+}
+
+// HeartbeatReply carries NameNode commands back to the DataNode.
+type HeartbeatReply struct{ Commands []string }
+
+func (p *HeartbeatReply) Write(out *wire.DataOutput) {
+	out.WriteVInt(int32(len(p.Commands)))
+	for _, c := range p.Commands {
+		out.WriteText(c)
+	}
+}
+
+func (p *HeartbeatReply) ReadFields(in *wire.DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.Commands = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p.Commands = append(p.Commands, in.ReadText())
+	}
+}
+
+// BlockReceivedParam notifies the NameNode that a replica landed on a
+// DataNode.
+type BlockReceivedParam struct {
+	Reg     RegistrationID
+	BlockID int64
+	Length  int64
+	DelHint string
+}
+
+func (p *BlockReceivedParam) Write(out *wire.DataOutput) {
+	p.Reg.Write(out)
+	out.WriteInt64(p.BlockID)
+	out.WriteInt64(p.Length)
+	out.WriteText(p.DelHint)
+}
+
+func (p *BlockReceivedParam) ReadFields(in *wire.DataInput) {
+	p.Reg.ReadFields(in)
+	p.BlockID = in.ReadInt64()
+	p.Length = in.ReadInt64()
+	p.DelHint = in.ReadText()
+}
+
+// BlockReportParam is the periodic full replica list from a DataNode.
+type BlockReportParam struct {
+	Reg      RegistrationID
+	BlockIDs []int64
+}
+
+func (p *BlockReportParam) Write(out *wire.DataOutput) {
+	p.Reg.Write(out)
+	out.WriteVInt(int32(len(p.BlockIDs)))
+	for _, b := range p.BlockIDs {
+		out.WriteVLong(b)
+	}
+}
+
+func (p *BlockReportParam) ReadFields(in *wire.DataInput) {
+	p.Reg.ReadFields(in)
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.BlockIDs = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		p.BlockIDs = append(p.BlockIDs, in.ReadVLong())
+	}
+}

@@ -1,0 +1,333 @@
+// Package ibverbs simulates the InfiniBand verbs layer RPCoIB is built on:
+// per-node devices (HCAs) with pools of pre-posted, pre-registered receive
+// buffers, connected endpoint pairs (queue pairs), two-sided send/recv for
+// eager messages and one-sided RDMA-write rendezvous for large ones, with
+// the eager/RDMA crossover as a tunable threshold — exactly the knobs the
+// paper's Section III-D describes.
+//
+// Discipline matters more than mechanism here: a buffer must come from a
+// registered pool to travel at verbs cost; sending unregistered memory pays
+// the on-the-fly registration penalty the two-level buffer pool exists to
+// avoid. Receivers get views into the device's pre-posted buffers and must
+// release them, just as verbs consumers repost their receive WRs.
+package ibverbs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
+)
+
+// ErrClosed reports use of a torn-down endpoint.
+var ErrClosed = errors.New("ibverbs: endpoint closed")
+
+// eagerHeader and ctrlBytes model the verbs/transport headers on the wire.
+const (
+	eagerHeader = 32
+	ctrlBytes   = 48
+)
+
+// Stats counts verbs traffic on one device.
+type Stats struct {
+	EagerSends     int64
+	RDMASends      int64
+	EagerBytes     int64
+	RDMABytes      int64
+	UnregisteredTx int64 // sends that paid on-the-fly registration
+}
+
+// Network is the verbs connection manager over one native-IB fabric: it
+// opens per-node devices lazily and resolves listener addresses for Dial.
+type Network struct {
+	fabric    *netsim.Fabric
+	costs     *perfmodel.CPUCosts
+	threshold int
+	devices   map[int]*Device
+	listeners map[string]*EPListener
+}
+
+// NewNetwork creates a verbs network over fabric. threshold <= 0 selects
+// perfmodel.DefaultRDMAThreshold.
+func NewNetwork(fabric *netsim.Fabric, costs *perfmodel.CPUCosts, threshold int) *Network {
+	if threshold <= 0 {
+		threshold = perfmodel.DefaultRDMAThreshold
+	}
+	return &Network{
+		fabric:    fabric,
+		costs:     costs,
+		threshold: threshold,
+		devices:   map[int]*Device{},
+		listeners: map[string]*EPListener{},
+	}
+}
+
+// Fabric returns the underlying native-IB fabric.
+func (n *Network) Fabric() *netsim.Fabric { return n.fabric }
+
+// Device returns (opening if needed) the HCA of node.
+func (n *Network) Device(node int) *Device {
+	d, ok := n.devices[node]
+	if !ok {
+		d = &Device{fabric: n.fabric, node: node, costs: n.costs,
+			threshold: n.threshold, recvPool: bufpool.NewNativePool(0)}
+		n.devices[node] = d
+	}
+	return d
+}
+
+// Device models one node's HCA: it owns the pre-registered receive pool
+// shared by all endpoints on the node (an SRQ-style arrangement).
+type Device struct {
+	fabric    *netsim.Fabric
+	node      int
+	costs     *perfmodel.CPUCosts
+	threshold int
+	recvPool  *bufpool.NativePool
+	stats     Stats
+}
+
+// Node returns the device's node id.
+func (d *Device) Node() int { return d.node }
+
+// Threshold returns the eager/RDMA crossover in bytes.
+func (d *Device) Threshold() int { return d.threshold }
+
+// RecvPool exposes the device's registered receive pool.
+func (d *Device) RecvPool() *bufpool.NativePool { return d.recvPool }
+
+// StatsSnapshot returns a copy of the device counters.
+func (d *Device) StatsSnapshot() Stats { return d.stats }
+
+// recvMsg is one completed reception.
+type recvMsg struct {
+	buf   *bufpool.Buffer
+	n     int
+	wire  int  // virtual wire size (>= n for bulk sends)
+	eager bool // two-sided delivery into a bounce buffer (copy on receive)
+}
+
+// EPListener accepts endpoint connections (the QP exchange the paper
+// bootstraps over the socket address).
+type EPListener struct {
+	net     *Network
+	dev     *Device
+	port    int
+	backlog *sim.Queue
+	closed  bool
+}
+
+// Listen binds an endpoint listener on node.
+func (n *Network) Listen(node, port int) (*EPListener, error) {
+	key := netsim.Addr(node, port)
+	if _, taken := n.listeners[key]; taken {
+		return nil, fmt.Errorf("ibverbs: address %s in use", key)
+	}
+	l := &EPListener{net: n, dev: n.Device(node), port: port,
+		backlog: n.fabric.Sim().NewQueue(0)}
+	n.listeners[key] = l
+	return l, nil
+}
+
+// Addr returns the listener's dialable address.
+func (l *EPListener) Addr() string { return netsim.Addr(l.dev.node, l.port) }
+
+// Device returns the HCA the listener is bound to.
+func (l *EPListener) Device() *Device { return l.dev }
+
+// Accept blocks until a peer connects.
+func (l *EPListener) Accept(p *sim.Proc) (*EndPoint, error) {
+	v, ok := l.backlog.Get(p)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return v.(*EndPoint), nil
+}
+
+// Close stops accepting.
+func (l *EPListener) Close() {
+	if !l.closed {
+		l.closed = true
+		delete(l.net.listeners, l.Addr())
+		l.backlog.Close()
+	}
+}
+
+// EndPoint is one end of a connected queue pair. Like a real QP, it
+// delivers messages in posting order: rendezvous payloads take one extra
+// fabric trip, so a reorder buffer holds any eager message that overtakes an
+// earlier large send.
+type EndPoint struct {
+	dev    *Device
+	peer   *EndPoint
+	recvQ  *sim.Queue
+	closed bool
+	remote string
+
+	sendSeq int             // sequence assigned at Send on this end
+	nextSeq int             // next sequence to release to recvQ
+	pending map[int]recvMsg // arrived out of order
+}
+
+// deliver releases msg (and any consecutively buffered successors) to the
+// receive queue, preserving send order. Runs in kernel context.
+func (ep *EndPoint) deliver(seq int, msg recvMsg) {
+	if ep.closed {
+		ep.dev.recvPool.Put(msg.buf)
+		return
+	}
+	if ep.pending == nil {
+		ep.pending = map[int]recvMsg{}
+	}
+	ep.pending[seq] = msg
+	for {
+		m, ok := ep.pending[ep.nextSeq]
+		if !ok {
+			return
+		}
+		delete(ep.pending, ep.nextSeq)
+		ep.nextSeq++
+		ep.recvQ.TryPutUnbounded(m)
+	}
+}
+
+// Dial connects srcNode to a listening address. The QP handshake costs one
+// fabric round trip (the socket-based endpoint-information exchange is
+// performed by the RPC layer before calling Dial, as in the paper).
+func (n *Network) Dial(p *sim.Proc, srcNode int, addr string) (*EndPoint, error) {
+	l, ok := n.listeners[addr]
+	if !ok || l.closed {
+		return nil, fmt.Errorf("ibverbs: no listener at %s", addr)
+	}
+	d := n.Device(srcNode)
+	s := d.fabric.Sim()
+	local := &EndPoint{dev: d, recvQ: s.NewQueue(0), remote: l.Addr()}
+	remote := &EndPoint{dev: l.dev, recvQ: s.NewQueue(0), remote: netsim.Addr(d.node, 0)}
+	local.peer, remote.peer = remote, local
+	done := s.NewQueue(1)
+	d.fabric.Transfer(d.node, l.dev.node, ctrlBytes, func() {
+		if !l.closed {
+			l.backlog.TryPutUnbounded(remote)
+		}
+		d.fabric.Transfer(l.dev.node, d.node, ctrlBytes, func() {
+			done.TryPutUnbounded(struct{}{})
+		})
+	})
+	if _, ok := done.Get(p); !ok {
+		return nil, ErrClosed
+	}
+	return local, nil
+}
+
+// RemoteAddr identifies the peer.
+func (ep *EndPoint) RemoteAddr() string { return ep.remote }
+
+// Send transmits the first n bytes of b to the peer. Small messages go
+// eager (two-sided send into a pre-posted peer buffer); messages above the
+// device threshold use an RDMA-write rendezvous: a control message carries
+// the size, the peer pins a target buffer, and the payload moves with no
+// receiver CPU involvement.
+//
+// The caller may reuse b as soon as Send returns (the simulated HCA has
+// consumed the data, mirroring a completed local send WQE).
+func (ep *EndPoint) Send(p *sim.Proc, b *bufpool.Buffer, n int) error {
+	return ep.SendSized(p, b, n, n)
+}
+
+// SendSized transmits the first n real bytes of b while billing wire time
+// and the eager/RDMA decision for size virtual bytes (bulk data paths send
+// headers with virtual payloads; see netsim.SocketConn.SendSized).
+func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error {
+	if ep.closed {
+		return ErrClosed
+	}
+	if n > len(b.Data) {
+		return fmt.Errorf("ibverbs: send length %d exceeds buffer cap %d", n, len(b.Data))
+	}
+	if size < n {
+		size = n
+	}
+	dev := ep.dev
+	if !b.Registered() {
+		// Slow path the pool exists to avoid: register on the fly.
+		dev.stats.UnregisteredTx++
+		dev.fabric.ChargeCPU(p, dev.node, dev.costs.Register(n))
+	}
+	dev.fabric.ChargeCPU(p, dev.node, dev.costs.VerbsPost)
+	peer := ep.peer
+	seq := ep.sendSeq
+	ep.sendSeq++
+	if size <= dev.threshold {
+		dev.stats.EagerSends++
+		dev.stats.EagerBytes += int64(size)
+		// The data leaves through the HCA now; snapshot it into the peer's
+		// pre-posted receive buffer (NIC DMA, no CPU charge).
+		rx := peer.dev.recvPool.Get(n)
+		copy(rx.Data, b.Data[:n])
+		dev.fabric.Transfer(dev.node, peer.dev.node, size+eagerHeader, func() {
+			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size, eager: true})
+		})
+		return nil
+	}
+	dev.stats.RDMASends++
+	dev.stats.RDMABytes += int64(size)
+	dev.fabric.ChargeCPU(p, dev.node, dev.costs.VerbsPost) // the later RDMA-write post
+	rx := peer.dev.recvPool.Get(n)
+	copy(rx.Data, b.Data[:n])
+	// Rendezvous: control message first, then the one-sided payload write.
+	dev.fabric.Transfer(dev.node, peer.dev.node, ctrlBytes, func() {
+		dev.fabric.Transfer(dev.node, peer.dev.node, size, func() {
+			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size})
+		})
+	})
+	return nil
+}
+
+// Recv blocks until a message completes, returning a view of the registered
+// receive buffer. release reposts the buffer; it must be called exactly once
+// when the consumer is done with data.
+func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
+	v, ok := ep.recvQ.Get(p)
+	if !ok {
+		return nil, nil, ErrClosed
+	}
+	msg := v.(recvMsg)
+	dev := ep.dev
+	cost := dev.costs.CQPoll
+	if msg.eager {
+		// Two-sided receives land in a pre-posted bounce buffer and must be
+		// copied out; RDMA writes placed the data directly (the reason the
+		// threshold exists). The copy is billed on the virtual size.
+		cost += dev.costs.Copy(msg.wire)
+	}
+	dev.fabric.ChargeCPU(p, dev.node, cost)
+	pool := dev.recvPool
+	buf := msg.buf
+	return buf.Data[:msg.n], func() { pool.Put(buf) }, nil
+}
+
+// WireTime reports the fabric occupancy of an n-byte message.
+func (ep *EndPoint) WireTime(n int) time.Duration {
+	p := ep.dev.fabric.Params()
+	return p.Latency + p.TransferTime(n)
+}
+
+// Close tears down both ends after an in-band notification.
+func (ep *EndPoint) Close() {
+	if ep.closed {
+		return
+	}
+	ep.closed = true
+	ep.recvQ.Close()
+	peer := ep.peer
+	ep.dev.fabric.Transfer(ep.dev.node, peer.dev.node, ctrlBytes, func() {
+		if !peer.closed {
+			peer.closed = true
+			peer.recvQ.Close()
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/wire"
+)
+
+// jtOpCost models the (globally locked) JobTracker bookkeeping per call.
+const jtOpCost = 5 * time.Microsecond
+
+// reduceSlowstart is the fraction of maps that must finish before reduces
+// are scheduled (mapred.reduce.slowstart.completed.maps).
+const reduceSlowstart = 0.05
+
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskDone
+)
+
+type mapTask struct {
+	index     int32
+	inputFile string
+	inputSize int64
+	state     taskState
+	tt        string
+}
+
+type reduceTask struct {
+	index int32
+	state taskState
+	tt    string
+}
+
+type jtJob struct {
+	id       int32
+	conf     SubmitJobParam
+	maps     []*mapTask
+	reduces  []*reduceTask
+	mapsDone int32
+	redsDone int32
+	events   []MapEvent // completion events in order
+	started  time.Duration
+	finished time.Duration
+	complete bool
+}
+
+type jtTracker struct {
+	name        string
+	node        int
+	shuffleAddr string
+	lastSeen    time.Duration
+	// eventsSent tracks, per job, how many completion events this tracker
+	// has already been given through heartbeat responses.
+	eventsSent map[int32]int
+}
+
+// JobTracker schedules jobs over TaskTracker heartbeats.
+type JobTracker struct {
+	mr      *MapReduce
+	jobs    map[int32]*jtJob
+	order   []int32
+	tts     map[string]*jtTracker
+	nextJob int32
+
+	// Heartbeats counts InterTracker heartbeats processed.
+	Heartbeats int64
+}
+
+func newJobTracker(mr *MapReduce) *JobTracker {
+	return &JobTracker{mr: mr, jobs: map[int32]*jtJob{}, tts: map[string]*jtTracker{}, nextJob: 1}
+}
+
+func (jt *JobTracker) register(srv *core.Server) {
+	srv.Register(JobSubmissionProtocol, "submitJob",
+		func() wire.Writable { return &SubmitJobParam{} }, jt.submitJob)
+	srv.Register(JobSubmissionProtocol, "getJobStatus",
+		func() wire.Writable { return &wire.IntWritable{} }, jt.getJobStatus)
+	srv.Register(InterTrackerProtocol, "heartbeat",
+		func() wire.Writable { return &TTHeartbeat{} }, jt.heartbeat)
+}
+
+func (jt *JobTracker) submitJob(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	e.Work(jtOpCost)
+	conf := p.(*SubmitJobParam)
+	if len(conf.InputFiles) == 0 {
+		return nil, fmt.Errorf("submitJob: no input files")
+	}
+	job := &jtJob{id: jt.nextJob, conf: *conf, started: e.Now()}
+	jt.nextJob++
+	for i, f := range conf.InputFiles {
+		job.maps = append(job.maps, &mapTask{index: int32(i), inputFile: f, inputSize: conf.InputSizes[i]})
+	}
+	for i := int32(0); i < conf.NumReduces; i++ {
+		job.reduces = append(job.reduces, &reduceTask{index: i})
+	}
+	jt.jobs[job.id] = job
+	jt.order = append(jt.order, job.id)
+	return &wire.IntWritable{Value: job.id}, nil
+}
+
+func (jt *JobTracker) getJobStatus(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	e.Work(jtOpCost)
+	id := p.(*wire.IntWritable).Value
+	job, ok := jt.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("getJobStatus: unknown job %d", id)
+	}
+	st := &JobStatus{
+		Job: id, MapsDone: job.mapsDone, MapsTotal: int32(len(job.maps)),
+		ReducesDone: job.redsDone, ReducesTotal: int32(len(job.reduces)),
+		Complete: job.complete,
+	}
+	if job.complete {
+		st.RuntimeNs = int64(job.finished - job.started)
+	}
+	return st, nil
+}
+
+// heartbeat processes a TaskTracker report: bookkeeps completions, then (in
+// 0.20 style) hands out at most one new map and one new reduce, plus any new
+// map-completion events the tracker has not yet seen.
+func (jt *JobTracker) heartbeat(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	jt.Heartbeats++
+	hb := p.(*TTHeartbeat)
+	// Processing time grows with the status payload, modeling the global
+	// JobTracker lock held while deserializing and updating task trees.
+	e.Work(jtOpCost + time.Duration(len(hb.Running))*2*time.Microsecond)
+
+	tt, ok := jt.tts[hb.TTName]
+	if !ok {
+		tt = &jtTracker{name: hb.TTName, eventsSent: map[int32]int{}}
+		fmt.Sscanf(hb.Host, "node%d", &tt.node)
+		tt.shuffleAddr = jt.mr.ShuffleAddr(tt.node)
+		jt.tts[hb.TTName] = tt
+	}
+	tt.lastSeen = e.Now()
+
+	for i := range hb.Completed {
+		jt.completeTask(e, tt, hb.Completed[i])
+	}
+
+	resp := &HeartbeatResponse{Interval: int64(jt.mr.cfg.HeartbeatInterval)}
+
+	// Assignment: first runnable job gets the slots (FIFO scheduler).
+	mapsToGive := hb.MapSlotsFree
+	if mapsToGive > 1 {
+		mapsToGive = 1
+	}
+	redsToGive := hb.RedSlotsFree
+	if redsToGive > 1 {
+		redsToGive = 1
+	}
+	for _, id := range jt.order {
+		job := jt.jobs[id]
+		if job.complete {
+			continue
+		}
+		for mapsToGive > 0 {
+			m := jt.pickMap(job, tt.node)
+			if m == nil {
+				break
+			}
+			m.state = taskRunning
+			m.tt = hb.TTName
+			resp.Actions = append(resp.Actions, TaskSpec{
+				Valid:     true,
+				Task:      TaskID{Job: job.id, IsMap: true, Index: m.index},
+				InputFile: m.inputFile, InputBytes: m.inputSize,
+				NumMaps: int32(len(job.maps)), NumReduces: int32(len(job.reduces)),
+				OutputPath: job.conf.OutputPath, JobName: job.conf.Name,
+			})
+			mapsToGive--
+		}
+		if float64(job.mapsDone) >= reduceSlowstart*float64(len(job.maps)) {
+			for redsToGive > 0 {
+				r := jt.pickReduce(job)
+				if r == nil {
+					break
+				}
+				r.state = taskRunning
+				r.tt = hb.TTName
+				resp.Actions = append(resp.Actions, TaskSpec{
+					Valid:   true,
+					Task:    TaskID{Job: job.id, IsMap: false, Index: r.index},
+					NumMaps: int32(len(job.maps)), NumReduces: int32(len(job.reduces)),
+					OutputPath: job.conf.OutputPath, JobName: job.conf.Name,
+				})
+				redsToGive--
+			}
+		}
+		// Piggyback new map-completion events for the job this tracker is
+		// reducing (trackers cache them for their reducers' umbilical polls).
+		sent := tt.eventsSent[job.id]
+		if sent < len(job.events) {
+			resp.EventJob = job.id
+			resp.Events = append(resp.Events, job.events[sent:]...)
+			tt.eventsSent[job.id] = len(job.events)
+		}
+	}
+	return resp, nil
+}
+
+// pickMap prefers a pending map whose input is local to the tracker.
+func (jt *JobTracker) pickMap(job *jtJob, node int) *mapTask {
+	locs := jt.mr.inputLocality
+	var fallback *mapTask
+	for _, m := range job.maps {
+		if m.state != taskPending {
+			continue
+		}
+		if locs != nil {
+			if nodes, ok := locs[m.inputFile]; ok {
+				local := false
+				for _, n := range nodes {
+					if n == node {
+						local = true
+						break
+					}
+				}
+				if local {
+					return m
+				}
+			}
+		}
+		if fallback == nil {
+			fallback = m
+		}
+	}
+	return fallback
+}
+
+func (jt *JobTracker) pickReduce(job *jtJob) *reduceTask {
+	for _, r := range job.reduces {
+		if r.state == taskPending {
+			return r
+		}
+	}
+	return nil
+}
+
+func (jt *JobTracker) completeTask(e exec.Env, tt *jtTracker, id TaskID) {
+	job, ok := jt.jobs[id.Job]
+	if !ok {
+		return
+	}
+	if id.IsMap {
+		m := job.maps[id.Index]
+		if m.state != taskDone {
+			m.state = taskDone
+			job.mapsDone++
+			job.events = append(job.events, MapEvent{MapIndex: id.Index, ShuffleAddr: tt.shuffleAddr})
+		}
+	} else {
+		r := job.reduces[id.Index]
+		if r.state != taskDone {
+			r.state = taskDone
+			job.redsDone++
+		}
+	}
+	mapOnly := len(job.reduces) == 0
+	if int(job.mapsDone) == len(job.maps) && (mapOnly || int(job.redsDone) == len(job.reduces)) {
+		job.complete = true
+		job.finished = e.Now()
+	}
+}

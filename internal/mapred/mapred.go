@@ -1,0 +1,216 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/trace"
+	"rpcoib/internal/transport"
+	"rpcoib/internal/wire"
+)
+
+// Well-known ports.
+const (
+	jtPort      = 8021
+	umbPort     = 50020
+	shufflePort = 50060
+)
+
+// Config selects a mini-MapReduce deployment.
+type Config struct {
+	// JobTracker hosts the JobTracker.
+	JobTracker int
+	// TaskTrackers hosts one TaskTracker each.
+	TaskTrackers []int
+	// MapSlots and ReduceSlots per tracker (paper: 8 and 4).
+	MapSlots    int
+	ReduceSlots int
+	// RPCMode switches all Hadoop RPC between sockets and RPCoIB.
+	RPCMode core.Mode
+	// RPCKind is the socket fabric for baseline RPC.
+	RPCKind perfmodel.LinkKind
+	// ShuffleKind is the fabric the HTTP-like shuffle uses (stays on
+	// sockets in the paper's MapReduce experiments).
+	ShuffleKind perfmodel.LinkKind
+	// HeartbeatInterval defaults to 3 s (Hadoop 0.20 cluster of this size).
+	HeartbeatInterval time.Duration
+	// Tracer profiles all RPC traffic when set.
+	Tracer *trace.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MapSlots <= 0 {
+		c.MapSlots = 8
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 4
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	return c
+}
+
+// MapReduce is a deployed mini-MapReduce instance over an (optional) HDFS.
+type MapReduce struct {
+	c      *cluster.Cluster
+	cfg    Config
+	dfs    *hdfs.HDFS
+	jt     *JobTracker
+	tts    []*TaskTracker
+	jtAddr string
+	stopQ  exec.Queue
+	server *core.Server
+
+	// inputLocality maps input file -> nodes holding replicas, consulted by
+	// the scheduler for map locality.
+	inputLocality map[string][]int
+	jobConfs      map[int32]*SubmitJobParam
+	kicks         []exec.Queue
+}
+
+// Deploy spawns the JobTracker and TaskTrackers. dfs may be nil for
+// synthetic-input jobs.
+func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *MapReduce {
+	cfg = cfg.withDefaults()
+	mr := &MapReduce{
+		c: c, cfg: cfg, dfs: dfs,
+		jtAddr:        netsim.Addr(cfg.JobTracker, jtPort),
+		inputLocality: map[string][]int{},
+		jobConfs:      map[int32]*SubmitJobParam{},
+	}
+	mr.jt = newJobTracker(mr)
+	c.SpawnOn(cfg.JobTracker, "jobtracker", func(e exec.Env) {
+		mr.stopQ = e.NewQueue(0)
+		srv := core.NewServer(mr.rpcNet(cfg.JobTracker), core.Options{
+			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer, Handlers: 10,
+		})
+		mr.jt.register(srv)
+		if err := srv.Start(e, jtPort); err != nil {
+			panic(fmt.Sprintf("jobtracker: %v", err))
+		}
+		mr.server = srv
+		for i, node := range cfg.TaskTrackers {
+			tt := newTaskTracker(mr, node)
+			mr.tts = append(mr.tts, tt)
+			c.SpawnOn(node, fmt.Sprintf("tasktracker-%d", i), tt.run)
+		}
+	})
+	return mr
+}
+
+// JobTracker exposes the scheduler (tests).
+func (mr *MapReduce) JobTracker() *JobTracker { return mr.jt }
+
+// UmbilicalAddr returns the loopback umbilical address on node.
+func (mr *MapReduce) UmbilicalAddr(node int) string { return netsim.Addr(node, umbPort) }
+
+// ShuffleAddr returns the shuffle server address on node.
+func (mr *MapReduce) ShuffleAddr(node int) string { return netsim.Addr(node, shufflePort) }
+
+// registerKick records a tracker's out-of-band heartbeat queue for Stop.
+func (mr *MapReduce) registerKick(q exec.Queue) { mr.kicks = append(mr.kicks, q) }
+
+// Stop halts heartbeat loops and servers.
+func (mr *MapReduce) Stop() {
+	if mr.stopQ != nil {
+		mr.stopQ.Close()
+	}
+	for _, q := range mr.kicks {
+		q.Close()
+	}
+	if mr.server != nil {
+		mr.server.Stop()
+	}
+}
+
+func (mr *MapReduce) rpcNet(node int) transport.Network {
+	if mr.cfg.RPCMode == core.ModeRPCoIB {
+		return mr.c.RPCoIBNet(node)
+	}
+	return mr.c.SocketNet(mr.cfg.RPCKind, node)
+}
+
+func (mr *MapReduce) shuffleNet(node int) transport.Network {
+	return mr.c.SocketNet(mr.cfg.ShuffleKind, node)
+}
+
+func (mr *MapReduce) newRPCClient(node int) *core.Client {
+	return core.NewClient(mr.rpcNet(node), core.Options{
+		Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
+	})
+}
+
+// jobConf returns the submitted configuration of a job (children read the
+// equivalent of job.xml from their tracker's local disk).
+func (mr *MapReduce) jobConf(job int32) *SubmitJobParam { return mr.jobConfs[job] }
+
+// JobResult reports a finished job.
+type JobResult struct {
+	Status   JobStatus
+	Duration time.Duration
+}
+
+// RunJob submits conf from a client on node and polls until completion. The
+// caller must be a simulated process (it blocks).
+func (mr *MapReduce) RunJob(e exec.Env, node int, conf SubmitJobParam) (*JobResult, error) {
+	if conf.OutputReplication <= 0 {
+		conf.OutputReplication = 3
+	}
+	if conf.MapOutputRatioPct == 0 {
+		conf.MapOutputRatioPct = 100
+	}
+	if conf.ReduceOutRatioPct == 0 {
+		conf.ReduceOutRatioPct = 100
+	}
+	// Resolve input locality for the scheduler.
+	if mr.dfs != nil {
+		for _, f := range conf.InputFiles {
+			var nodes []int
+			for _, blockLocs := range mr.dfs.NameNode().LocationsOf(f) {
+				for _, dn := range blockLocs {
+					nodes = append(nodes, int(dn))
+				}
+			}
+			mr.inputLocality[f] = nodes
+		}
+	}
+	client := mr.newRPCClient(node)
+	var jobID wire.IntWritable
+	start := e.Now()
+	if err := client.Call(e, mr.jtAddr, JobSubmissionProtocol, "submitJob", &conf, &jobID); err != nil {
+		return nil, err
+	}
+	mr.jobConfs[jobID.Value] = &conf
+	for {
+		var st JobStatus
+		if err := client.Call(e, mr.jtAddr, JobSubmissionProtocol, "getJobStatus",
+			&wire.IntWritable{Value: jobID.Value}, &st); err != nil {
+			return nil, err
+		}
+		if st.Failed {
+			return &JobResult{Status: st, Duration: e.Now() - start}, fmt.Errorf("job %d failed", st.Job)
+		}
+		if st.Complete {
+			d := e.Now() - start
+			if st.RuntimeNs > 0 {
+				// The JobTracker's own measurement avoids the 1 s polling
+				// quantization.
+				d = time.Duration(st.RuntimeNs)
+			}
+			// Output-committer cleanup: remove the temporary directory.
+			if conf.WritesHDFSOutput && mr.dfs != nil && conf.OutputPath != "" {
+				dfs := mr.dfs.NewClient(node)
+				dfs.Delete(e, conf.OutputPath+"/_temporary")
+			}
+			return &JobResult{Status: st, Duration: d}, nil
+		}
+		e.Sleep(time.Second)
+	}
+}

@@ -1,0 +1,387 @@
+// Package mapred implements the mini-MapReduce substrate: a JobTracker
+// (scheduling over TaskTracker heartbeats, one map + one reduce assignment
+// per heartbeat as in Hadoop 0.20), TaskTrackers with map/reduce slots,
+// per-task child processes speaking the TaskUmbilicalProtocol over loopback
+// RPC, an HTTP-like shuffle data path, and HDFS-backed input/output with the
+// commitPending/canCommit output-commit dance. The RPC call mix it generates
+// (getTask, ping, statusUpdate, done, commitPending, canCommit,
+// getMapCompletionEvents, heartbeat, plus the NameNode traffic) is what the
+// paper's Table I and Figure 3 profile.
+package mapred
+
+import "rpcoib/internal/wire"
+
+// Protocol names match Table I.
+const (
+	JobSubmissionProtocol = "mapred.JobSubmissionProtocol"
+	InterTrackerProtocol  = "mapred.InterTrackerProtocol"
+	UmbilicalProtocol     = "mapred.TaskUmbilicalProtocol"
+)
+
+// TaskID names a task attempt.
+type TaskID struct {
+	Job   int32
+	IsMap bool
+	Index int32
+}
+
+func (t *TaskID) Write(out *wire.DataOutput) {
+	out.WriteInt32(t.Job)
+	out.WriteBool(t.IsMap)
+	out.WriteInt32(t.Index)
+}
+
+func (t *TaskID) ReadFields(in *wire.DataInput) {
+	t.Job = in.ReadInt32()
+	t.IsMap = in.ReadBool()
+	t.Index = in.ReadInt32()
+}
+
+// counterNames gives statusUpdate messages their realistic ~600-byte bulk
+// (Hadoop tasks report a few dozen framework counters by long name).
+var counterNames = []string{
+	"org.apache.hadoop.mapred.Task$Counter/MAP_INPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/MAP_OUTPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/MAP_INPUT_BYTES",
+	"org.apache.hadoop.mapred.Task$Counter/MAP_OUTPUT_BYTES",
+	"org.apache.hadoop.mapred.Task$Counter/COMBINE_INPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/COMBINE_OUTPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/REDUCE_INPUT_GROUPS",
+	"org.apache.hadoop.mapred.Task$Counter/REDUCE_INPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/REDUCE_OUTPUT_RECORDS",
+	"org.apache.hadoop.mapred.Task$Counter/REDUCE_SHUFFLE_BYTES",
+	"org.apache.hadoop.mapred.Task$Counter/SPILLED_RECORDS",
+	"FileSystemCounters/FILE_BYTES_READ",
+	"FileSystemCounters/FILE_BYTES_WRITTEN",
+	"FileSystemCounters/HDFS_BYTES_READ",
+	"FileSystemCounters/HDFS_BYTES_WRITTEN",
+}
+
+// TaskStatus is the statusUpdate payload: progress plus the counter block.
+type TaskStatus struct {
+	Task       TaskID
+	Progress   float64
+	State      byte // 0 running, 1 succeeded, 2 failed
+	Phase      byte // 0 map, 1 shuffle, 2 sort, 3 reduce
+	Diagnostic string
+	Counters   []int64 // parallel to counterNames
+}
+
+func (s *TaskStatus) Write(out *wire.DataOutput) {
+	s.Task.Write(out)
+	out.WriteFloat64(s.Progress)
+	out.WriteU8(s.State)
+	out.WriteU8(s.Phase)
+	out.WriteText(s.Diagnostic)
+	out.WriteVInt(int32(len(s.Counters)))
+	for i, v := range s.Counters {
+		out.WriteText(counterNames[i%len(counterNames)])
+		out.WriteVLong(v)
+	}
+}
+
+func (s *TaskStatus) ReadFields(in *wire.DataInput) {
+	s.Task.ReadFields(in)
+	s.Progress = in.ReadFloat64()
+	s.State = in.ReadU8()
+	s.Phase = in.ReadU8()
+	s.Diagnostic = in.ReadText()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	s.Counters = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		in.ReadText() // counter name
+		s.Counters = append(s.Counters, in.ReadVLong())
+	}
+}
+
+// fullCounters builds a counter block of the standard size.
+func fullCounters(seed int64) []int64 {
+	c := make([]int64, len(counterNames))
+	for i := range c {
+		c[i] = seed + int64(i)*7919
+	}
+	return c
+}
+
+// TaskSpec is the getTask reply and the launch-action payload.
+type TaskSpec struct {
+	Valid      bool
+	Task       TaskID
+	InputFile  string
+	InputBytes int64
+	NumMaps    int32
+	NumReduces int32
+	OutputPath string
+	JobName    string
+}
+
+func (s *TaskSpec) Write(out *wire.DataOutput) {
+	out.WriteBool(s.Valid)
+	s.Task.Write(out)
+	out.WriteText(s.InputFile)
+	out.WriteInt64(s.InputBytes)
+	out.WriteInt32(s.NumMaps)
+	out.WriteInt32(s.NumReduces)
+	out.WriteText(s.OutputPath)
+	out.WriteText(s.JobName)
+}
+
+func (s *TaskSpec) ReadFields(in *wire.DataInput) {
+	s.Valid = in.ReadBool()
+	s.Task.ReadFields(in)
+	s.InputFile = in.ReadText()
+	s.InputBytes = in.ReadInt64()
+	s.NumMaps = in.ReadInt32()
+	s.NumReduces = in.ReadInt32()
+	s.OutputPath = in.ReadText()
+	s.JobName = in.ReadText()
+}
+
+// MapEvent tells reducers where a completed map's output lives.
+type MapEvent struct {
+	MapIndex    int32
+	ShuffleAddr string
+}
+
+// TTHeartbeat is the InterTrackerProtocol heartbeat parameter: the full
+// TaskTracker status including every running task's status block, which is
+// why its serialized size varies so much (Figure 3's JT_heartbeat series).
+type TTHeartbeat struct {
+	TTName       string
+	Host         string
+	MapSlotsFree int32
+	RedSlotsFree int32
+	Running      []TaskStatus
+	Completed    []TaskID
+	Failed       []TaskID
+}
+
+func (h *TTHeartbeat) Write(out *wire.DataOutput) {
+	out.WriteText(h.TTName)
+	out.WriteText(h.Host)
+	out.WriteInt32(h.MapSlotsFree)
+	out.WriteInt32(h.RedSlotsFree)
+	out.WriteVInt(int32(len(h.Running)))
+	for i := range h.Running {
+		h.Running[i].Write(out)
+	}
+	out.WriteVInt(int32(len(h.Completed)))
+	for i := range h.Completed {
+		h.Completed[i].Write(out)
+	}
+	out.WriteVInt(int32(len(h.Failed)))
+	for i := range h.Failed {
+		h.Failed[i].Write(out)
+	}
+}
+
+func (h *TTHeartbeat) ReadFields(in *wire.DataInput) {
+	h.TTName = in.ReadText()
+	h.Host = in.ReadText()
+	h.MapSlotsFree = in.ReadInt32()
+	h.RedSlotsFree = in.ReadInt32()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	h.Running = make([]TaskStatus, n)
+	for i := range h.Running {
+		h.Running[i].ReadFields(in)
+	}
+	n = int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	h.Completed = make([]TaskID, n)
+	for i := range h.Completed {
+		h.Completed[i].ReadFields(in)
+	}
+	n = int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	h.Failed = make([]TaskID, n)
+	for i := range h.Failed {
+		h.Failed[i].ReadFields(in)
+	}
+}
+
+// HeartbeatResponse carries launch actions and fresh map-completion events.
+type HeartbeatResponse struct {
+	Actions  []TaskSpec
+	Events   []MapEvent
+	EventJob int32
+	Interval int64 // nanoseconds until next heartbeat
+}
+
+func (r *HeartbeatResponse) Write(out *wire.DataOutput) {
+	out.WriteVInt(int32(len(r.Actions)))
+	for i := range r.Actions {
+		r.Actions[i].Write(out)
+	}
+	out.WriteVInt(int32(len(r.Events)))
+	for i := range r.Events {
+		out.WriteInt32(r.Events[i].MapIndex)
+		out.WriteText(r.Events[i].ShuffleAddr)
+	}
+	out.WriteInt32(r.EventJob)
+	out.WriteInt64(r.Interval)
+}
+
+func (r *HeartbeatResponse) ReadFields(in *wire.DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	r.Actions = make([]TaskSpec, n)
+	for i := range r.Actions {
+		r.Actions[i].ReadFields(in)
+	}
+	n = int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	r.Events = make([]MapEvent, n)
+	for i := range r.Events {
+		r.Events[i].MapIndex = in.ReadInt32()
+		r.Events[i].ShuffleAddr = in.ReadText()
+	}
+	r.EventJob = in.ReadInt32()
+	r.Interval = in.ReadInt64()
+}
+
+// MapEventsParam asks for map-completion events from an index onward.
+type MapEventsParam struct {
+	Job       int32
+	FromIndex int32
+	Reduce    int32
+}
+
+func (p *MapEventsParam) Write(out *wire.DataOutput) {
+	out.WriteInt32(p.Job)
+	out.WriteInt32(p.FromIndex)
+	out.WriteInt32(p.Reduce)
+}
+
+func (p *MapEventsParam) ReadFields(in *wire.DataInput) {
+	p.Job = in.ReadInt32()
+	p.FromIndex = in.ReadInt32()
+	p.Reduce = in.ReadInt32()
+}
+
+// MapEventsReply returns the events at and after FromIndex.
+type MapEventsReply struct{ Events []MapEvent }
+
+func (r *MapEventsReply) Write(out *wire.DataOutput) {
+	out.WriteVInt(int32(len(r.Events)))
+	for i := range r.Events {
+		out.WriteInt32(r.Events[i].MapIndex)
+		out.WriteText(r.Events[i].ShuffleAddr)
+	}
+}
+
+func (r *MapEventsReply) ReadFields(in *wire.DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	r.Events = make([]MapEvent, n)
+	for i := range r.Events {
+		r.Events[i].MapIndex = in.ReadInt32()
+		r.Events[i].ShuffleAddr = in.ReadText()
+	}
+}
+
+// SubmitJobParam carries the job configuration, including the input file
+// list (submitJob is the one legitimately large metadata call).
+type SubmitJobParam struct {
+	Name              string
+	NumReduces        int32
+	InputFiles        []string
+	InputSizes        []int64
+	OutputPath        string
+	OutputReplication int32
+	MapCPUPerMBNs     int64
+	ReduceCPUPerMBNs  int64
+	MapOutputRatioPct int32
+	ReduceOutRatioPct int32
+	WritesHDFSOutput  bool
+}
+
+func (p *SubmitJobParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Name)
+	out.WriteInt32(p.NumReduces)
+	out.WriteVInt(int32(len(p.InputFiles)))
+	for i := range p.InputFiles {
+		out.WriteText(p.InputFiles[i])
+		out.WriteInt64(p.InputSizes[i])
+	}
+	out.WriteText(p.OutputPath)
+	out.WriteInt32(p.OutputReplication)
+	out.WriteInt64(p.MapCPUPerMBNs)
+	out.WriteInt64(p.ReduceCPUPerMBNs)
+	out.WriteInt32(p.MapOutputRatioPct)
+	out.WriteInt32(p.ReduceOutRatioPct)
+	out.WriteBool(p.WritesHDFSOutput)
+}
+
+func (p *SubmitJobParam) ReadFields(in *wire.DataInput) {
+	p.Name = in.ReadText()
+	p.NumReduces = in.ReadInt32()
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	p.InputFiles = make([]string, n)
+	p.InputSizes = make([]int64, n)
+	for i := 0; i < n; i++ {
+		p.InputFiles[i] = in.ReadText()
+		p.InputSizes[i] = in.ReadInt64()
+	}
+	p.OutputPath = in.ReadText()
+	p.OutputReplication = in.ReadInt32()
+	p.MapCPUPerMBNs = in.ReadInt64()
+	p.ReduceCPUPerMBNs = in.ReadInt64()
+	p.MapOutputRatioPct = in.ReadInt32()
+	p.ReduceOutRatioPct = in.ReadInt32()
+	p.WritesHDFSOutput = in.ReadBool()
+}
+
+// JobStatus is the getJobStatus reply. RuntimeNs is the JobTracker-measured
+// job runtime (submit to last task completion), reported once complete — the
+// number the JobTracker UI shows, free of client polling quantization.
+type JobStatus struct {
+	Job          int32
+	MapsDone     int32
+	MapsTotal    int32
+	ReducesDone  int32
+	ReducesTotal int32
+	Complete     bool
+	Failed       bool
+	RuntimeNs    int64
+}
+
+func (s *JobStatus) Write(out *wire.DataOutput) {
+	out.WriteInt32(s.Job)
+	out.WriteInt32(s.MapsDone)
+	out.WriteInt32(s.MapsTotal)
+	out.WriteInt32(s.ReducesDone)
+	out.WriteInt32(s.ReducesTotal)
+	out.WriteBool(s.Complete)
+	out.WriteBool(s.Failed)
+	out.WriteInt64(s.RuntimeNs)
+}
+
+func (s *JobStatus) ReadFields(in *wire.DataInput) {
+	s.Job = in.ReadInt32()
+	s.MapsDone = in.ReadInt32()
+	s.MapsTotal = in.ReadInt32()
+	s.ReducesDone = in.ReadInt32()
+	s.ReducesTotal = in.ReadInt32()
+	s.Complete = in.ReadBool()
+	s.Failed = in.ReadBool()
+	s.RuntimeNs = in.ReadInt64()
+}

@@ -1,0 +1,150 @@
+// Package netsim models the cluster interconnect at message granularity:
+// per-node NICs with store-and-forward/cut-through timing, per-link latency
+// and bandwidth from the frozen perfmodel tables, and TCP-like socket
+// connections with protocol-stack CPU charged against the owning node's
+// cores. It supplies the raw Transfer primitive that both the socket layer
+// here and the verbs layer (internal/ibverbs) are built on.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
+)
+
+// CPUFunc resolves a node id to the resource modeling its CPU cores, so
+// protocol-stack work contends with application work. A nil CPUFunc (or nil
+// result) disables CPU accounting for that node.
+type CPUFunc func(node int) *sim.Resource
+
+// Fabric is one interconnect instance (all nodes share one link-parameter
+// set, matching the paper's homogeneous clusters). A simulation typically
+// creates several fabrics — e.g. an IPoIB fabric and a native-IB fabric over
+// the same nodes — mirroring the multi-rail hosts of Cluster B.
+type Fabric struct {
+	s         *sim.Sim
+	params    perfmodel.LinkParams
+	cpuOf     CPUFunc
+	nics      map[int]*nic
+	listeners map[string]*Listener
+	connSeq   int
+	down      map[int]bool
+
+	// Delivered counts messages and bytes that completed transfer.
+	Delivered      int64
+	DeliveredBytes int64
+}
+
+type nic struct {
+	txFree time.Duration
+	rxFree time.Duration
+}
+
+// NewFabric creates a fabric over the given link parameters.
+func NewFabric(s *sim.Sim, params perfmodel.LinkParams, cpuOf CPUFunc) *Fabric {
+	return &Fabric{
+		s:         s,
+		params:    params,
+		cpuOf:     cpuOf,
+		nics:      map[int]*nic{},
+		listeners: map[string]*Listener{},
+		down:      map[int]bool{},
+	}
+}
+
+// Params returns the fabric's link parameters.
+func (f *Fabric) Params() perfmodel.LinkParams { return f.params }
+
+// Sim returns the owning simulator.
+func (f *Fabric) Sim() *sim.Sim { return f.s }
+
+func (f *Fabric) nic(node int) *nic {
+	n, ok := f.nics[node]
+	if !ok {
+		n = &nic{}
+		f.nics[node] = n
+	}
+	return n
+}
+
+// ChargeCPU makes p occupy a core of node for d. It is exported for the
+// layers built on the fabric (sockets here, verbs in internal/ibverbs).
+func (f *Fabric) ChargeCPU(p *sim.Proc, node int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if f.cpuOf != nil {
+		if cpu := f.cpuOf(node); cpu != nil {
+			cpu.Use(p, d)
+			return
+		}
+	}
+	// No core model for this node: the work still takes time.
+	p.Sleep(d)
+}
+
+// Transfer moves size bytes from src to dst and runs deliver (in kernel
+// context) when the last byte arrives. Timing: the sender NIC serializes
+// outgoing messages FIFO at link bandwidth; reception is cut-through —
+// it begins one latency after transmission begins but a receiver NIC also
+// handles one message at a time, so incast congestion queues at the
+// receiver.
+func (f *Fabric) Transfer(src, dst, size int, deliver func()) {
+	if f.down[src] || f.down[dst] {
+		// Partitioned host: frames are silently lost; timeouts upstack
+		// detect the failure, as on a real fabric.
+		return
+	}
+	now := f.s.Now()
+	if src == dst {
+		// Loopback: no NIC involvement, a fixed small kernel hop.
+		f.s.At(now+loopbackLatency, func() {
+			f.Delivered++
+			f.DeliveredBytes += int64(size)
+			deliver()
+		})
+		return
+	}
+	tx, rx := f.nic(src), f.nic(dst)
+	dur := f.params.TransferTime(size)
+	txStart := maxDur(now, tx.txFree)
+	tx.txFree = txStart + dur
+	rxStart := maxDur(txStart+f.params.Latency, rx.rxFree)
+	rxDone := rxStart + dur
+	rx.rxFree = rxDone
+	f.s.At(rxDone, func() {
+		f.Delivered++
+		f.DeliveredBytes += int64(size)
+		deliver()
+	})
+}
+
+// loopbackLatency is the same-host delivery latency (localhost sockets).
+const loopbackLatency = 8 * time.Microsecond
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetNodeDown partitions (or heals) a node: all traffic to and from it is
+// dropped, and new dials fail fast. Used for failure-injection tests.
+func (f *Fabric) SetNodeDown(node int, down bool) { f.down[node] = down }
+
+// NodeDown reports whether a node is partitioned.
+func (f *Fabric) NodeDown(node int) bool { return f.down[node] }
+
+// Addr formats a node/port pair as a dialable address.
+func Addr(node, port int) string { return fmt.Sprintf("node%d:%d", node, port) }
+
+// ParseAddr parses an address produced by Addr.
+func ParseAddr(addr string) (node, port int, err error) {
+	if _, err := fmt.Sscanf(addr, "node%d:%d", &node, &port); err != nil {
+		return 0, 0, fmt.Errorf("netsim: bad address %q: %w", addr, err)
+	}
+	return node, port, nil
+}

@@ -1,0 +1,324 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	addr := Addr(17, 9000)
+	node, port, err := ParseAddr(addr)
+	if err != nil || node != 17 || port != 9000 {
+		t.Fatalf("%v %d %d", err, node, port)
+	}
+	if _, _, err := ParseAddr("garbage"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	s := sim.New(1)
+	params := perfmodel.LinkParams{Kind: perfmodel.TenGigE,
+		Latency: 10 * time.Microsecond, Bandwidth: 1e9}
+	f := NewFabric(s, params, nil)
+	var at time.Duration
+	// 1e6 bytes at 1 GB/s = 1 ms serialization + 10 us latency.
+	f.Transfer(0, 1, 1_000_000, func() { at = s.Now() })
+	s.Run()
+	want := time.Millisecond + 10*time.Microsecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if f.Delivered != 1 || f.DeliveredBytes != 1_000_000 {
+		t.Fatalf("counters %d %d", f.Delivered, f.DeliveredBytes)
+	}
+}
+
+func TestSenderNICSerializes(t *testing.T) {
+	s := sim.New(1)
+	params := perfmodel.LinkParams{Latency: 5 * time.Microsecond, Bandwidth: 1e9}
+	f := NewFabric(s, params, nil)
+	var first, second time.Duration
+	// Two back-to-back 1 MB sends from node 0: the second must queue behind
+	// the first at the sender NIC.
+	f.Transfer(0, 1, 1_000_000, func() { first = s.Now() })
+	f.Transfer(0, 2, 1_000_000, func() { second = s.Now() })
+	s.Run()
+	if second < first+time.Millisecond {
+		t.Fatalf("no tx serialization: first=%v second=%v", first, second)
+	}
+}
+
+func TestIncastQueuesAtReceiver(t *testing.T) {
+	s := sim.New(1)
+	params := perfmodel.LinkParams{Latency: 5 * time.Microsecond, Bandwidth: 1e9}
+	f := NewFabric(s, params, nil)
+	var times []time.Duration
+	// Four different senders to one receiver: receiver NIC admits one
+	// message at a time.
+	for src := 0; src < 4; src++ {
+		f.Transfer(src+1, 0, 1_000_000, func() { times = append(times, s.Now()) })
+	}
+	s.Run()
+	if len(times) != 4 {
+		t.Fatalf("%d deliveries", len(times))
+	}
+	for i := 1; i < 4; i++ {
+		gap := times[i] - times[i-1]
+		if gap < time.Millisecond {
+			t.Fatalf("deliveries %d,%d only %v apart; want >= 1ms", i-1, i, gap)
+		}
+	}
+}
+
+func newTestFabric(s *sim.Sim) *Fabric {
+	return NewFabric(s, perfmodel.Link(perfmodel.IPoIB), nil)
+}
+
+func TestListenDialSendRecv(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	var got string
+	ln, err := f.Listen(0, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("server", func(p *sim.Proc) {
+		conn, err := ln.Accept(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := conn.Recv(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = string(data)
+		conn.Send(p, []byte("pong"))
+	})
+	var reply string
+	s.Spawn("client", func(p *sim.Proc) {
+		conn, err := f.Dial(p, 1, Addr(0, 9000))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Send(p, []byte("ping"))
+		data, err := conn.Recv(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		reply = string(data)
+	})
+	s.Run()
+	if got != "ping" || reply != "pong" {
+		t.Fatalf("got=%q reply=%q", got, reply)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	var err error
+	s.Spawn("client", func(p *sim.Proc) {
+		_, err = f.Dial(p, 1, Addr(0, 12345))
+	})
+	s.Run()
+	if err == nil {
+		t.Fatal("expected connection refused")
+	}
+}
+
+func TestPortInUse(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	if _, err := f.Listen(0, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen(0, 9000); err == nil {
+		t.Fatal("expected port-in-use error")
+	}
+	// A different node may reuse the port number.
+	if _, err := f.Listen(1, 9000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnCloseReachesPeer(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	ln, _ := f.Listen(0, 9000)
+	var recvErr error
+	s.Spawn("server", func(p *sim.Proc) {
+		conn, err := ln.Accept(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, recvErr = conn.Recv(p)
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		conn, err := f.Dial(p, 1, Addr(0, 9000))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close()
+	})
+	s.Run()
+	if recvErr == nil {
+		t.Fatal("peer Recv should fail after close")
+	}
+}
+
+func TestListenerCloseWakesAccept(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	ln, _ := f.Listen(0, 9000)
+	var acceptErr error
+	s.Spawn("server", func(p *sim.Proc) {
+		_, acceptErr = ln.Accept(p)
+	})
+	s.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		ln.Close()
+	})
+	s.Run()
+	if acceptErr == nil {
+		t.Fatal("Accept should fail after listener close")
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	ln, _ := f.Listen(0, 9000)
+	var got []byte
+	s.Spawn("server", func(p *sim.Proc) {
+		conn, _ := ln.Accept(p)
+		for i := 0; i < 20; i++ {
+			data, err := conn.Recv(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, data[0])
+		}
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		conn, _ := f.Dial(p, 1, Addr(0, 9000))
+		for i := 0; i < 20; i++ {
+			conn.Send(p, []byte{byte(i), 0, 0, 0})
+		}
+	})
+	s.Run()
+	if len(got) != 20 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestStackCPUChargedToNodeCores(t *testing.T) {
+	s := sim.New(1)
+	cores := map[int]*sim.Resource{0: s.NewResource(1), 1: s.NewResource(1)}
+	params := perfmodel.LinkParams{Latency: time.Microsecond, Bandwidth: 1e9,
+		PerMsgCPU: 100 * time.Microsecond}
+	f := NewFabric(s, params, func(n int) *sim.Resource { return cores[n] })
+	ln, _ := f.Listen(0, 9000)
+	s.Spawn("server", func(p *sim.Proc) {
+		conn, _ := ln.Accept(p)
+		conn.Recv(p)
+	})
+	var sendDone time.Duration
+	s.Spawn("client", func(p *sim.Proc) {
+		conn, _ := f.Dial(p, 1, Addr(0, 9000))
+		conn.Send(p, []byte("x"))
+		sendDone = p.Now()
+	})
+	// An interfering compute-bound process on the client node delays the
+	// send-side stack work.
+	s.Spawn("hog", func(p *sim.Proc) {
+		cores[1].Use(p, 500*time.Microsecond)
+	})
+	s.Run()
+	if sendDone < 500*time.Microsecond {
+		t.Fatalf("send finished at %v; stack CPU did not contend with hog", sendDone)
+	}
+}
+
+func TestNodeDownDropsTraffic(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	delivered := false
+	f.SetNodeDown(1, true)
+	f.Transfer(0, 1, 100, func() { delivered = true })
+	f.Transfer(1, 0, 100, func() { delivered = true })
+	s.Run()
+	if delivered {
+		t.Fatal("traffic crossed a partition")
+	}
+	if !f.NodeDown(1) || f.NodeDown(0) {
+		t.Fatal("down-state bookkeeping wrong")
+	}
+	// Healing restores delivery.
+	f.SetNodeDown(1, false)
+	f.Transfer(0, 1, 100, func() { delivered = true })
+	s.Run()
+	if !delivered {
+		t.Fatal("traffic still dropped after heal")
+	}
+}
+
+func TestDialToDownNodeFailsFast(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	if _, err := f.Listen(0, 9000); err != nil {
+		t.Fatal(err)
+	}
+	f.SetNodeDown(0, true)
+	var dialErr error
+	var took time.Duration
+	s.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		_, dialErr = f.Dial(p, 1, Addr(0, 9000))
+		took = p.Now() - start
+	})
+	s.Run()
+	if dialErr == nil {
+		t.Fatal("dial to a partitioned host succeeded")
+	}
+	if took > time.Millisecond {
+		t.Fatalf("dial failure took %v; should fail fast", took)
+	}
+}
+
+func TestLoopbackBypassesNIC(t *testing.T) {
+	s := sim.New(1)
+	f := newTestFabric(s)
+	var at time.Duration
+	// A huge loopback transfer must not occupy the NIC or pay wire time.
+	f.Transfer(3, 3, 1<<30, func() { at = s.Now() })
+	s.Run()
+	if at == 0 || at > 100*time.Microsecond {
+		t.Fatalf("loopback delivery at %v", at)
+	}
+	// And it must not have blocked a subsequent real transfer's NIC slot.
+	s2 := sim.New(1)
+	f2 := newTestFabric(s2)
+	f2.Transfer(3, 3, 1<<30, func() {})
+	var realAt time.Duration
+	f2.Transfer(3, 4, 1000, func() { realAt = s2.Now() })
+	s2.Run()
+	if realAt > time.Millisecond {
+		t.Fatalf("real transfer delayed to %v by loopback", realAt)
+	}
+}

@@ -1,0 +1,197 @@
+// Package perfmodel holds the calibrated cost model shared by every
+// simulated experiment: CPU costs of the memory and software operations the
+// paper identifies as bottlenecks (allocation, copies, JVM-to-native
+// crossings, thread handoffs, serialization work), and the link parameters
+// of the four networks evaluated (1GigE, 10GigE, IPoIB QDR, native IB QDR).
+//
+// Calibration discipline: constants were tuned once against the paper's
+// MICRO-benchmark numbers (Figure 5: RPCoIB 39 us at 1 B and 52 us at 4 KB;
+// baseline reductions of 42-49% vs 10GigE and 46-50% vs IPoIB; peak
+// throughput 135/82/74 Kops/s) and then frozen. Every macro experiment
+// (Sort, CloudBurst, HDFS, HBase) runs on the same frozen table, so their
+// agreement with the paper is a prediction of the model, not a fit.
+package perfmodel
+
+import "time"
+
+// CPUCosts models the software-side costs of one JVM-like process. All
+// values are charged as virtual CPU time (contending for node cores).
+type CPUCosts struct {
+	// AllocBase is the fixed cost of a heap allocation (object header,
+	// TLAB bump, GC bookkeeping amortization).
+	AllocBase time.Duration
+	// AllocPerKB is the zeroing cost per KB of fresh heap memory.
+	AllocPerKB time.Duration
+	// CopyBase and CopyPerKB price a memcpy within one memory domain.
+	CopyBase  time.Duration
+	CopyPerKB time.Duration
+	// HeapNativeBase and HeapNativePerKB price a copy across the JVM
+	// heap/native boundary (JNI GetByteArrayRegion / socket write path).
+	HeapNativeBase  time.Duration
+	HeapNativePerKB time.Duration
+	// SerializeOp is the cost of one primitive DataOutput/DataInput
+	// operation (field dispatch, bounds checks).
+	SerializeOp time.Duration
+	// ThreadHandoff is the cost of enqueueing work for another thread and
+	// that thread being scheduled (lock + condvar/futex wakeup).
+	ThreadHandoff time.Duration
+	// Syscall is the fixed cost of entering the kernel for a socket
+	// send/recv.
+	Syscall time.Duration
+	// PoolGet is the cost of acquiring a pre-registered buffer from the
+	// two-level pool ("the overhead of getting a buffer is very small").
+	PoolGet time.Duration
+	// RegisterPerKB is the cost of registering fresh memory with the HCA
+	// (pool miss slow path).
+	RegisterPerKB time.Duration
+	// VerbsPost is the cost of posting a verbs work request.
+	VerbsPost time.Duration
+	// CQPoll is the cost of reaping a completion.
+	CQPoll time.Duration
+	// Dispatch is the per-call cost of method lookup/reflective invoke on
+	// the server plus call-table bookkeeping on the client.
+	Dispatch time.Duration
+	// RPCOverhead is the residual per-message framework cost (connection
+	// table lookups, header handling) charged once per message per side.
+	RPCOverhead time.Duration
+	// SendReap is the cost of reaping the previous send's completion and
+	// returning flow-control credits before posting the next verbs send. It
+	// is only paid when sends are closer together than ReapIdleGap — on an
+	// idle connection the lazy poller has already consumed the CQE.
+	SendReap time.Duration
+	// ReapIdleGap is the send spacing above which SendReap is free.
+	ReapIdleGap time.Duration
+}
+
+// Alloc returns the modeled cost of allocating n bytes on the heap.
+func (c *CPUCosts) Alloc(n int) time.Duration {
+	return c.AllocBase + scaleKB(c.AllocPerKB, n)
+}
+
+// Copy returns the modeled cost of copying n bytes within one domain.
+func (c *CPUCosts) Copy(n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return c.CopyBase + scaleKB(c.CopyPerKB, n)
+}
+
+// HeapNative returns the modeled cost of moving n bytes between the JVM
+// heap and the native IO layer.
+func (c *CPUCosts) HeapNative(n int) time.Duration {
+	return c.HeapNativeBase + scaleKB(c.HeapNativePerKB, n)
+}
+
+// Serialize returns the cost of ops primitive serialization operations.
+func (c *CPUCosts) Serialize(ops int64) time.Duration {
+	return time.Duration(ops) * c.SerializeOp
+}
+
+// Register returns the cost of registering n bytes with the HCA.
+func (c *CPUCosts) Register(n int) time.Duration { return scaleKB(c.RegisterPerKB, n) }
+
+func scaleKB(perKB time.Duration, n int) time.Duration {
+	return time.Duration(int64(perKB) * int64(n) / 1024)
+}
+
+// DefaultCPU returns the frozen CPU cost table (see package comment).
+func DefaultCPU() *CPUCosts {
+	return &CPUCosts{
+		AllocBase:       250 * time.Nanosecond,
+		AllocPerKB:      350 * time.Nanosecond, // ~3 GB/s: zeroing plus GC pressure of fresh arrays
+		CopyBase:        60 * time.Nanosecond,
+		CopyPerKB:       250 * time.Nanosecond, // ~4 GB/s managed-runtime copy
+		HeapNativeBase:  400 * time.Nanosecond,
+		HeapNativePerKB: 150 * time.Nanosecond,
+		SerializeOp:     55 * time.Nanosecond,
+		ThreadHandoff:   6000 * time.Nanosecond,
+		Syscall:         1000 * time.Nanosecond,
+		PoolGet:         400 * time.Nanosecond,
+		RegisterPerKB:   250 * time.Nanosecond,
+		VerbsPost:       300 * time.Nanosecond,
+		CQPoll:          1000 * time.Nanosecond,
+		Dispatch:        2000 * time.Nanosecond,
+		RPCOverhead:     2500 * time.Nanosecond,
+		SendReap:        3000 * time.Nanosecond,
+		ReapIdleGap:     20 * time.Microsecond,
+	}
+}
+
+// LinkKind identifies one of the paper's four interconnect configurations.
+type LinkKind int
+
+const (
+	// OneGigE is 1 Gb/s Ethernet with TCP.
+	OneGigE LinkKind = iota
+	// TenGigE is the 10 Gb/s iWARP-capable Ethernet used as TCP in the
+	// paper's baseline.
+	TenGigE
+	// IPoIB is TCP/IP emulation over QDR InfiniBand (32 Gbps signaling).
+	IPoIB
+	// NativeIB is QDR InfiniBand verbs (send/recv + RDMA).
+	NativeIB
+)
+
+// String names the link kind as the paper does.
+func (k LinkKind) String() string {
+	switch k {
+	case OneGigE:
+		return "1GigE"
+	case TenGigE:
+		return "10GigE"
+	case IPoIB:
+		return "IPoIB"
+	case NativeIB:
+		return "IB"
+	}
+	return "unknown"
+}
+
+// LinkParams models one interconnect.
+type LinkParams struct {
+	Kind LinkKind
+	// Latency is the one-way wire+switch+NIC latency for a minimal frame.
+	Latency time.Duration
+	// Bandwidth is effective payload bandwidth in bytes/second.
+	Bandwidth float64
+	// PerMsgCPU is protocol-stack CPU charged per message on each side
+	// (TCP segmentation/ack handling; near zero for verbs, charged there
+	// through VerbsPost/CQPoll instead).
+	PerMsgCPU time.Duration
+	// PerKBCPU is protocol-stack CPU per KB on each side (kernel copies
+	// and checksums for TCP; zero for RDMA which bypasses the CPU).
+	PerKBCPU time.Duration
+}
+
+// StackCPU returns the per-side protocol stack CPU for an n-byte message.
+func (p *LinkParams) StackCPU(n int) time.Duration {
+	return p.PerMsgCPU + scaleKB(p.PerKBCPU, n)
+}
+
+// TransferTime returns serialization (wire occupancy) time for n bytes.
+func (p *LinkParams) TransferTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.Bandwidth * float64(time.Second))
+}
+
+// Link returns the frozen parameters for kind.
+func Link(kind LinkKind) LinkParams {
+	switch kind {
+	case OneGigE:
+		return LinkParams{Kind: kind, Latency: 28 * time.Microsecond,
+			Bandwidth: 117e6, PerMsgCPU: 5 * time.Microsecond, PerKBCPU: 300 * time.Nanosecond}
+	case TenGigE:
+		return LinkParams{Kind: kind, Latency: 10 * time.Microsecond,
+			Bandwidth: 1.15e9, PerMsgCPU: 3200 * time.Nanosecond, PerKBCPU: 150 * time.Nanosecond}
+	case IPoIB:
+		return LinkParams{Kind: kind, Latency: 10500 * time.Nanosecond,
+			Bandwidth: 2.8e9, PerMsgCPU: 3500 * time.Nanosecond, PerKBCPU: 140 * time.Nanosecond}
+	case NativeIB:
+		return LinkParams{Kind: kind, Latency: 1700 * time.Nanosecond,
+			Bandwidth: 3.4e9, PerMsgCPU: 0, PerKBCPU: 0}
+	}
+	panic("perfmodel: unknown link kind")
+}
+
+// DefaultRDMAThreshold is the message size above which RPCoIB switches from
+// send/recv (eager) to RDMA (rendezvous) — the paper's tunable threshold.
+const DefaultRDMAThreshold = 16 * 1024

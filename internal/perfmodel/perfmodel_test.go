@@ -1,0 +1,79 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostScaling(t *testing.T) {
+	c := DefaultCPU()
+	if c.Alloc(0) != c.AllocBase {
+		t.Fatal("zero-byte alloc should cost the base")
+	}
+	if c.Alloc(2048) != c.AllocBase+2*c.AllocPerKB {
+		t.Fatalf("alloc(2KB) = %v", c.Alloc(2048))
+	}
+	if c.Copy(0) != 0 {
+		t.Fatal("zero-byte copy should be free")
+	}
+	if c.Copy(1024) != c.CopyBase+c.CopyPerKB {
+		t.Fatalf("copy(1KB) = %v", c.Copy(1024))
+	}
+	if c.HeapNative(4096) != c.HeapNativeBase+4*c.HeapNativePerKB {
+		t.Fatalf("heapNative(4KB) = %v", c.HeapNative(4096))
+	}
+	if c.Serialize(10) != 10*c.SerializeOp {
+		t.Fatalf("serialize(10) = %v", c.Serialize(10))
+	}
+	if c.Register(2048) != 2*c.RegisterPerKB {
+		t.Fatalf("register = %v", c.Register(2048))
+	}
+}
+
+func TestLinkPresets(t *testing.T) {
+	kinds := []LinkKind{OneGigE, TenGigE, IPoIB, NativeIB}
+	names := []string{"1GigE", "10GigE", "IPoIB", "IB"}
+	var prevBW float64
+	for i, k := range kinds {
+		p := Link(k)
+		if p.Kind != k || k.String() != names[i] {
+			t.Fatalf("kind %v name %q", p.Kind, k.String())
+		}
+		if p.Bandwidth <= prevBW {
+			t.Fatalf("bandwidths must ascend: %v", p.Bandwidth)
+		}
+		prevBW = p.Bandwidth
+		if p.Latency <= 0 {
+			t.Fatalf("latency %v", p.Latency)
+		}
+	}
+	// Native IB must have the lowest latency and zero per-message stack CPU.
+	ib := Link(NativeIB)
+	if ib.Latency >= Link(IPoIB).Latency || ib.PerMsgCPU != 0 {
+		t.Fatalf("IB params %+v", ib)
+	}
+	if LinkKind(99).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := LinkParams{Bandwidth: 1e9}
+	if got := p.TransferTime(1e9); got != time.Second {
+		t.Fatalf("1GB at 1GB/s = %v", got)
+	}
+	if got := p.TransferTime(0); got != 0 {
+		t.Fatalf("zero bytes = %v", got)
+	}
+}
+
+func TestStackCPU(t *testing.T) {
+	p := Link(IPoIB)
+	small, big := p.StackCPU(1), p.StackCPU(1<<20)
+	if big <= small {
+		t.Fatal("per-KB CPU must scale")
+	}
+	if ib := Link(NativeIB); ib.StackCPU(1<<20) != 0 {
+		t.Fatal("verbs transfers must not charge stack CPU")
+	}
+}

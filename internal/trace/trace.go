@@ -1,0 +1,236 @@
+// Package trace is the RPC invocation profiler behind the paper's Table I
+// (per-<protocol,method> memory adjustments, serialization and send times),
+// Figure 1 (buffer-allocation share of call receive time), and Figure 3
+// (message size locality sequences).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSizesPerKey bounds the retained per-key message-size sequence.
+const maxSizesPerKey = 100000
+
+// Key identifies a call kind, the paper's <protocol, method> tuple.
+type Key struct {
+	Protocol string
+	Method   string
+}
+
+// String formats the key as "protocol.method".
+func (k Key) String() string { return k.Protocol + "." + k.Method }
+
+// SendSample profiles one client-side call serialization and send.
+type SendSample struct {
+	Key         Key
+	MsgBytes    int
+	Adjustments int64
+	Serialize   time.Duration
+	Send        time.Duration
+}
+
+// RecvSample profiles one server-side call reception.
+type RecvSample struct {
+	Key      Key
+	MsgBytes int
+	Alloc    time.Duration // buffer allocation share
+	Total    time.Duration // whole receive+deserialize time
+}
+
+// Agg accumulates per-key send-side statistics (Table I row material).
+type Agg struct {
+	Count       int64
+	Adjustments int64
+	Serialize   time.Duration
+	Send        time.Duration
+}
+
+// RecvAgg accumulates per-key receive-side statistics (Figure 1 material).
+type RecvAgg struct {
+	Count int64
+	Alloc time.Duration
+	Total time.Duration
+	Bytes int64
+}
+
+// Tracer collects RPC profiling data. A nil *Tracer is valid and records
+// nothing, so the engine can call it unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	sends map[Key]*Agg
+	recvs map[Key]*RecvAgg
+	sizes map[Key][]int
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{sends: map[Key]*Agg{}, recvs: map[Key]*RecvAgg{}, sizes: map[Key][]int{}}
+}
+
+// RecordSend adds a client-side sample.
+func (t *Tracer) RecordSend(s SendSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.sends[s.Key]
+	if !ok {
+		a = &Agg{}
+		t.sends[s.Key] = a
+	}
+	a.Count++
+	a.Adjustments += s.Adjustments
+	a.Serialize += s.Serialize
+	a.Send += s.Send
+	if seq := t.sizes[s.Key]; len(seq) < maxSizesPerKey {
+		t.sizes[s.Key] = append(seq, s.MsgBytes)
+	}
+}
+
+// RecordRecv adds a server-side sample.
+func (t *Tracer) RecordRecv(s RecvSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.recvs[s.Key]
+	if !ok {
+		a = &RecvAgg{}
+		t.recvs[s.Key] = a
+	}
+	a.Count++
+	a.Alloc += s.Alloc
+	a.Total += s.Total
+	a.Bytes += int64(s.MsgBytes)
+}
+
+// SendRow is one Table I row.
+type SendRow struct {
+	Key            Key
+	Count          int64
+	AvgAdjustments float64
+	AvgSerialize   time.Duration
+	AvgSend        time.Duration
+}
+
+// SendRows returns per-key averages sorted by key.
+func (t *Tracer) SendRows() []SendRow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rows := make([]SendRow, 0, len(t.sends))
+	for k, a := range t.sends {
+		rows = append(rows, SendRow{
+			Key:            k,
+			Count:          a.Count,
+			AvgAdjustments: float64(a.Adjustments) / float64(a.Count),
+			AvgSerialize:   a.Serialize / time.Duration(a.Count),
+			AvgSend:        a.Send / time.Duration(a.Count),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key.Protocol != rows[j].Key.Protocol {
+			return rows[i].Key.Protocol < rows[j].Key.Protocol
+		}
+		return rows[i].Key.Method < rows[j].Key.Method
+	})
+	return rows
+}
+
+// AllocRatio returns, over all keys, the ratio of buffer-allocation time to
+// total receive time on the server (Figure 1's Y axis).
+func (t *Tracer) AllocRatio() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var alloc, total time.Duration
+	for _, a := range t.recvs {
+		alloc += a.Alloc
+		total += a.Total
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(alloc) / float64(total)
+}
+
+// Sizes returns the recorded message-size sequence for a key.
+func (t *Tracer) Sizes(k Key) []int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int(nil), t.sizes[k]...)
+}
+
+// Keys returns all keys with send samples, sorted.
+func (t *Tracer) Keys() []Key {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]Key, 0, len(t.sends))
+	for k := range t.sends {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// SizeClass returns the paper's Figure 3 size class for a message: the
+// smallest power-of-two bucket >= 128 bytes that holds it.
+func SizeClass(size int) int {
+	class := 128
+	for class < size {
+		class *= 2
+	}
+	return class
+}
+
+// LocalityStats describes how strongly a key's call sizes cluster: the
+// fraction of consecutive calls whose sizes fall in the same size class —
+// the paper's Message Size Locality.
+func LocalityStats(sizes []int) (sameClassFraction float64, classes map[int]int) {
+	classes = map[int]int{}
+	if len(sizes) == 0 {
+		return 0, classes
+	}
+	same := 0
+	for i, s := range sizes {
+		c := SizeClass(s)
+		classes[c]++
+		if i > 0 && c == SizeClass(sizes[i-1]) {
+			same++
+		}
+	}
+	if len(sizes) == 1 {
+		return 1, classes
+	}
+	return float64(same) / float64(len(sizes)-1), classes
+}
+
+// FormatTable renders Table I in the paper's column layout.
+func (t *Tracer) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-24s %6s %10s %12s %10s\n",
+		"Protocol", "Method", "Calls", "AvgAdjust", "AvgSer(us)", "AvgSend(us)")
+	for _, r := range t.SendRows() {
+		fmt.Fprintf(&b, "%-34s %-24s %6d %10.1f %12.1f %10.1f\n",
+			r.Key.Protocol, r.Key.Method, r.Count, r.AvgAdjustments,
+			float64(r.AvgSerialize)/float64(time.Microsecond),
+			float64(r.AvgSend)/float64(time.Microsecond))
+	}
+	return b.String()
+}

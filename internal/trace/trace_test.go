@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.RecordSend(SendSample{})
+	tr.RecordRecv(RecvSample{})
+	if tr.SendRows() != nil || tr.AllocRatio() != 0 || tr.Sizes(Key{}) != nil || tr.Keys() != nil {
+		t.Fatal("nil tracer must return zero values")
+	}
+}
+
+func TestSendAggregation(t *testing.T) {
+	tr := New()
+	k := Key{Protocol: "mapred.TaskUmbilicalProtocol", Method: "statusUpdate"}
+	for i := 0; i < 4; i++ {
+		tr.RecordSend(SendSample{Key: k, MsgBytes: 600 + i, Adjustments: 5,
+			Serialize: 10 * time.Microsecond, Send: 4 * time.Microsecond})
+	}
+	rows := tr.SendRows()
+	if len(rows) != 1 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	r := rows[0]
+	if r.Count != 4 || r.AvgAdjustments != 5 ||
+		r.AvgSerialize != 10*time.Microsecond || r.AvgSend != 4*time.Microsecond {
+		t.Fatalf("row %+v", r)
+	}
+	if sizes := tr.Sizes(k); len(sizes) != 4 || sizes[0] != 600 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestRowsSorted(t *testing.T) {
+	tr := New()
+	tr.RecordSend(SendSample{Key: Key{"b", "z"}})
+	tr.RecordSend(SendSample{Key: Key{"a", "y"}})
+	tr.RecordSend(SendSample{Key: Key{"a", "x"}})
+	rows := tr.SendRows()
+	want := []string{"a.x", "a.y", "b.z"}
+	for i, r := range rows {
+		if r.Key.String() != want[i] {
+			t.Fatalf("order %v", rows)
+		}
+	}
+}
+
+func TestAllocRatio(t *testing.T) {
+	tr := New()
+	k := Key{"p", "m"}
+	tr.RecordRecv(RecvSample{Key: k, Alloc: 3 * time.Microsecond, Total: 10 * time.Microsecond})
+	tr.RecordRecv(RecvSample{Key: k, Alloc: 1 * time.Microsecond, Total: 10 * time.Microsecond})
+	if got := tr.AllocRatio(); got != 0.2 {
+		t.Fatalf("ratio=%v", got)
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]int{0: 128, 1: 128, 128: 128, 129: 256, 430: 512, 2048: 2048, 2049: 4096}
+	for in, want := range cases {
+		if got := SizeClass(in); got != want {
+			t.Errorf("SizeClass(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestLocalityStats(t *testing.T) {
+	// Perfect locality: all sizes in one class.
+	frac, classes := LocalityStats([]int{430, 431, 440, 450})
+	if frac != 1.0 || classes[512] != 4 {
+		t.Fatalf("frac=%v classes=%v", frac, classes)
+	}
+	// No locality: alternating classes.
+	frac, _ = LocalityStats([]int{100, 1000, 100, 1000})
+	if frac != 0 {
+		t.Fatalf("frac=%v", frac)
+	}
+	// Edge cases.
+	if f, _ := LocalityStats(nil); f != 0 {
+		t.Fatal("empty")
+	}
+	if f, _ := LocalityStats([]int{5}); f != 1 {
+		t.Fatal("single")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	tr := New()
+	tr.RecordSend(SendSample{Key: Key{"hdfs.ClientProtocol", "getFileInfo"},
+		MsgBytes: 100, Adjustments: 2, Serialize: 70 * time.Microsecond, Send: 57 * time.Microsecond})
+	out := tr.FormatTable()
+	if !strings.Contains(out, "hdfs.ClientProtocol") || !strings.Contains(out, "getFileInfo") {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "2.0") || !strings.Contains(out, "70.0") {
+		t.Fatalf("table values:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+// Package transport defines the message-transport contract the RPC engine
+// is written against, with two families of implementations:
+//
+//   - a real TCP transport (this package), used by the runnable examples and
+//     the real-mode benchmarks;
+//   - simulated socket and verbs transports (internal/cluster glue over
+//     internal/netsim and internal/ibverbs), used by the paper experiments.
+//
+// Connections carry whole messages; the RPC layer does its own framing
+// inside the payload exactly as Hadoop RPC does (4-byte length + data).
+package transport
+
+import (
+	"time"
+
+	"rpcoib/internal/bufpool"
+	"rpcoib/internal/exec"
+)
+
+// Conn is a reliable, ordered, message-oriented connection.
+type Conn interface {
+	// Send transmits one message.
+	Send(e exec.Env, data []byte) error
+	// Recv blocks for the next message. release must be called exactly once
+	// when data is no longer needed (zero-copy transports repost the
+	// underlying registered buffer; others return a no-op).
+	Recv(e exec.Env) (data []byte, release func(), err error)
+	// Close tears the connection down; blocked Recvs fail.
+	Close()
+	// RemoteAddr names the peer.
+	RemoteAddr() string
+}
+
+// PooledSender is implemented by zero-copy transports (the verbs path):
+// SendPooled transmits the first n bytes of a registered pool buffer without
+// any intermediate copy. The caller keeps ownership of b and may reuse it as
+// soon as SendPooled returns.
+type PooledSender interface {
+	SendPooled(e exec.Env, b *bufpool.Buffer, n int) error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept(e exec.Env) (Conn, error)
+	Close()
+	Addr() string
+}
+
+// Network creates listeners and dials peers. Implementations are bound to a
+// local identity (a simulated node, or the local host for TCP).
+type Network interface {
+	Listen(e exec.Env, port int) (Listener, error)
+	Dial(e exec.Env, addr string) (Conn, error)
+	// Kind names the transport for reporting ("1GigE", "IPoIB", "IB", "tcp").
+	Kind() string
+}
+
+// SizedSender is implemented by simulated transports that can bill wire
+// time for a virtual payload larger than the real bytes carried — how the
+// bulk data paths (HDFS blocks, shuffle segments) move gigabytes without
+// materializing them in host memory. Receivers learn the virtual size from
+// their own framing headers.
+type SizedSender interface {
+	SendSized(e exec.Env, data []byte, size int) error
+}
+
+// SendSized sends data billing size virtual bytes when the conn supports it,
+// falling back to a plain Send otherwise (real TCP in the examples, where
+// the virtual size is just bookkeeping).
+func SendSized(e exec.Env, c Conn, data []byte, size int) error {
+	if ss, ok := c.(SizedSender); ok {
+		return ss.SendSized(e, data, size)
+	}
+	return c.Send(e, data)
+}
+
+// WireTimer is implemented by simulated transports that can report how long
+// an n-byte message occupies the wire. The RPC server's profiler uses it to
+// account the channelReadFully drain time inside "call receive time", as the
+// paper's Figure 1 measurement does.
+type WireTimer interface {
+	WireTime(n int) time.Duration
+}
+
+// NopRelease is the release function non-pooled transports hand out.
+func NopRelease() {}

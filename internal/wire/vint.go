@@ -1,0 +1,78 @@
+package wire
+
+// putVLong encodes v into buf using Hadoop WritableUtils.writeVLong's format
+// and returns the number of bytes written (1–9). Values in [-112, 127] fit
+// in one byte; otherwise a header byte encodes sign and length, followed by
+// the value's significant bytes big-endian.
+func putVLong(buf []byte, v int64) int {
+	if v >= -112 && v <= 127 {
+		buf[0] = byte(v)
+		return 1
+	}
+	length := -112
+	if v < 0 {
+		v = ^v
+		length = -120
+	}
+	tmp := v
+	for tmp != 0 {
+		tmp >>= 8
+		length--
+	}
+	buf[0] = byte(int8(length))
+	if length < -120 {
+		length = -(length + 120)
+	} else {
+		length = -(length + 112)
+	}
+	for idx := length; idx != 0; idx-- {
+		shift := uint((idx - 1) * 8)
+		buf[length-idx+1] = byte(v >> shift)
+	}
+	return length + 1
+}
+
+// vlongSize returns the encoded size of v without encoding it.
+func vlongSize(v int64) int {
+	if v >= -112 && v <= 127 {
+		return 1
+	}
+	if v < 0 {
+		v = ^v
+	}
+	n := 0
+	for v != 0 {
+		v >>= 8
+		n++
+	}
+	return n + 1
+}
+
+// getVLong decodes a Hadoop VLong from buf, returning the value and bytes
+// consumed, or ok=false if buf is truncated or malformed.
+func getVLong(buf []byte) (v int64, n int, ok bool) {
+	if len(buf) == 0 {
+		return 0, 0, false
+	}
+	first := int8(buf[0])
+	if first >= -112 {
+		return int64(first), 1, true
+	}
+	var length int
+	negative := first < -120
+	if negative {
+		length = int(-(first + 120))
+	} else {
+		length = int(-(first + 112))
+	}
+	if length < 1 || length > 8 || len(buf) < 1+length {
+		return 0, 0, false
+	}
+	for i := 0; i < length; i++ {
+		v = v<<8 | int64(buf[1+i])
+	}
+	if negative {
+		v = ^v
+	}
+	return v, 1 + length, true
+}

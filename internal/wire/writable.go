@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Writable is Hadoop's serialization contract: a type that can write itself
+// to a DataOutput and re-read itself from a DataInput.
+type Writable interface {
+	Write(out *DataOutput)
+	ReadFields(in *DataInput)
+}
+
+// ---- Standard Writable value types ----
+
+// IntWritable is a boxed int32.
+type IntWritable struct{ Value int32 }
+
+func (w *IntWritable) Write(out *DataOutput)    { out.WriteInt32(w.Value) }
+func (w *IntWritable) ReadFields(in *DataInput) { w.Value = in.ReadInt32() }
+
+// LongWritable is a boxed int64.
+type LongWritable struct{ Value int64 }
+
+func (w *LongWritable) Write(out *DataOutput)    { out.WriteInt64(w.Value) }
+func (w *LongWritable) ReadFields(in *DataInput) { w.Value = in.ReadInt64() }
+
+// VLongWritable is a boxed int64 in variable-length encoding.
+type VLongWritable struct{ Value int64 }
+
+func (w *VLongWritable) Write(out *DataOutput)    { out.WriteVLong(w.Value) }
+func (w *VLongWritable) ReadFields(in *DataInput) { w.Value = in.ReadVLong() }
+
+// BooleanWritable is a boxed bool.
+type BooleanWritable struct{ Value bool }
+
+func (w *BooleanWritable) Write(out *DataOutput)    { out.WriteBool(w.Value) }
+func (w *BooleanWritable) ReadFields(in *DataInput) { w.Value = in.ReadBool() }
+
+// DoubleWritable is a boxed float64.
+type DoubleWritable struct{ Value float64 }
+
+func (w *DoubleWritable) Write(out *DataOutput)    { out.WriteFloat64(w.Value) }
+func (w *DoubleWritable) ReadFields(in *DataInput) { w.Value = in.ReadFloat64() }
+
+// Text is a boxed string serialized as VInt length + UTF-8 bytes.
+type Text struct{ Value string }
+
+func (w *Text) Write(out *DataOutput)    { out.WriteText(w.Value) }
+func (w *Text) ReadFields(in *DataInput) { w.Value = in.ReadText() }
+
+// BytesWritable is a length-prefixed byte payload; the micro-benchmarks vary
+// RPC payload size with this type, as in the paper's ping-pong benchmark.
+type BytesWritable struct{ Value []byte }
+
+func (w *BytesWritable) Write(out *DataOutput) {
+	out.WriteInt32(int32(len(w.Value)))
+	out.WriteBytes(w.Value)
+}
+
+func (w *BytesWritable) ReadFields(in *DataInput) {
+	n := in.ReadInt32()
+	v := in.ReadBytes(int(n))
+	// Copy into the object, as Java's readFully does: deserialized values
+	// must not alias the (possibly pooled/reposted) receive buffer.
+	w.Value = append([]byte(nil), v...)
+	if v == nil {
+		w.Value = nil
+	}
+}
+
+// NullWritable carries no data.
+type NullWritable struct{}
+
+func (w *NullWritable) Write(*DataOutput)     {}
+func (w *NullWritable) ReadFields(*DataInput) {}
+
+// StringsWritable is a VInt-counted list of Text values.
+type StringsWritable struct{ Values []string }
+
+func (w *StringsWritable) Write(out *DataOutput) {
+	out.WriteVInt(int32(len(w.Values)))
+	for _, s := range w.Values {
+		out.WriteText(s)
+	}
+}
+
+func (w *StringsWritable) ReadFields(in *DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		w.Values = nil
+		return
+	}
+	w.Values = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w.Values = append(w.Values, in.ReadText())
+	}
+}
+
+// ---- Registry (ReflectionUtils.newInstance analog) ----
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Writable{}
+)
+
+// Register associates a type name with a factory so received messages can be
+// instantiated by name, as Hadoop does with paramClass reflection. Standard
+// types are pre-registered; Register panics on duplicates to catch wiring
+// mistakes at startup.
+func Register(name string, factory func() Writable) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("wire: duplicate Writable registration %q", name))
+	}
+	registry[name] = factory
+}
+
+// New instantiates a registered Writable by type name.
+func New(name string) (Writable, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unregistered Writable type %q", name)
+	}
+	return factory(), nil
+}
+
+// RegisteredTypes returns the sorted names of all registered types.
+func RegisteredTypes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("IntWritable", func() Writable { return &IntWritable{} })
+	Register("LongWritable", func() Writable { return &LongWritable{} })
+	Register("VLongWritable", func() Writable { return &VLongWritable{} })
+	Register("BooleanWritable", func() Writable { return &BooleanWritable{} })
+	Register("DoubleWritable", func() Writable { return &DoubleWritable{} })
+	Register("Text", func() Writable { return &Text{} })
+	Register("BytesWritable", func() Writable { return &BytesWritable{} })
+	Register("NullWritable", func() Writable { return &NullWritable{} })
+	Register("StringsWritable", func() Writable { return &StringsWritable{} })
+	Register("FloatWritable", func() Writable { return &FloatWritable{} })
+	Register("MD5Hash", func() Writable { return &MD5Hash{} })
+	Register("ArrayWritable", func() Writable { return &ArrayWritable{} })
+	Register("MapWritable", func() Writable { return &MapWritable{} })
+}
+
+// SerializedSize returns the exact encoded size of w, computed by writing it
+// to a counting sink (no allocation of payload-sized buffers).
+func SerializedSize(w Writable) int {
+	var c CountingSink
+	w.Write(NewDataOutput(&c))
+	return int(c.N)
+}
+
+// CountingSink is a ByteSink that counts bytes and discards them.
+type CountingSink struct{ N int64 }
+
+// Write implements ByteSink.
+func (c *CountingSink) Write(p []byte) { c.N += int64(len(p)) }
+
+// ---- Additional standard Hadoop types ----
+
+// FloatWritable is a boxed float32 (Hadoop's FloatWritable).
+type FloatWritable struct{ Value float32 }
+
+func (w *FloatWritable) Write(out *DataOutput) {
+	out.WriteInt32(int32(mathFloat32bits(w.Value)))
+}
+
+func (w *FloatWritable) ReadFields(in *DataInput) {
+	w.Value = mathFloat32frombits(uint32(in.ReadInt32()))
+}
+
+// MD5Hash is Hadoop's 16-byte digest Writable.
+type MD5Hash struct{ Digest [16]byte }
+
+func (w *MD5Hash) Write(out *DataOutput)    { out.WriteBytes(w.Digest[:]) }
+func (w *MD5Hash) ReadFields(in *DataInput) { copy(w.Digest[:], in.ReadBytes(16)) }
+
+// ArrayWritable is a homogeneous array of Writables of a registered type.
+type ArrayWritable struct {
+	Type   string
+	Values []Writable
+}
+
+func (w *ArrayWritable) Write(out *DataOutput) {
+	out.WriteUTF(w.Type)
+	out.WriteInt32(int32(len(w.Values)))
+	for _, v := range w.Values {
+		v.Write(out)
+	}
+}
+
+func (w *ArrayWritable) ReadFields(in *DataInput) {
+	w.Type = in.ReadUTF()
+	n := int(in.ReadInt32())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	w.Values = make([]Writable, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := New(w.Type)
+		if err != nil {
+			return
+		}
+		v.ReadFields(in)
+		w.Values = append(w.Values, v)
+	}
+}
+
+// MapWritable maps Text keys to Writables of registered types (each entry
+// carries its value type name, as Hadoop's does via class ids).
+type MapWritable struct {
+	Keys   []string
+	Types  []string
+	Values []Writable
+}
+
+// Set appends an entry.
+func (w *MapWritable) Set(key, typ string, v Writable) {
+	w.Keys = append(w.Keys, key)
+	w.Types = append(w.Types, typ)
+	w.Values = append(w.Values, v)
+}
+
+func (w *MapWritable) Write(out *DataOutput) {
+	out.WriteVInt(int32(len(w.Keys)))
+	for i := range w.Keys {
+		out.WriteText(w.Keys[i])
+		out.WriteUTF(w.Types[i])
+		w.Values[i].Write(out)
+	}
+}
+
+func (w *MapWritable) ReadFields(in *DataInput) {
+	n := int(in.ReadVInt())
+	if n < 0 || n > in.Remaining() {
+		return
+	}
+	w.Keys = make([]string, 0, n)
+	w.Types = make([]string, 0, n)
+	w.Values = make([]Writable, 0, n)
+	for i := 0; i < n; i++ {
+		key := in.ReadText()
+		typ := in.ReadUTF()
+		v, err := New(typ)
+		if err != nil {
+			return
+		}
+		v.ReadFields(in)
+		w.Keys = append(w.Keys, key)
+		w.Types = append(w.Types, typ)
+		w.Values = append(w.Values, v)
+	}
+}
+
+func mathFloat32bits(f float32) uint32     { return math.Float32bits(f) }
+func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,71 @@
+// Package workloads provides the paper's MapReduce benchmark jobs:
+// RandomWriter (map-only HDFS data generation) and Sort (the full
+// map/shuffle/reduce pipeline over RandomWriter's output) — Figure 6(a)'s
+// workload pair — with the Hadoop-era cost parameters they ran under.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+)
+
+// MapsPerHostRandomWriter matches RandomWriter's default of 10 maps per
+// host, each writing an equal share of the requested data.
+const MapsPerHostRandomWriter = 10
+
+// RandomWriter runs the map-only generation job: totalBytes of synthetic
+// data written to outPath with the cluster's replication.
+func RandomWriter(e exec.Env, mr *mapred.MapReduce, clientNode int, hosts int, totalBytes int64, outPath string) (*mapred.JobResult, error) {
+	numMaps := hosts * MapsPerHostRandomWriter
+	perMap := totalBytes / int64(numMaps)
+	files := make([]string, numMaps)
+	sizes := make([]int64, numMaps)
+	for i := range files {
+		files[i] = fmt.Sprintf("synthetic-split-%d", i)
+		sizes[i] = perMap
+	}
+	return mr.RunJob(e, clientNode, mapred.SubmitJobParam{
+		Name: "random-writer", NumReduces: 0,
+		InputFiles: files, InputSizes: sizes,
+		OutputPath: outPath, OutputReplication: 3,
+		MapCPUPerMBNs:     int64(120 * time.Millisecond), // random record generation + spill serialization
+		MapOutputRatioPct: 100,
+		WritesHDFSOutput:  true,
+	})
+}
+
+// Sort runs the sort benchmark over the files under inPath (typically
+// RandomWriter's output), with the paper's per-host task shape (maps bounded
+// by slots, reduces provided by the caller as hosts*reduceSlots).
+func Sort(e exec.Env, mr *mapred.MapReduce, fs *hdfs.HDFS, clientNode int, inPath, outPath string, numReduces int) (*mapred.JobResult, error) {
+	dfs := fs.NewClient(clientNode)
+	entries, err := dfs.GetListing(e, inPath)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	var sizes []int64
+	for _, ent := range entries {
+		if ent.IsDir {
+			continue
+		}
+		files = append(files, ent.Path)
+		sizes = append(sizes, ent.Length)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("sort: no input files under %s", inPath)
+	}
+	return mr.RunJob(e, clientNode, mapred.SubmitJobParam{
+		Name: "sort", NumReduces: int32(numReduces),
+		InputFiles: files, InputSizes: sizes,
+		OutputPath: outPath, OutputReplication: 3,
+		MapCPUPerMBNs:     int64(2 * time.Millisecond), // partition + spill sort
+		ReduceCPUPerMBNs:  int64(2 * time.Millisecond), // merge compare + write
+		MapOutputRatioPct: 100, ReduceOutRatioPct: 100,
+		WritesHDFSOutput: true,
+	})
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+	"rpcoib/internal/perfmodel"
+)
+
+func deploySmall(t *testing.T, slaves int) (*cluster.Cluster, *hdfs.HDFS, *mapred.MapReduce) {
+	t.Helper()
+	cl := cluster.New(cluster.ClusterA(slaves + 1))
+	nodes := make([]int, 0, slaves)
+	for i := 1; i <= slaves; i++ {
+		nodes = append(nodes, i)
+	}
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: nodes, BlockSize: 16 << 20, Replication: 2,
+		RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
+	})
+	mr := mapred.Deploy(cl, mapred.Config{
+		JobTracker: 0, TaskTrackers: nodes, MapSlots: 4, ReduceSlots: 2,
+		RPCKind: perfmodel.IPoIB, ShuffleKind: perfmodel.IPoIB,
+	}, fs)
+	return cl, fs, mr
+}
+
+func TestRandomWriterProducesFiles(t *testing.T) {
+	cl, fs, mr := deploySmall(t, 3)
+	var gotFiles int
+	cl.SpawnOn(0, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		res, err := RandomWriter(e, mr, 0, 3, 512<<20, "/rw")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if int(res.Status.MapsDone) != 3*MapsPerHostRandomWriter {
+			t.Errorf("maps done %d, want %d", res.Status.MapsDone, 3*MapsPerHostRandomWriter)
+		}
+		entries, err := fs.NewClient(0).GetListing(e, "/rw")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var total int64
+		for _, ent := range entries {
+			if !ent.IsDir {
+				gotFiles++
+				total += ent.Length
+			}
+		}
+		// Per-map integer division may drop a few bytes.
+		want := int64(512 << 20)
+		if total < want-64 || total > want {
+			t.Errorf("output bytes %d, want ~%d", total, want)
+		}
+		mr.Stop()
+		fs.Stop()
+	})
+	cl.RunUntil(time.Hour)
+	if gotFiles != 3*MapsPerHostRandomWriter {
+		t.Fatalf("files=%d", gotFiles)
+	}
+}
+
+func TestSortOverRandomWriterOutput(t *testing.T) {
+	cl, fs, mr := deploySmall(t, 3)
+	var sortDur time.Duration
+	cl.SpawnOn(0, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		if _, err := RandomWriter(e, mr, 0, 3, 256<<20, "/rw"); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := Sort(e, mr, fs, 0, "/rw", "/sorted", 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sortDur = res.Duration
+		if res.Status.ReducesDone != 6 {
+			t.Errorf("reduces done %d", res.Status.ReducesDone)
+		}
+		// Sorted output exists and matches input volume (ratio 100%).
+		entries, err := fs.NewClient(0).GetListing(e, "/sorted")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var total int64
+		for _, ent := range entries {
+			if !ent.IsDir {
+				total += ent.Length
+			}
+		}
+		// Partitioning and per-map division may drop a few bytes per task.
+		want := int64(256 << 20)
+		if total < want-4096 || total > want {
+			t.Errorf("sorted bytes %d, want ~%d", total, want)
+		}
+		mr.Stop()
+		fs.Stop()
+	})
+	cl.RunUntil(2 * time.Hour)
+	if sortDur <= 0 {
+		t.Fatal("sort did not run")
+	}
+}
+
+func TestSortEmptyInputFails(t *testing.T) {
+	cl, fs, mr := deploySmall(t, 2)
+	var err error
+	cl.SpawnOn(0, "driver", func(e exec.Env) {
+		e.Sleep(100 * time.Millisecond)
+		_, err = Sort(e, mr, fs, 0, "/nonexistent", "/out", 2)
+		mr.Stop()
+		fs.Stop()
+	})
+	cl.RunUntil(time.Minute)
+	if err == nil {
+		t.Fatal("sort over empty input should fail")
+	}
+}
