@@ -4,11 +4,22 @@
 package main
 
 import (
+	"flag"
+	"fmt"
 	"os"
 
 	"rpcoib/internal/bench"
 )
 
 func main() {
+	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
+	flag.Parse()
+	if *metricsPath != "" {
+		bench.EnableMetrics()
+	}
 	bench.Fig6bCloudBurst(os.Stdout)
+	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
 }

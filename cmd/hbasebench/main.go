@@ -19,7 +19,11 @@ func main() {
 	records := flag.String("records", "100000,150000,200000,250000,300000",
 		"comma-separated record counts")
 	ops := flag.Int("ops", 640_000, "total operation count (paper: 640K)")
+	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	flag.Parse()
+	if *metricsPath != "" {
+		bench.EnableMetrics()
+	}
 
 	var recordCounts []int
 	for _, s := range strings.Split(*records, ",") {
@@ -51,5 +55,9 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mixFlag)
 		os.Exit(2)
+	}
+	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -16,7 +17,11 @@ import (
 func main() {
 	dataNodes := flag.Int("datanodes", 32, "DataNode count (paper: 32)")
 	sizes := flag.String("sizes-gb", "1,2,3,4,5", "comma-separated file sizes in GB")
+	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	flag.Parse()
+	if *metricsPath != "" {
+		bench.EnableMetrics()
+	}
 
 	var sizesGB []int
 	for _, s := range strings.Split(*sizes, ",") {
@@ -27,4 +32,8 @@ func main() {
 		sizesGB = append(sizesGB, gb)
 	}
 	bench.Fig7HDFSWrite(os.Stdout, *dataNodes, sizesGB)
+	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -17,7 +17,11 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: latency | throughput | threshold | pool | readers | all")
 	iters := flag.Int("iters", 200, "calls per measurement")
+	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	flag.Parse()
+	if *metricsPath != "" {
+		bench.EnableMetrics()
+	}
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	any := false
@@ -49,5 +53,9 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -15,7 +16,11 @@ import (
 func main() {
 	slaves := flag.Int("slaves", 64, "worker node count (paper: 64)")
 	sizes := flag.String("sizes-gb", "32,64,128", "comma-separated data sizes in GB")
+	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	flag.Parse()
+	if *metricsPath != "" {
+		bench.EnableMetrics()
+	}
 
 	var sizesGB []int
 	for _, s := range strings.Split(*sizes, ",") {
@@ -26,4 +31,8 @@ func main() {
 		sizesGB = append(sizesGB, gb)
 	}
 	bench.Fig6aSort(os.Stdout, *slaves, sizesGB)
+	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
 }

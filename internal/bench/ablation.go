@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -42,12 +43,12 @@ func AblationPoolPolicy(w io.Writer, payload, iters int) []PolicyRow {
 }
 
 func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
-	cl := cluster.New(cluster.ClusterB())
+	cl := newCluster(cluster.ClusterB())
 	clientPool := bufpool.NewShadowPool(bufpool.NewNativePool(0), policy)
 	serverPool := bufpool.NewShadowPool(bufpool.NewNativePool(0), policy)
 	cl.SpawnOn(0, "server", func(e exec.Env) {
 		srv := core.NewServer(cl.RPCoIBNet(0), core.Options{
-			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: serverPool,
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: serverPool, Metrics: benchReg,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
@@ -60,7 +61,7 @@ func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
 		client := core.NewClient(cl.RPCoIBNet(1), core.Options{
-			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: clientPool,
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: clientPool, Metrics: benchReg,
 		})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
@@ -77,7 +78,8 @@ func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
 		}
 		row.Latency = (e.Now() - start) / time.Duration(iters)
 	})
-	cl.RunUntil(time.Minute)
+	end := cl.RunUntil(time.Minute)
+	recordRun("ablation_pool_policy/policy="+policy.String(), end)
 	st := clientPool.StatsSnapshot()
 	row.Regets = st.Regets
 	row.PeakBytes = clientPool.Native().StatsSnapshot().PeakRegistered
@@ -113,9 +115,10 @@ func AblationRDMAThreshold(w io.Writer, payload int, thresholds []int, iters int
 func thresholdOnce(threshold, payload, iters int) ThresholdRow {
 	cc := cluster.ClusterB()
 	cc.RDMAThreshold = threshold
-	cl := cluster.New(cc)
+	cl := newCluster(cc)
 	cl.SpawnOn(0, "server", func(e exec.Env) {
-		srv := core.NewServer(cl.RPCoIBNet(0), core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs})
+		srv := core.NewServer(cl.RPCoIBNet(0),
+			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
 			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
@@ -126,7 +129,8 @@ func thresholdOnce(threshold, payload, iters int) ThresholdRow {
 	row := ThresholdRow{Threshold: threshold}
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
-		client := core.NewClient(cl.RPCoIBNet(1), core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs})
+		client := core.NewClient(cl.RPCoIBNet(1),
+			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
 		for i := 0; i < 3; i++ {
@@ -142,7 +146,8 @@ func thresholdOnce(threshold, payload, iters int) ThresholdRow {
 		}
 		row.Latency = (e.Now() - start) / time.Duration(iters)
 	})
-	cl.RunUntil(time.Minute)
+	end := cl.RunUntil(time.Minute)
+	recordRun(fmt.Sprintf("ablation_rdma_threshold/threshold=%d", threshold), end)
 	st := cl.IBNet().Device(1).StatsSnapshot()
 	row.Eager = st.EagerSends
 	row.RDMA = st.RDMASends
@@ -175,10 +180,11 @@ func AblationReaders(w io.Writer, widths []int, clients, callsPerClient int) []R
 }
 
 func readersOnce(readers, clients, callsPerClient int) float64 {
-	cl := cluster.New(cluster.ClusterB())
+	cl := newCluster(cluster.ClusterB())
 	cl.SpawnOn(0, "server", func(e exec.Env) {
 		srv := core.NewServer(cl.SocketNet(perfmodel.IPoIB, 0), core.Options{
 			Mode: core.ModeBaseline, Costs: cl.Costs, Handlers: 8, Readers: readers,
+			Metrics: benchReg,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
@@ -194,7 +200,7 @@ func readersOnce(readers, clients, callsPerClient int) float64 {
 		cl.SpawnOn(node, "client", func(e exec.Env) {
 			e.Sleep(time.Millisecond)
 			client := core.NewClient(cl.SocketNet(perfmodel.IPoIB, node),
-				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs})
+				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg})
 			param := &wire.BytesWritable{Value: make([]byte, 512)}
 			var reply wire.BytesWritable
 			for j := 0; j < callsPerClient; j++ {
@@ -208,6 +214,7 @@ func readersOnce(readers, clients, callsPerClient int) float64 {
 			}
 		})
 	}
-	cl.RunUntil(10 * time.Minute)
+	end := cl.RunUntil(10 * time.Minute)
+	recordRun(fmt.Sprintf("ablation_readers/readers=%d", readers), end)
 	return float64(done) / (finish - time.Millisecond).Seconds()
 }

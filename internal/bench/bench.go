@@ -47,7 +47,7 @@ func NewHadoopCluster(cfg HadoopConfig) *HadoopCluster {
 	if cfg.Seed != 0 {
 		cc.Seed = cfg.Seed
 	}
-	cl := cluster.New(cc)
+	cl := newCluster(cc)
 	nodes := make([]int, 0, cfg.Slaves)
 	for i := 1; i <= cfg.Slaves; i++ {
 		nodes = append(nodes, i)
@@ -56,25 +56,26 @@ func NewHadoopCluster(cfg HadoopConfig) *HadoopCluster {
 		NameNode: 0, DataNodes: nodes,
 		BlockSize: cfg.BlockSize, Replication: 3,
 		RPCMode: cfg.Mode, RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
-		Tracer: cfg.Tracer,
+		Tracer: cfg.Tracer, Metrics: benchReg,
 	})
 	mr := mapred.Deploy(cl, mapred.Config{
 		JobTracker: 0, TaskTrackers: nodes,
 		MapSlots: 8, ReduceSlots: 4,
 		RPCMode: cfg.Mode, RPCKind: perfmodel.IPoIB, ShuffleKind: perfmodel.IPoIB,
-		Tracer: cfg.Tracer,
+		Tracer: cfg.Tracer, Metrics: benchReg,
 	}, fs)
 	return &HadoopCluster{CL: cl, FS: fs, MR: mr, Slaves: cfg.Slaves, Tracer: cfg.Tracer}
 }
 
 // RunClient executes fn as a client process on the master node and drives
-// the simulation until it finishes (bounded by horizon).
-func (hc *HadoopCluster) RunClient(horizon time.Duration, fn func(e exec.Env)) {
+// the simulation until it finishes (bounded by horizon). It returns the
+// virtual time at which the simulation went quiescent.
+func (hc *HadoopCluster) RunClient(horizon time.Duration, fn func(e exec.Env)) time.Duration {
 	hc.CL.SpawnOn(0, "bench-client", func(e exec.Env) {
 		e.Sleep(100 * time.Millisecond)
 		fn(e)
 	})
-	hc.CL.RunUntil(horizon)
+	return hc.CL.RunUntil(horizon)
 }
 
 // netFor picks the transport for a node under a mode/kind pair.
@@ -90,6 +91,7 @@ func startPingPongServer(cl *cluster.Cluster, mode core.Mode, kind perfmodel.Lin
 	cl.SpawnOn(0, "rpc-server", func(e exec.Env) {
 		srv := core.NewServer(netFor(cl, mode, kind, 0), core.Options{
 			Mode: mode, Costs: cl.Costs, Handlers: handlers, Tracer: tracer,
+			Metrics: benchReg,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/metrics"
+)
+
+// The bench runners construct clusters internally, so metrics collection is
+// wired through one package-level registry rather than threaded through
+// every runner signature. When disabled (the default) benchReg is nil and
+// every instrument it would have handed out is an inert no-op.
+var (
+	benchReg *metrics.Registry
+	benchLog = &metrics.Log{}
+)
+
+// EnableMetrics turns on engine-wide metrics for all subsequently
+// constructed benchmark clusters (RPC servers/clients, buffer pools, the
+// verbs fabric, HDFS pipelines) and returns the shared registry. Runners
+// append one span and one cumulative registry snapshot per experiment run to
+// the JSONL event log; consecutive snapshots diff cleanly because recording
+// is deterministic under simulation.
+func EnableMetrics() *metrics.Registry {
+	if benchReg == nil {
+		benchReg = metrics.New()
+	}
+	return benchReg
+}
+
+// MetricsRegistry returns the shared registry, or nil when metrics are off.
+func MetricsRegistry() *metrics.Registry { return benchReg }
+
+// MetricsLog returns the shared run-event log.
+func MetricsLog() *metrics.Log { return benchLog }
+
+// WriteMetricsReport writes the accumulated JSONL event log to path. It is a
+// no-op (and returns nil) when metrics were never enabled or path is empty.
+func WriteMetricsReport(path string) error {
+	if benchReg == nil || path == "" {
+		return nil
+	}
+	return benchLog.WriteFile(path)
+}
+
+// newCluster wraps cluster.New, instrumenting the verbs network when
+// metrics are enabled.
+func newCluster(cc cluster.Config) *cluster.Cluster {
+	cl := cluster.New(cc)
+	cl.IBNet().Instrument(benchReg)
+	return cl
+}
+
+// recordRun logs one runner execution: a span covering virtual time [0, end]
+// and a registry snapshot stamped with the run's virtual end time.
+func recordRun(name string, end time.Duration) {
+	if benchReg == nil {
+		return
+	}
+	benchLog.Span(name, 0, end)
+	benchLog.Snapshot(name, benchReg, end)
+}

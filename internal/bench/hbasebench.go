@@ -74,7 +74,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 	const servers, clients = 16, 16
 	// Nodes: 0 = NameNode + HMaster, 1..16 = DataNode + RegionServer,
 	// 17..32 = YCSB clients.
-	cl := cluster.New(cluster.ClusterA(servers + clients + 1))
+	cl := newCluster(cluster.ClusterA(servers + clients + 1))
 	rsNodes := make([]int, 0, servers)
 	for i := 1; i <= servers; i++ {
 		rsNodes = append(rsNodes, i)
@@ -82,6 +82,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 	fs := hdfs.Deploy(cl, hdfs.Config{
 		NameNode: 0, DataNodes: rsNodes, Replication: 3,
 		RPCMode: cfg.RPCMode, RPCKind: cfg.RPCKind, DataKind: cfg.DataKind,
+		Metrics: benchReg,
 	})
 	missRatio := 0.03
 	if mix.UpdateProportion > 0 && mix.ReadProportion > 0 {
@@ -91,7 +92,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 	hb := hbase.Deploy(cl, hbase.Config{
 		Master: 0, RegionServers: rsNodes,
 		HBaseRDMA: cfg.HBaseRDMA, HBaseKind: cfg.HBaseKind,
-		CacheMissRatio: missRatio,
+		CacheMissRatio: missRatio, Metrics: benchReg,
 	}, fs)
 	w := ycsb.Workload{RecordCount: recordCount, OpCount: opCount, RecordSize: 1024, Mix: mix, Zipfian: true}
 
@@ -131,9 +132,10 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 			}
 		})
 	}
-	cl.RunUntil(4 * time.Hour)
+	end := cl.RunUntil(4 * time.Hour)
 	if totalOps == 0 || finish <= loadDone {
 		panic("hbase run incomplete")
 	}
+	recordRun(fmt.Sprintf("fig8_hbase/config=%s/records=%d", cfg.Label, recordCount), end)
 	return float64(totalOps) / (finish - loadDone).Seconds() / 1000
 }

@@ -74,7 +74,7 @@ func hdfsWriteOnce(cfg HDFSConfigName, dataNodes int, size int64) time.Duration 
 	// Nodes: 0 NameNode, 1..N DataNodes, N+1 client (paper: NN and client on
 	// their own nodes).
 	cc := cluster.ClusterA(dataNodes + 2)
-	cl := cluster.New(cc)
+	cl := newCluster(cc)
 	nodes := make([]int, 0, dataNodes)
 	for i := 1; i <= dataNodes; i++ {
 		nodes = append(nodes, i)
@@ -83,6 +83,7 @@ func hdfsWriteOnce(cfg HDFSConfigName, dataNodes int, size int64) time.Duration 
 		NameNode: 0, DataNodes: nodes, Replication: 3,
 		RPCMode: cfg.RPCMode, RPCKind: cfg.RPCKind,
 		DataRDMA: cfg.DataRDMA, DataKind: cfg.DataKind,
+		Metrics: benchReg,
 	})
 	var took time.Duration
 	client := dataNodes + 1
@@ -96,6 +97,7 @@ func hdfsWriteOnce(cfg HDFSConfigName, dataNodes int, size int64) time.Duration 
 		took = e.Now() - start
 		fs.Stop()
 	})
-	cl.RunUntil(2 * time.Hour)
+	end := cl.RunUntil(2 * time.Hour)
+	recordRun(fmt.Sprintf("fig7_hdfs_write/config=%s/gb=%d", cfg.Label, size/GB), end)
 	return took
 }

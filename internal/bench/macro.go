@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -31,7 +32,7 @@ func Fig6aSort(w io.Writer, slaves int, sizesGB []int) []SortPoint {
 	run := func(gb int, mode core.Mode) SortPoint {
 		hc := NewHadoopCluster(HadoopConfig{Slaves: slaves, Mode: mode})
 		pt := SortPoint{DataGB: gb, Mode: mode.String()}
-		hc.RunClient(12*time.Hour, func(e exec.Env) {
+		end := hc.RunClient(12*time.Hour, func(e exec.Env) {
 			rw, err := workloads.RandomWriter(e, hc.MR, 0, hc.Slaves, int64(gb)*GB, "/rw")
 			if err != nil {
 				panic(err)
@@ -45,6 +46,7 @@ func Fig6aSort(w io.Writer, slaves int, sizesGB []int) []SortPoint {
 			hc.MR.Stop()
 			hc.FS.Stop()
 		})
+		recordRun(fmt.Sprintf("fig6a_sort/mode=%s/gb=%d", pt.Mode, gb), end)
 		return pt
 	}
 	for _, gb := range sizesGB {
@@ -75,7 +77,7 @@ func Fig6bCloudBurst(w io.Writer) []CloudBurstPoint {
 	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeRPCoIB} {
 		hc := NewHadoopCluster(HadoopConfig{Slaves: 8, Mode: mode})
 		pt := CloudBurstPoint{Mode: mode.String()}
-		hc.RunClient(6*time.Hour, func(e exec.Env) {
+		end := hc.RunClient(6*time.Hour, func(e exec.Env) {
 			if err := cloudburst.PrepareInput(e, hc.FS, 0); err != nil {
 				panic(err)
 			}
@@ -89,6 +91,7 @@ func Fig6bCloudBurst(w io.Writer) []CloudBurstPoint {
 			hc.MR.Stop()
 			hc.FS.Stop()
 		})
+		recordRun("fig6b_cloudburst/mode="+pt.Mode, end)
 		points = append(points, pt)
 		Fprintf(w, "%8s %10.1f %10.1f %8.1f\n", pt.Mode,
 			pt.Alignment.Seconds(), pt.Filtering.Seconds(), pt.Total.Seconds())

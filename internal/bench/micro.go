@@ -23,12 +23,13 @@ type LatencyRow struct {
 
 // pingPongLatency measures the warm average round trip on Cluster B.
 func pingPongLatency(mode core.Mode, kind perfmodel.LinkKind, payload, iters int) time.Duration {
-	cl := cluster.New(cluster.ClusterB())
+	cl := newCluster(cluster.ClusterB())
 	startPingPongServer(cl, mode, kind, core.DefaultHandlers, nil)
 	var avg time.Duration
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
-		client := core.NewClient(netFor(cl, mode, kind, 1), core.Options{Mode: mode, Costs: cl.Costs})
+		client := core.NewClient(netFor(cl, mode, kind, 1),
+			core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
 		for i := 0; i < 3; i++ { // warm-up: connection + pool history
@@ -44,7 +45,8 @@ func pingPongLatency(mode core.Mode, kind perfmodel.LinkKind, payload, iters int
 		}
 		avg = (e.Now() - start) / time.Duration(iters)
 	})
-	cl.RunUntil(time.Minute)
+	end := cl.RunUntil(time.Minute)
+	recordRun(fmt.Sprintf("pingpong_latency/mode=%s/kind=%s/payload=%d", mode, kind, payload), end)
 	return avg
 }
 
@@ -86,7 +88,7 @@ type ThroughputRow struct {
 // throughput measures aggregate ops/sec: 512-byte payloads, 8 handlers,
 // clients spread over 8 nodes, as in the paper.
 func throughput(mode core.Mode, kind perfmodel.LinkKind, clients, callsPerClient int) float64 {
-	cl := cluster.New(cluster.ClusterB())
+	cl := newCluster(cluster.ClusterB())
 	startPingPongServer(cl, mode, kind, 8, nil)
 	done := 0
 	var finish time.Duration
@@ -94,7 +96,8 @@ func throughput(mode core.Mode, kind perfmodel.LinkKind, clients, callsPerClient
 		node := 1 + i%8
 		cl.SpawnOn(node, fmt.Sprintf("client%d", i), func(e exec.Env) {
 			e.Sleep(time.Millisecond)
-			client := core.NewClient(netFor(cl, mode, kind, node), core.Options{Mode: mode, Costs: cl.Costs})
+			client := core.NewClient(netFor(cl, mode, kind, node),
+				core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg})
 			param := &wire.BytesWritable{Value: make([]byte, 512)}
 			var reply wire.BytesWritable
 			for j := 0; j < callsPerClient; j++ {
@@ -108,10 +111,11 @@ func throughput(mode core.Mode, kind perfmodel.LinkKind, clients, callsPerClient
 			}
 		})
 	}
-	cl.RunUntil(10 * time.Minute)
+	end := cl.RunUntil(10 * time.Minute)
 	if done != clients*callsPerClient || finish <= time.Millisecond {
 		panic(fmt.Sprintf("throughput run incomplete: %d/%d", done, clients*callsPerClient))
 	}
+	recordRun(fmt.Sprintf("rpc_throughput/mode=%s/kind=%s/clients=%d", mode, kind, clients), end)
 	return float64(done) / (finish - time.Millisecond).Seconds()
 }
 
@@ -156,12 +160,12 @@ func Fig1AllocRatio(w io.Writer, payloads []int, iters int) []AllocRatioRow {
 	Fprintf(w, "%10s %10s %10s\n", "payload", "1GigE", "IPoIB")
 	measure := func(kind perfmodel.LinkKind, payload int) float64 {
 		tracer := trace.New()
-		cl := cluster.New(cluster.ClusterB())
+		cl := newCluster(cluster.ClusterB())
 		startPingPongServer(cl, core.ModeBaseline, kind, core.DefaultHandlers, tracer)
 		cl.SpawnOn(1, "client", func(e exec.Env) {
 			e.Sleep(time.Millisecond)
 			client := core.NewClient(netFor(cl, core.ModeBaseline, kind, 1),
-				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs})
+				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg})
 			param := &wire.BytesWritable{Value: make([]byte, payload)}
 			var reply wire.BytesWritable
 			for i := 0; i < iters; i++ {
@@ -170,7 +174,8 @@ func Fig1AllocRatio(w io.Writer, payloads []int, iters int) []AllocRatioRow {
 				}
 			}
 		})
-		cl.RunUntil(10 * time.Minute)
+		end := cl.RunUntil(10 * time.Minute)
+		recordRun(fmt.Sprintf("fig1_alloc_ratio/kind=%s/payload=%d", kind, payload), end)
 		return tracer.AllocRatio()
 	}
 	rows := make([]AllocRatioRow, 0, len(payloads))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"time"
@@ -25,7 +26,7 @@ func Table1Profile(w io.Writer, dataGB int) *Table1Result {
 	tracer := trace.New()
 	hc := NewHadoopCluster(HadoopConfig{Slaves: 8, Tracer: tracer})
 	res := &Table1Result{Tracer: tracer}
-	hc.RunClient(6*time.Hour, func(e exec.Env) {
+	end := hc.RunClient(6*time.Hour, func(e exec.Env) {
 		if _, err := workloads.RandomWriter(e, hc.MR, 0, hc.Slaves, int64(dataGB)*GB, "/rw"); err != nil {
 			panic(err)
 		}
@@ -37,6 +38,7 @@ func Table1Profile(w io.Writer, dataGB int) *Table1Result {
 		hc.MR.Stop()
 		hc.FS.Stop()
 	})
+	recordRun(fmt.Sprintf("table1_profile/gb=%d", dataGB), end)
 	if w != nil {
 		Fprintf(w, "Table I: RPC invocation profiling in a MapReduce Sort job (%d GB, 9 nodes)\n", dataGB)
 		Fprintf(w, "%s", tracer.FormatTable())
@@ -51,6 +53,7 @@ type Fig3Series struct {
 	Name     string
 	Key      trace.Key
 	Sizes    []int
+	Dropped  int64 // samples lost to the tracer's per-key retention cap
 	Locality float64
 	Classes  map[int]int
 }
@@ -72,7 +75,8 @@ func Fig3SizeLocality(w io.Writer, res *Table1Result) []Fig3Series {
 	for _, tgt := range targets {
 		sizes := res.Tracer.Sizes(tgt.key)
 		loc, classes := trace.LocalityStats(sizes)
-		s := Fig3Series{Name: tgt.name, Key: tgt.key, Sizes: sizes, Locality: loc, Classes: classes}
+		s := Fig3Series{Name: tgt.name, Key: tgt.key, Sizes: sizes,
+			Dropped: res.Tracer.Dropped(tgt.key), Locality: loc, Classes: classes}
 		series = append(series, s)
 		if w != nil {
 			keys := make([]int, 0, len(classes))
@@ -83,6 +87,9 @@ func Fig3SizeLocality(w io.Writer, res *Table1Result) []Fig3Series {
 			Fprintf(w, "%-18s %8d %8.1f%%  ", tgt.name, len(sizes), 100*loc)
 			for _, k := range keys {
 				Fprintf(w, "%dB:%d ", k, classes[k])
+			}
+			if s.Dropped > 0 {
+				Fprintf(w, "(+%d samples beyond retention cap)", s.Dropped)
 			}
 			Fprintf(w, "\n")
 		}

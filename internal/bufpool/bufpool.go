@@ -29,6 +29,7 @@ type Buffer struct {
 	Data  []byte
 	class int // index into pool classes; -1 for oversize one-offs
 	owner *NativePool
+	grown bool // buffer came from a doubling re-get, not the first Acquire
 }
 
 // Cap returns the buffer capacity.
@@ -60,6 +61,7 @@ type NativePool struct {
 	free     [][]*Buffer
 	maxClass int
 	stats    Stats
+	m        nativeInstruments
 }
 
 // NewNativePool creates a pool with power-of-two classes from MinClassSize
@@ -95,6 +97,10 @@ func (p *NativePool) register(n int64) {
 	if p.stats.BytesRegistered > p.stats.PeakRegistered {
 		p.stats.PeakRegistered = p.stats.BytesRegistered
 	}
+	p.m.bytes.Add(n)
+	if p.stats.PeakRegistered > p.m.peak.Value() {
+		p.m.peak.Set(p.stats.PeakRegistered)
+	}
 }
 
 // classFor returns the index of the smallest class holding size, or -1 if
@@ -122,18 +128,23 @@ func (p *NativePool) Get(size int) *Buffer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Gets++
+	p.m.gets.Inc()
 	ci := p.classFor(size)
 	if ci < 0 {
 		p.stats.Oversize++
+		p.m.oversize.Inc()
 		return &Buffer{Data: make([]byte, size), class: -1, owner: p}
 	}
 	if n := len(p.free[ci]); n > 0 {
 		b := p.free[ci][n-1]
 		p.free[ci] = p.free[ci][:n-1]
+		b.grown = false
 		p.stats.Hits++
+		p.m.hits.Inc()
 		return b
 	}
 	p.stats.Misses++
+	p.m.misses.Inc()
 	p.register(int64(p.classes[ci]))
 	return &Buffer{Data: make([]byte, p.classes[ci]), class: ci, owner: p}
 }
@@ -150,6 +161,7 @@ func (p *NativePool) Put(b *Buffer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Puts++
+	p.m.puts.Inc()
 	if b.class < 0 {
 		return
 	}

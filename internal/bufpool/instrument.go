@@ -1,0 +1,91 @@
+package bufpool
+
+import "rpcoib/internal/metrics"
+
+// nativeInstruments mirrors Stats into a metrics.Registry. The zero value is
+// inert (nil instruments no-op), so uninstrumented pools pay nothing.
+type nativeInstruments struct {
+	gets     *metrics.Counter
+	hits     *metrics.Counter
+	misses   *metrics.Counter
+	oversize *metrics.Counter
+	puts     *metrics.Counter
+	bytes    *metrics.Gauge
+	peak     *metrics.Gauge
+}
+
+// Instrument mirrors the pool's counters into r under prefix (e.g.
+// "rpc_server_pool" yields rpc_server_pool_hits_total). Several pools may
+// share a prefix; the series then aggregate their traffic (peak reports the
+// largest single-pool high-water mark). On a pool's first instrumentation,
+// traffic recorded earlier (a Preregister warm-up) is carried over.
+func (p *NativePool) Instrument(r *metrics.Registry, prefix string) {
+	if p == nil || r == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seed := p.m.gets == nil
+	p.m = nativeInstruments{
+		gets:     r.Counter(prefix + "_gets_total"),
+		hits:     r.Counter(prefix + "_hits_total"),
+		misses:   r.Counter(prefix + "_misses_total"),
+		oversize: r.Counter(prefix + "_oversize_total"),
+		puts:     r.Counter(prefix + "_puts_total"),
+		bytes:    r.Gauge(prefix + "_bytes_registered"),
+		peak:     r.Gauge(prefix + "_peak_bytes_registered"),
+	}
+	if seed {
+		p.m.gets.Add(p.stats.Gets)
+		p.m.hits.Add(p.stats.Hits)
+		p.m.misses.Add(p.stats.Misses)
+		p.m.oversize.Add(p.stats.Oversize)
+		p.m.puts.Add(p.stats.Puts)
+		p.m.bytes.Add(p.stats.BytesRegistered)
+	}
+	if p.stats.PeakRegistered > p.m.peak.Value() {
+		p.m.peak.Set(p.stats.PeakRegistered)
+	}
+}
+
+// shadowInstruments mirrors ShadowStats into a metrics.Registry.
+type shadowInstruments struct {
+	acquires *metrics.Counter
+	firstFit *metrics.Counter
+	regets   *metrics.Counter
+	shrinks  *metrics.Counter
+	grows    *metrics.Counter
+	newKeys  *metrics.Counter
+	keys     *metrics.Gauge
+}
+
+// Instrument mirrors the shadow pool's counters (and its native pool's,
+// under prefix+"_native") into r. Safe with a nil registry (no-op); pools
+// sharing a prefix aggregate into the same series.
+func (s *ShadowPool) Instrument(r *metrics.Registry, prefix string) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	seed := s.m.acquires == nil
+	s.m = shadowInstruments{
+		acquires: r.Counter(prefix + "_acquires_total"),
+		firstFit: r.Counter(prefix + "_first_fit_total"),
+		regets:   r.Counter(prefix + "_regets_total"),
+		shrinks:  r.Counter(prefix + "_shrinks_total"),
+		grows:    r.Counter(prefix + "_grows_total"),
+		newKeys:  r.Counter(prefix + "_new_keys_total"),
+		keys:     r.Gauge(prefix + "_history_keys"),
+	}
+	if seed {
+		s.m.acquires.Add(s.stats.Acquires)
+		s.m.firstFit.Add(s.stats.FirstFit)
+		s.m.regets.Add(s.stats.Regets)
+		s.m.shrinks.Add(s.stats.Shrinks)
+		s.m.grows.Add(s.stats.Grows)
+		s.m.newKeys.Add(s.stats.NewKeys)
+	}
+	s.m.keys.Set(int64(len(s.history)))
+	s.mu.Unlock()
+	s.native.Instrument(r, prefix+"_native")
+}

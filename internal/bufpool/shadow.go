@@ -59,6 +59,7 @@ type ShadowPool struct {
 	policy  Policy
 	history map[string]int
 	stats   ShadowStats
+	m       shadowInstruments
 }
 
 // NewShadowPool layers history tracking over a native pool.
@@ -78,6 +79,7 @@ func (s *ShadowPool) Policy() Policy { return s.policy }
 func (s *ShadowPool) Acquire(key string) *Buffer {
 	s.mu.Lock()
 	s.stats.Acquires++
+	s.m.acquires.Inc()
 	size := MinClassSize
 	switch s.policy {
 	case PolicyHistory:
@@ -85,6 +87,7 @@ func (s *ShadowPool) Acquire(key string) *Buffer {
 			size = rec
 		} else {
 			s.stats.NewKeys++
+			s.m.newKeys.Inc()
 		}
 	case PolicyFixedSmall:
 		size = MinClassSize
@@ -104,13 +107,15 @@ func (s *ShadowPool) Acquire(key string) *Buffer {
 func (s *ShadowPool) Grow(b *Buffer, n int) *Buffer {
 	s.mu.Lock()
 	s.stats.Regets++
+	s.m.regets.Inc()
 	s.mu.Unlock()
 	if s.policy == PolicyNoPool {
-		nb := &Buffer{Data: make([]byte, b.Cap()*2), class: -1, owner: s.native}
+		nb := &Buffer{Data: make([]byte, b.Cap()*2), class: -1, owner: s.native, grown: true}
 		copy(nb.Data, b.Data[:n])
 		return nb
 	}
 	nb := s.native.Get(b.Cap() * 2)
+	nb.grown = true
 	copy(nb.Data, b.Data[:n])
 	s.native.Put(b)
 	return nb
@@ -126,18 +131,25 @@ func (s *ShadowPool) Grow(b *Buffer, n int) *Buffer {
 //     converges in a few calls without footprint blowup.
 func (s *ShadowPool) Release(key string, b *Buffer, actualSize int) {
 	s.mu.Lock()
+	if b != nil && !b.grown {
+		s.stats.FirstFit++
+		s.m.firstFit.Inc()
+	}
 	if s.policy == PolicyHistory {
 		rec, ok := s.history[key]
 		switch {
 		case !ok || actualSize > rec:
 			if ok {
 				s.stats.Grows++
+				s.m.grows.Inc()
 			}
 			s.history[key] = actualSize
 		case actualSize <= rec/2 && rec/2 >= MinClassSize:
 			s.stats.Shrinks++
+			s.m.shrinks.Inc()
 			s.history[key] = rec / 2
 		}
+		s.m.keys.Set(int64(len(s.history)))
 	}
 	s.mu.Unlock()
 	if s.policy != PolicyNoPool {

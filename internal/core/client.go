@@ -46,6 +46,7 @@ type Client struct {
 	connMu *emutex
 	conns  map[string]*Connection
 	idSeq  atomic.Int32
+	m      clientMetrics
 
 	// Stats counts issued calls and failures.
 	Stats ClientStats
@@ -54,11 +55,15 @@ type Client struct {
 // NewClient creates a client over net with the given options.
 func NewClient(net transport.Network, opts Options) *Client {
 	opts = opts.withDefaults()
+	if opts.Pool != nil {
+		opts.Pool.Instrument(opts.Metrics, "rpc_client_pool")
+	}
 	return &Client{
 		engine:  engine{opts: opts},
 		net:     net,
 		timeout: opts.CallTimeout,
 		conns:   map[string]*Connection{},
+		m:       newClientMetrics(opts.Metrics),
 	}
 }
 
@@ -100,6 +105,10 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	if conn != nil && !conn.closed {
 		return conn, nil
 	}
+	if conn != nil {
+		// A cached connection died and is being replaced.
+		c.m.retries.Inc()
+	}
 	tc, err := c.net.Dial(e, addr)
 	if err != nil {
 		return nil, err
@@ -108,6 +117,7 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	c.mu.Lock()
 	c.conns[addr] = conn
 	c.mu.Unlock()
+	c.m.connections.Inc()
 	e.Spawn("rpc-conn-recv:"+addr, conn.receiveLoop)
 	return conn, nil
 }
@@ -116,6 +126,7 @@ func (conn *Connection) addCall(id int32, cs *callState) {
 	conn.mu.Lock()
 	conn.calls[id] = cs
 	conn.mu.Unlock()
+	conn.client.m.outstanding.Inc()
 }
 
 func (conn *Connection) takeCall(id int32) *callState {
@@ -123,6 +134,9 @@ func (conn *Connection) takeCall(id int32) *callState {
 	cs := conn.calls[id]
 	delete(conn.calls, id)
 	conn.mu.Unlock()
+	if cs != nil {
+		conn.client.m.outstanding.Dec()
+	}
 	return cs
 }
 
@@ -138,6 +152,8 @@ func (conn *Connection) fail(err error) {
 	pending := conn.calls
 	conn.calls = map[int32]*callState{}
 	conn.mu.Unlock()
+	conn.client.m.connections.Dec()
+	conn.client.m.outstanding.Add(-int64(len(pending)))
 	conn.tc.Close()
 	for _, cs := range pending {
 		cs.replyQ.Close()
@@ -150,9 +166,12 @@ func (conn *Connection) fail(err error) {
 // arrives, a timeout fires, or the connection fails.
 func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wire.Writable) error {
 	c.Stats.Calls.Add(1)
+	c.m.calls.Inc()
+	callStart := e.Now()
 	conn, err := c.connection(e, addr)
 	if err != nil {
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
 		return err
 	}
 	id := c.idSeq.Add(1)
@@ -164,6 +183,7 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 		conn.sendMu.unlock()
 		conn.takeCall(id)
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
 		return ErrClosed
 	}
 	var sample trace.SendSample
@@ -178,9 +198,11 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 		conn.takeCall(id)
 		conn.fail(err)
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
 		return err
 	}
 	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
+	c.m.bytesOut.Add(int64(sample.MsgBytes))
 	c.opts.Tracer.RecordSend(sample)
 
 	v, ok, timedOut := cs.replyQ.GetTimeout(e, c.timeout)
@@ -188,17 +210,22 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 	case timedOut:
 		conn.takeCall(id)
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
+		c.m.timeouts.Inc()
 		return ErrTimeout
 	case !ok:
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
 		if conn.closeErr != nil {
 			return fmt.Errorf("%w: %v", ErrClosed, conn.closeErr)
 		}
 		return ErrClosed
 	case v != nil:
 		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
 		return v.(error)
 	}
+	observeSince(c.m.rtt(protocol, method), e, callStart)
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"rpcoib/internal/bufpool"
 	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
 	"rpcoib/internal/wire"
@@ -75,6 +76,11 @@ type Options struct {
 	Pool *bufpool.ShadowPool
 	// Tracer, when non-nil, records per-call profiling samples.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives engine-wide instrumentation: queue
+	// depths, handler occupancy, connection counts, and per-
+	// <protocol,method> stage latency histograms. Recording never perturbs
+	// simulation determinism.
+	Metrics *metrics.Registry
 	// Handlers is the server handler-thread count (DefaultHandlers if 0).
 	Handlers int
 	// Readers is the width of the baseline server's read-processing stage:

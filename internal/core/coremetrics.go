@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
+)
+
+// Server-side stage names for the per-<protocol,method> latency breakdown:
+// serialize (Reader deserialization + buffer handling), transport (wire
+// occupancy of the inbound message), handle (Handler dequeue-to-enqueue),
+// respond (Responder send).
+const (
+	stageSerialize = "serialize"
+	stageTransport = "transport"
+	stageHandle    = "handle"
+	stageRespond   = "respond"
+)
+
+// serverMetrics holds the server's pre-resolved instruments. The zero value
+// (nil fields) is inert, so an uninstrumented server pays only nil checks.
+type serverMetrics struct {
+	reg              *metrics.Registry
+	callQueueDepth   *metrics.Gauge
+	responderBacklog *metrics.Gauge
+	handlersBusy     *metrics.Gauge
+	connections      *metrics.Gauge
+	callsReceived    *metrics.Counter
+	callsHandled     *metrics.Counter
+	callErrors       *metrics.Counter
+	bytesIn          *metrics.Counter
+	bytesOut         *metrics.Counter
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	if r == nil {
+		return serverMetrics{}
+	}
+	return serverMetrics{
+		reg:              r,
+		callQueueDepth:   r.Gauge("rpc_server_call_queue_depth"),
+		responderBacklog: r.Gauge("rpc_server_responder_backlog"),
+		handlersBusy:     r.Gauge("rpc_server_handlers_busy"),
+		connections:      r.Gauge("rpc_server_connections"),
+		callsReceived:    r.Counter("rpc_server_calls_received_total"),
+		callsHandled:     r.Counter("rpc_server_calls_handled_total"),
+		callErrors:       r.Counter("rpc_server_call_errors_total"),
+		bytesIn:          r.Counter("rpc_server_bytes_in_total"),
+		bytesOut:         r.Counter("rpc_server_bytes_out_total"),
+	}
+}
+
+// stage returns the latency histogram for one processing stage of one call
+// kind. The registry deduplicates by name, so this is a cheap lookup after
+// the first call per <protocol,method,stage>.
+func (m *serverMetrics) stage(protocol, method, stage string) *metrics.Histogram {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Histogram(metrics.Labels("rpc_server_stage_ns",
+		"protocol", protocol, "method", method, "stage", stage), nil)
+}
+
+// clientMetrics holds the client's pre-resolved instruments.
+type clientMetrics struct {
+	reg         *metrics.Registry
+	connections *metrics.Gauge
+	outstanding *metrics.Gauge
+	calls       *metrics.Counter
+	errors      *metrics.Counter
+	timeouts    *metrics.Counter
+	retries     *metrics.Counter
+	bytesOut    *metrics.Counter
+}
+
+func newClientMetrics(r *metrics.Registry) clientMetrics {
+	if r == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		reg:         r,
+		connections: r.Gauge("rpc_client_connections"),
+		outstanding: r.Gauge("rpc_client_outstanding_calls"),
+		calls:       r.Counter("rpc_client_calls_total"),
+		errors:      r.Counter("rpc_client_errors_total"),
+		timeouts:    r.Counter("rpc_client_timeouts_total"),
+		retries:     r.Counter("rpc_client_reconnects_total"),
+		bytesOut:    r.Counter("rpc_client_bytes_out_total"),
+	}
+}
+
+// rtt returns the per-call-kind round-trip latency histogram.
+func (m *clientMetrics) rtt(protocol, method string) *metrics.Histogram {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Histogram(metrics.Labels("rpc_client_call_ns",
+		"protocol", protocol, "method", method), nil)
+}
+
+// observeSince records e.Now()-start into h (no-op on nil histogram),
+// reading the clock only when someone is listening so uninstrumented runs
+// take the exact same Env call sequence as before.
+func observeSince(h *metrics.Histogram, e exec.Env, start time.Duration) {
+	if h != nil {
+		h.ObserveDuration(e.Now() - start)
+	}
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/wire"
+)
+
+// metricsRun is a small deterministic RPCoIB workload: one server, one
+// client, calls calls of payload bytes each through a handler that sleeps
+// handlerDelay of virtual time. It returns the registry snapshot stamped
+// with the simulation's quiescent time.
+func metricsRun(t *testing.T, reg *metrics.Registry, calls, payload int, handlerDelay time.Duration) metrics.Snapshot {
+	t.Helper()
+	cl := cluster.New(cluster.ClusterB())
+	opts := core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: reg}
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv := core.NewServer(cl.RPCoIBNet(0), opts)
+		srv.Register("p", "echo",
+			func() wire.Writable { return &wire.BytesWritable{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+				if handlerDelay > 0 {
+					e.Sleep(handlerDelay)
+				}
+				return p, nil
+			})
+		if err := srv.Start(e, 9000); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client := core.NewClient(cl.RPCoIBNet(1), opts)
+		param := &wire.BytesWritable{Value: make([]byte, payload)}
+		var reply wire.BytesWritable
+		for i := 0; i < calls; i++ {
+			if err := client.Call(e, "node0:9000", "p", "echo", param, &reply); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	return reg.Snapshot(end)
+}
+
+// TestSimMetricsVirtualTime asserts that metric timestamps and latency
+// observations advance in *virtual* time under the simulator: a handler
+// that sleeps 2s per call yields RTT observations of >= 2s and a snapshot
+// stamped >= 40s of virtual time, while the test itself finishes in a
+// fraction of that wall time.
+func TestSimMetricsVirtualTime(t *testing.T) {
+	const calls = 20
+	const delay = 2 * time.Second
+	wallStart := time.Now()
+	snap := metricsRun(t, metrics.New(), calls, 128, delay)
+	wall := time.Since(wallStart)
+
+	if snap.At() < time.Duration(calls)*delay {
+		t.Fatalf("snapshot stamped at %v of virtual time; want >= %v", snap.At(), time.Duration(calls)*delay)
+	}
+	name := metrics.Labels("rpc_client_call_ns", "protocol", "p", "method", "echo")
+	h, ok := snap.Histograms[name]
+	if !ok {
+		t.Fatalf("missing histogram %q; have %v", name, len(snap.Histograms))
+	}
+	if h.Count != calls {
+		t.Fatalf("rtt count = %d, want %d", h.Count, calls)
+	}
+	if time.Duration(h.Min) < delay {
+		t.Fatalf("min rtt %v below the handler's virtual sleep %v", time.Duration(h.Min), delay)
+	}
+	// 20 simulated RPCs must not take anywhere near their 40s of virtual
+	// time on the wall clock — that is the whole point of the simulator.
+	if wall > 10*time.Second {
+		t.Fatalf("simulated run took %v of wall time for %v of virtual time", wall, snap.At())
+	}
+	if got := snap.Counters["rpc_server_calls_handled_total"]; got != calls {
+		t.Fatalf("calls handled = %d, want %d", got, calls)
+	}
+}
+
+// TestSimMetricsDeterminism runs the identical simulated workload twice
+// against fresh registries and requires byte-identical snapshots: every
+// counter, gauge, and histogram bucket must match, or the metrics layer has
+// introduced a source of nondeterminism into the engine.
+func TestSimMetricsDeterminism(t *testing.T) {
+	a := metricsRun(t, metrics.New(), 50, 4096, 0)
+	b := metricsRun(t, metrics.New(), 50, 4096, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical sim runs produced different snapshots:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Counters["rpc_client_calls_total"] != 50 {
+		t.Fatalf("client calls = %d, want 50", a.Counters["rpc_client_calls_total"])
+	}
+	if len(a.Histograms) == 0 {
+		t.Fatal("no histograms recorded")
+	}
+}

@@ -48,6 +48,7 @@ type Server struct {
 	ln        transport.Listener
 	conns     []transport.Conn
 	running   bool
+	m         serverMetrics
 
 	// Stats counts server activity.
 	Stats ServerStats
@@ -55,10 +56,15 @@ type Server struct {
 
 // NewServer creates a server over net with the given options.
 func NewServer(net transport.Network, opts Options) *Server {
+	opts = opts.withDefaults()
+	if opts.Pool != nil {
+		opts.Pool.Instrument(opts.Metrics, "rpc_server_pool")
+	}
 	return &Server{
-		engine:    engine{opts: opts.withDefaults()},
+		engine:    engine{opts: opts},
 		net:       net,
 		protocols: map[string]map[string]methodDef{},
+		m:         newServerMetrics(opts.Metrics),
 	}
 }
 
@@ -146,9 +152,11 @@ type serverCall struct {
 
 // response is one outbound result for the Responder.
 type response struct {
-	conn   transport.Conn
-	data   []byte            // baseline: serialized heap buffer view
-	stream *RDMAOutputStream // RPCoIB: registered buffer to send + release
+	conn     transport.Conn
+	data     []byte            // baseline: serialized heap buffer view
+	stream   *RDMAOutputStream // RPCoIB: registered buffer to send + release
+	protocol string
+	method   string
 }
 
 func (s *Server) listenLoop(e exec.Env) {
@@ -165,7 +173,11 @@ func (s *Server) listenLoop(e exec.Env) {
 		}
 		s.conns = append(s.conns, conn)
 		s.mu.Unlock()
-		e.Spawn("rpc-reader:"+conn.RemoteAddr(), func(re exec.Env) { s.readerLoop(re, conn) })
+		s.m.connections.Inc()
+		e.Spawn("rpc-reader:"+conn.RemoteAddr(), func(re exec.Env) {
+			s.readerLoop(re, conn)
+			s.m.connections.Dec()
+		})
 	}
 }
 
@@ -182,6 +194,8 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		n := len(data)
 		s.Stats.CallsReceived.Add(1)
 		s.Stats.BytesIn.Add(int64(n))
+		s.m.callsReceived.Inc()
+		s.m.bytesIn.Add(int64(n))
 		if s.readerSem != nil {
 			s.readerSem.acquire(e)
 		}
@@ -216,10 +230,13 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		s.work(e, cost.Serialize(in.Ops())+cost.Copy(n))
 		release()
 		total := e.Now() - t0
+		s.m.stage(protocol, method, stageSerialize).ObserveDuration(total)
 		if wt, ok := conn.(transport.WireTimer); ok {
 			// Figure 1's measurement spans the channelReadFully loop, which
 			// drains the message at wire speed before processing begins.
-			total += wt.WireTime(n)
+			wireDur := wt.WireTime(n)
+			total += wireDur
+			s.m.stage(protocol, method, stageTransport).ObserveDuration(wireDur)
 		}
 		s.opts.Tracer.RecordRecv(trace.RecvSample{
 			Key:      trace.Key{Protocol: protocol, Method: method},
@@ -235,6 +252,7 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		if !ok {
 			return
 		}
+		s.m.callQueueDepth.Inc()
 	}
 }
 
@@ -260,6 +278,9 @@ func (s *Server) handlerLoop(e exec.Env) {
 			return
 		}
 		call := v.(*serverCall)
+		s.m.callQueueDepth.Dec()
+		s.m.handlersBusy.Inc()
+		handleStart := e.Now()
 		s.work(e, cost.Dispatch)
 		var value wire.Writable
 		var callErr error
@@ -269,11 +290,13 @@ func (s *Server) handlerLoop(e exec.Env) {
 			value, callErr = s.invoke(e, call)
 		}
 		s.Stats.CallsHandled.Add(1)
+		s.m.callsHandled.Inc()
 		if callErr != nil {
 			s.Stats.CallErrors.Add(1)
+			s.m.callErrors.Inc()
 		}
 
-		resp := &response{conn: call.conn}
+		resp := &response{conn: call.conn, protocol: call.protocol, method: call.method}
 		if s.opts.Mode == ModeRPCoIB {
 			st := NewRDMAOutputStream(s.opts.Pool, poolKey(call.protocol, call.method)+"#r")
 			s.work(e, cost.PoolGet)
@@ -290,10 +313,13 @@ func (s *Server) handlerLoop(e exec.Env) {
 			s.work(e, cost.Serialize(out.Ops())+cost.Copy(d.Len())+s.bufferCost(d.TakeStats()))
 			resp.data = d.Data()
 		}
+		observeSince(s.m.stage(call.protocol, call.method, stageHandle), e, handleStart)
+		s.m.handlersBusy.Dec()
 		s.work(e, cost.ThreadHandoff)
 		if !s.respQ.Put(e, resp) {
 			return
 		}
+		s.m.responderBacklog.Inc()
 	}
 }
 
@@ -333,6 +359,8 @@ func (s *Server) responderLoop(e exec.Env) {
 			return
 		}
 		r := v.(*response)
+		s.m.responderBacklog.Dec()
+		respondStart := e.Now()
 		if r.stream != nil {
 			buf, n := r.stream.Buffer()
 			s.work(e, cost.RPCOverhead)
@@ -349,6 +377,8 @@ func (s *Server) responderLoop(e exec.Env) {
 			}
 			r.stream.Release()
 			s.Stats.BytesOut.Add(int64(n))
+			s.m.bytesOut.Add(int64(n))
+			observeSince(s.m.stage(r.protocol, r.method, stageRespond), e, respondStart)
 			continue
 		}
 		n := len(r.data)
@@ -358,5 +388,7 @@ func (s *Server) responderLoop(e exec.Env) {
 		s.work(e, cost.Copy(4+n)+cost.HeapNative(4+n)+cost.Syscall+cost.RPCOverhead)
 		_ = r.conn.Send(e, frame)
 		s.Stats.BytesOut.Add(int64(n))
+		s.m.bytesOut.Add(int64(n))
+		observeSince(s.m.stage(r.protocol, r.method, stageRespond), e, respondStart)
 	}
 }

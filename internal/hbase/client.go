@@ -127,6 +127,7 @@ func (h *HBase) NewClient(node int) *HClient {
 		h: h, node: node,
 		rpc: core.NewClient(h.net(node), core.Options{
 			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+			Metrics: h.cfg.Metrics,
 		}),
 		buf: make([]clientBuffer, len(h.rss)),
 	}

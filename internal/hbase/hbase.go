@@ -15,6 +15,7 @@ import (
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
 	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
@@ -57,6 +58,8 @@ type Config struct {
 	WriteBufferSize int64
 	// Tracer profiles HBase RPC traffic when set.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, instruments the region-server RPC endpoints.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -154,7 +157,8 @@ type RegionServer struct {
 
 func (rs *RegionServer) run(e exec.Env) {
 	srv := core.NewServer(rs.h.net(rs.node), core.Options{
-		Mode: rs.h.rpcMode(), Costs: rs.h.c.Costs, Tracer: rs.h.cfg.Tracer, Handlers: 10,
+		Mode: rs.h.rpcMode(), Costs: rs.h.c.Costs, Tracer: rs.h.cfg.Tracer,
+		Metrics: rs.h.cfg.Metrics, Handlers: 10,
 	})
 	srv.Register(RegionInterface, "get",
 		func() wire.Writable { return &GetParam{} }, rs.get)

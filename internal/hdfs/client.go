@@ -162,6 +162,7 @@ func (c *DFSClient) writeBlock(e exec.Env, lb LocatedBlock, length int64) error 
 		if err := transport.SendSized(e, conn, hdr, len(hdr)+int(n)); err != nil {
 			return err
 		}
+		c.h.m.clientWrite.add(n)
 		seq++
 	}
 	if length == 0 {

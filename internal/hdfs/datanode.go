@@ -60,6 +60,7 @@ func (dn *DataNode) run(e exec.Env) {
 	// promptly once the network heals instead of blocking on a lost reply.
 	hbClient := core.NewClient(dn.h.rpcNet(dn.node), core.Options{
 		Mode: dn.h.cfg.RPCMode, Costs: dn.h.c.Costs, Tracer: dn.h.cfg.Tracer,
+		Metrics:     dn.h.cfg.Metrics,
 		CallTimeout: 2*dn.h.cfg.HeartbeatInterval + time.Second,
 	})
 	for {
@@ -119,6 +120,7 @@ func (dn *DataNode) replicateBlock(e exec.Env, blockID int64, target string) {
 		if err := transport.SendSized(e, conn, hdr, len(hdr)+int(n)); err != nil {
 			return
 		}
+		dn.h.m.replicate.add(n)
 		seq++
 	}
 	if _, rel, err := conn.Recv(e); err == nil { // final ack
@@ -263,6 +265,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 			return in.Err()
 		}
 		dn.PacketsIn++
+		dn.h.m.recv.add(int64(dataLen))
 		// Checksum verification, stream decode, write() copy.
 		e.Work(packetCPU(rdma, int(dataLen)))
 		if downstream != nil {
@@ -271,6 +274,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 				diskQ.Close()
 				return err
 			}
+			dn.h.m.forward.add(int64(dataLen))
 		}
 		length += int64(dataLen)
 		if dataLen > 0 {
@@ -323,6 +327,7 @@ func (dn *DataNode) sendBlock(e exec.Env, conn transport.Conn, blockID int64) er
 		if err := transport.SendSized(e, conn, hdr, len(hdr)+int(n)); err != nil {
 			return err
 		}
+		dn.h.m.read.add(n)
 		seq++
 	}
 	return nil

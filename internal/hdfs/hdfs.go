@@ -7,6 +7,7 @@ import (
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
@@ -76,6 +77,9 @@ type Config struct {
 	Handlers int
 	// Tracer profiles all RPC traffic when set.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, instruments all RPC endpoints and the block
+	// data pipeline (per-stage packet/byte counters).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -106,19 +110,22 @@ type HDFS struct {
 	dns    []*DataNode
 	stopQ  exec.Queue
 	server *core.Server
+	m      hdfsMetrics
 }
 
 // Deploy spawns the NameNode and DataNodes. It returns immediately; the
 // services come up within the first simulated milliseconds.
 func Deploy(c *cluster.Cluster, cfg Config) *HDFS {
 	cfg = cfg.withDefaults()
-	h := &HDFS{c: c, cfg: cfg, nnAddr: netsim.Addr(cfg.NameNode, nnPort)}
+	h := &HDFS{c: c, cfg: cfg, nnAddr: netsim.Addr(cfg.NameNode, nnPort),
+		m: newHDFSMetrics(cfg.Metrics)}
 	h.nn = newNameNode(h)
 
 	c.SpawnOn(cfg.NameNode, "namenode", func(e exec.Env) {
 		h.stopQ = e.NewQueue(0)
 		srv := core.NewServer(h.rpcNet(cfg.NameNode), core.Options{
-			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer, Handlers: cfg.Handlers,
+			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer,
+			Metrics: cfg.Metrics, Handlers: cfg.Handlers,
 		})
 		h.nn.register(srv)
 		if err := srv.Start(e, nnPort); err != nil {
@@ -191,6 +198,7 @@ func (h *HDFS) dataNet(node int) transport.Network {
 func (h *HDFS) newRPCClient(node int) *core.Client {
 	return core.NewClient(h.rpcNet(node), core.Options{
 		Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+		Metrics: h.cfg.Metrics,
 	})
 }
 

@@ -1,0 +1,49 @@
+package hdfs
+
+import "rpcoib/internal/metrics"
+
+// pipeStage counts data-pipeline traffic through one stage. The zero value
+// is inert (nil-safe instruments), so uninstrumented deployments pay nothing.
+type pipeStage struct {
+	packets *metrics.Counter
+	bytes   *metrics.Counter
+}
+
+func (s pipeStage) add(n int64) {
+	s.packets.Inc()
+	s.bytes.Add(n)
+}
+
+// hdfsMetrics pre-resolves the per-stage pipeline counters:
+//
+//	client_write  packets the DFSClient pushes into a write pipeline
+//	dn_receive    packets a DataNode takes off an upstream connection
+//	dn_forward    packets a DataNode cuts through to the next replica
+//	dn_read       packets a DataNode streams to a block reader
+//	dn_replicate  packets sent for NameNode-commanded repair transfers
+type hdfsMetrics struct {
+	clientWrite pipeStage
+	recv        pipeStage
+	forward     pipeStage
+	read        pipeStage
+	replicate   pipeStage
+}
+
+func newHDFSMetrics(r *metrics.Registry) hdfsMetrics {
+	if r == nil {
+		return hdfsMetrics{}
+	}
+	stage := func(name string) pipeStage {
+		return pipeStage{
+			packets: r.Counter(metrics.Labels("hdfs_pipeline_packets_total", "stage", name)),
+			bytes:   r.Counter(metrics.Labels("hdfs_pipeline_bytes_total", "stage", name)),
+		}
+	}
+	return hdfsMetrics{
+		clientWrite: stage("client_write"),
+		recv:        stage("dn_receive"),
+		forward:     stage("dn_forward"),
+		read:        stage("dn_read"),
+		replicate:   stage("dn_replicate"),
+	}
+}

@@ -32,13 +32,20 @@ const (
 	ctrlBytes   = 48
 )
 
+// InlineMax is the largest payload the HCA absorbs into the send WQE itself
+// (the max_inline_data analog): such sends skip the DMA read of the source
+// buffer. They are a subset of eager sends and counted separately.
+const InlineMax = 220
+
 // Stats counts verbs traffic on one device.
 type Stats struct {
 	EagerSends     int64
 	RDMASends      int64
+	InlineSends    int64 // eager sends small enough to inline into the WQE
 	EagerBytes     int64
 	RDMABytes      int64
 	UnregisteredTx int64 // sends that paid on-the-fly registration
+	CQPolls        int64 // completion-queue polls performed by Recv
 }
 
 // Network is the verbs connection manager over one native-IB fabric: it
@@ -49,6 +56,7 @@ type Network struct {
 	threshold int
 	devices   map[int]*Device
 	listeners map[string]*EPListener
+	m         netInstruments
 }
 
 // NewNetwork creates a verbs network over fabric. threshold <= 0 selects
@@ -74,7 +82,7 @@ func (n *Network) Device(node int) *Device {
 	d, ok := n.devices[node]
 	if !ok {
 		d = &Device{fabric: n.fabric, node: node, costs: n.costs,
-			threshold: n.threshold, recvPool: bufpool.NewNativePool(0)}
+			threshold: n.threshold, recvPool: bufpool.NewNativePool(0), m: n.m}
 		n.devices[node] = d
 	}
 	return d
@@ -89,6 +97,7 @@ type Device struct {
 	threshold int
 	recvPool  *bufpool.NativePool
 	stats     Stats
+	m         netInstruments
 }
 
 // Node returns the device's node id.
@@ -178,6 +187,7 @@ type EndPoint struct {
 func (ep *EndPoint) deliver(seq int, msg recvMsg) {
 	if ep.closed {
 		ep.dev.recvPool.Put(msg.buf)
+		ep.dev.m.postedRecvs.Dec()
 		return
 	}
 	if ep.pending == nil {
@@ -255,6 +265,7 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 	if !b.Registered() {
 		// Slow path the pool exists to avoid: register on the fly.
 		dev.stats.UnregisteredTx++
+		dev.m.unregisteredTx.Inc()
 		dev.fabric.ChargeCPU(p, dev.node, dev.costs.Register(n))
 	}
 	dev.fabric.ChargeCPU(p, dev.node, dev.costs.VerbsPost)
@@ -263,10 +274,17 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 	ep.sendSeq++
 	if size <= dev.threshold {
 		dev.stats.EagerSends++
+		dev.m.eagerSends.Inc()
 		dev.stats.EagerBytes += int64(size)
+		dev.m.eagerBytes.Add(int64(size))
+		if size <= InlineMax {
+			dev.stats.InlineSends++
+			dev.m.inlineSends.Inc()
+		}
 		// The data leaves through the HCA now; snapshot it into the peer's
 		// pre-posted receive buffer (NIC DMA, no CPU charge).
 		rx := peer.dev.recvPool.Get(n)
+		peer.dev.m.postedRecvs.Inc()
 		copy(rx.Data, b.Data[:n])
 		dev.fabric.Transfer(dev.node, peer.dev.node, size+eagerHeader, func() {
 			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size, eager: true})
@@ -274,9 +292,12 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 		return nil
 	}
 	dev.stats.RDMASends++
+	dev.m.rdmaSends.Inc()
 	dev.stats.RDMABytes += int64(size)
+	dev.m.rdmaBytes.Add(int64(size))
 	dev.fabric.ChargeCPU(p, dev.node, dev.costs.VerbsPost) // the later RDMA-write post
 	rx := peer.dev.recvPool.Get(n)
+	peer.dev.m.postedRecvs.Inc()
 	copy(rx.Data, b.Data[:n])
 	// Rendezvous: control message first, then the one-sided payload write.
 	dev.fabric.Transfer(dev.node, peer.dev.node, ctrlBytes, func() {
@@ -297,6 +318,8 @@ func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
 	}
 	msg := v.(recvMsg)
 	dev := ep.dev
+	dev.stats.CQPolls++
+	dev.m.cqPolls.Inc()
 	cost := dev.costs.CQPoll
 	if msg.eager {
 		// Two-sided receives land in a pre-posted bounce buffer and must be
@@ -307,7 +330,8 @@ func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
 	dev.fabric.ChargeCPU(p, dev.node, cost)
 	pool := dev.recvPool
 	buf := msg.buf
-	return buf.Data[:msg.n], func() { pool.Put(buf) }, nil
+	inflight := dev.m.postedRecvs
+	return buf.Data[:msg.n], func() { pool.Put(buf); inflight.Dec() }, nil
 }
 
 // WireTime reports the fabric occupancy of an n-byte message.

@@ -1,0 +1,63 @@
+package ibverbs
+
+import "rpcoib/internal/metrics"
+
+// netInstruments mirrors verbs traffic into a metrics.Registry. One set is
+// shared by every device on the network (fabric-wide totals); the zero value
+// is inert, so uninstrumented networks pay only nil checks inside the
+// nil-safe instruments.
+type netInstruments struct {
+	eagerSends     *metrics.Counter
+	rdmaSends      *metrics.Counter
+	inlineSends    *metrics.Counter
+	eagerBytes     *metrics.Counter
+	rdmaBytes      *metrics.Counter
+	unregisteredTx *metrics.Counter
+	cqPolls        *metrics.Counter
+	postedRecvs    *metrics.Gauge
+}
+
+// Instrument mirrors fabric-wide verbs counters into r: eager vs RDMA vs
+// inline send counts and bytes, on-the-fly registrations, CQ polls, and the
+// number of pre-posted receive buffers currently consumed by in-flight or
+// unreleased messages. On the network's first instrumentation, traffic
+// recorded earlier is carried over.
+func (n *Network) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	seed := n.m.eagerSends == nil
+	m := netInstruments{
+		eagerSends:     r.Counter("ib_eager_sends_total"),
+		rdmaSends:      r.Counter("ib_rdma_sends_total"),
+		inlineSends:    r.Counter("ib_inline_sends_total"),
+		eagerBytes:     r.Counter("ib_eager_bytes_total"),
+		rdmaBytes:      r.Counter("ib_rdma_bytes_total"),
+		unregisteredTx: r.Counter("ib_unregistered_tx_total"),
+		cqPolls:        r.Counter("ib_cq_polls_total"),
+		postedRecvs:    r.Gauge("ib_posted_recvs_in_flight"),
+	}
+	if seed {
+		var s Stats
+		for _, d := range n.devices {
+			s.EagerSends += d.stats.EagerSends
+			s.RDMASends += d.stats.RDMASends
+			s.InlineSends += d.stats.InlineSends
+			s.EagerBytes += d.stats.EagerBytes
+			s.RDMABytes += d.stats.RDMABytes
+			s.UnregisteredTx += d.stats.UnregisteredTx
+			s.CQPolls += d.stats.CQPolls
+		}
+		m.eagerSends.Add(s.EagerSends)
+		m.rdmaSends.Add(s.RDMASends)
+		m.inlineSends.Add(s.InlineSends)
+		m.eagerBytes.Add(s.EagerBytes)
+		m.rdmaBytes.Add(s.RDMABytes)
+		m.unregisteredTx.Add(s.UnregisteredTx)
+		m.cqPolls.Add(s.CQPolls)
+	}
+	n.m = m
+	for _, d := range n.devices {
+		d.m = m
+	}
+}

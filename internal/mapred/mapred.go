@@ -8,6 +8,7 @@ import (
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
 	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
@@ -42,6 +43,9 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Tracer profiles all RPC traffic when set.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, instruments the JobTracker, TaskTracker, and
+	// umbilical RPC endpoints.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -89,7 +93,8 @@ func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *MapReduce {
 	c.SpawnOn(cfg.JobTracker, "jobtracker", func(e exec.Env) {
 		mr.stopQ = e.NewQueue(0)
 		srv := core.NewServer(mr.rpcNet(cfg.JobTracker), core.Options{
-			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer, Handlers: 10,
+			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer,
+			Metrics: cfg.Metrics, Handlers: 10,
 		})
 		mr.jt.register(srv)
 		if err := srv.Start(e, jtPort); err != nil {
@@ -144,6 +149,7 @@ func (mr *MapReduce) shuffleNet(node int) transport.Network {
 func (mr *MapReduce) newRPCClient(node int) *core.Client {
 	return core.NewClient(mr.rpcNet(node), core.Options{
 		Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
+		Metrics: mr.cfg.Metrics,
 	})
 }
 

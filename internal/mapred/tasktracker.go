@@ -68,7 +68,8 @@ func newTaskTracker(mr *MapReduce, node int) *TaskTracker {
 // loop.
 func (tt *TaskTracker) run(e exec.Env) {
 	srv := core.NewServer(tt.mr.rpcNet(tt.node), core.Options{
-		Mode: tt.mr.cfg.RPCMode, Costs: tt.mr.c.Costs, Tracer: tt.mr.cfg.Tracer, Handlers: 4,
+		Mode: tt.mr.cfg.RPCMode, Costs: tt.mr.c.Costs, Tracer: tt.mr.cfg.Tracer,
+		Metrics: tt.mr.cfg.Metrics, Handlers: 4,
 	})
 	tt.registerUmbilical(srv)
 	if err := srv.Start(e, umbPort); err != nil {

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteText renders a snapshot in the Prometheus text exposition style:
+// sorted names, `# TYPE` comments, `_bucket{le=...}` / `_count` / `_sum`
+// series per histogram. The output is deterministic for a given snapshot.
+func WriteText(w io.Writer, s Snapshot) error {
+	if _, err := fmt.Fprintf(w, "# snapshot at %v\n", time.Duration(s.AtNS)); err != nil {
+		return err
+	}
+	// One # TYPE comment per metric family: labeled series of the same base
+	// name sort adjacently, so a seen-family check suffices.
+	lastFamily := ""
+	family := func(name, kind string) {
+		if b := baseName(name); b != lastFamily {
+			lastFamily = b
+			fmt.Fprintf(w, "# TYPE %s %s\n", b, kind)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		family(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		family(name, "gauge")
+		fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		family(name, "histogram")
+		cum := int64(0)
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", withLabel(name, "_bucket", "le", le), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", suffixed(name, "_count"), h.Count)
+		fmt.Fprintf(w, "%s %d\n", suffixed(name, "_sum"), h.Sum)
+		if h.Count > 0 {
+			fmt.Fprintf(w, "%s %d\n", withLabel(name, "", "quantile", "0.5"), h.Quantile(0.5))
+			fmt.Fprintf(w, "%s %d\n", withLabel(name, "", "quantile", "0.99"), h.Quantile(0.99))
+		}
+	}
+	return nil
+}
+
+// baseName strips a label block from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixed appends suffix to the base name, preserving any label block:
+// suffixed(`h{a="b"}`, "_count") is `h_count{a="b"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel appends suffix and merges one extra label into the name's block.
+func withLabel(name, suffix, key, val string) string {
+	s := suffixed(name, suffix)
+	if i := strings.LastIndexByte(s, '}'); i >= 0 {
+		return fmt.Sprintf("%s,%s=%q}", s[:i], key, val)
+	}
+	return fmt.Sprintf("%s{%s=%q}", s, key, val)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Event is one line of the JSONL run report: either a full registry
+// snapshot or a named span (one measurement / one sim run). Encoding uses
+// encoding/json, which sorts map keys, so identical runs yield byte-identical
+// reports — the property that makes reports diffable.
+type Event struct {
+	Event   string    `json:"event"` // "snapshot" | "span"
+	Name    string    `json:"name,omitempty"`
+	AtNS    int64     `json:"at_ns"`
+	DurNS   int64     `json:"dur_ns,omitempty"`
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Log accumulates events for a run report.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Span appends a span event: a named interval ending at `at` that lasted
+// `dur` (both in the caller's clock domain).
+func (l *Log) Span(name string, at, dur time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Event: "span", Name: name, AtNS: int64(at), DurNS: int64(dur)})
+}
+
+// Snapshot appends a snapshot of r stamped at `at`.
+func (l *Log) Snapshot(name string, r *Registry, at time.Duration) {
+	if l == nil {
+		return
+	}
+	s := r.Snapshot(at)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Event: "snapshot", Name: name, AtNS: int64(at), Metrics: &s})
+}
+
+// Events returns a copy of the accumulated events.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// WriteJSONL writes one JSON object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the JSONL report to path.
+func (l *Log) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -60,15 +60,17 @@ type RecvAgg struct {
 // Tracer collects RPC profiling data. A nil *Tracer is valid and records
 // nothing, so the engine can call it unconditionally.
 type Tracer struct {
-	mu    sync.Mutex
-	sends map[Key]*Agg
-	recvs map[Key]*RecvAgg
-	sizes map[Key][]int
+	mu      sync.Mutex
+	sends   map[Key]*Agg
+	recvs   map[Key]*RecvAgg
+	sizes   map[Key][]int
+	dropped map[Key]int64
 }
 
 // New returns an empty tracer.
 func New() *Tracer {
-	return &Tracer{sends: map[Key]*Agg{}, recvs: map[Key]*RecvAgg{}, sizes: map[Key][]int{}}
+	return &Tracer{sends: map[Key]*Agg{}, recvs: map[Key]*RecvAgg{},
+		sizes: map[Key][]int{}, dropped: map[Key]int64{}}
 }
 
 // RecordSend adds a client-side sample.
@@ -89,6 +91,10 @@ func (t *Tracer) RecordSend(s SendSample) {
 	a.Send += s.Send
 	if seq := t.sizes[s.Key]; len(seq) < maxSizesPerKey {
 		t.sizes[s.Key] = append(seq, s.MsgBytes)
+	} else {
+		// The size sequence is full; keep counting so consumers of Sizes can
+		// tell a complete sequence from a truncated one.
+		t.dropped[s.Key]++
 	}
 }
 
@@ -117,6 +123,7 @@ type SendRow struct {
 	AvgAdjustments float64
 	AvgSerialize   time.Duration
 	AvgSend        time.Duration
+	Dropped        int64 // size samples beyond the per-key retention cap
 }
 
 // SendRows returns per-key averages sorted by key.
@@ -134,6 +141,7 @@ func (t *Tracer) SendRows() []SendRow {
 			AvgAdjustments: float64(a.Adjustments) / float64(a.Count),
 			AvgSerialize:   a.Serialize / time.Duration(a.Count),
 			AvgSend:        a.Send / time.Duration(a.Count),
+			Dropped:        t.dropped[k],
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -164,6 +172,37 @@ func (t *Tracer) AllocRatio() float64 {
 	return float64(alloc) / float64(total)
 }
 
+// AllocRatioFor returns the buffer-allocation share of server receive time
+// for one call kind (the per-key variant of AllocRatio, letting Figure 1
+// reports break the aggregate down by <protocol, method>).
+func (t *Tracer) AllocRatioFor(k Key) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.recvs[k]
+	if !ok || a.Total == 0 {
+		return 0
+	}
+	return float64(a.Alloc) / float64(a.Total)
+}
+
+// RecvKeys returns all keys with receive samples, sorted.
+func (t *Tracer) RecvKeys() []Key {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]Key, 0, len(t.recvs))
+	for k := range t.recvs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
 // Sizes returns the recorded message-size sequence for a key.
 func (t *Tracer) Sizes(k Key) []int {
 	if t == nil {
@@ -172,6 +211,18 @@ func (t *Tracer) Sizes(k Key) []int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]int(nil), t.sizes[k]...)
+}
+
+// Dropped returns how many size samples for key were discarded after the
+// per-key sequence hit its retention cap. A non-zero value means Sizes(k) is
+// a truncated prefix, not the full run.
+func (t *Tracer) Dropped(k Key) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped[k]
 }
 
 // Keys returns all keys with send samples, sorted.

@@ -13,6 +13,56 @@ func TestNilTracerIsSafe(t *testing.T) {
 	if tr.SendRows() != nil || tr.AllocRatio() != 0 || tr.Sizes(Key{}) != nil || tr.Keys() != nil {
 		t.Fatal("nil tracer must return zero values")
 	}
+	if tr.Dropped(Key{}) != 0 || tr.AllocRatioFor(Key{}) != 0 || tr.RecvKeys() != nil {
+		t.Fatal("nil tracer must return zero values from per-key accessors")
+	}
+}
+
+// TestDroppedCounter: samples past the retention cap must be counted, not
+// silently discarded, so consumers can tell truncated sequences apart.
+func TestDroppedCounter(t *testing.T) {
+	tr := New()
+	k := Key{"p", "m"}
+	const extra = 7
+	for i := 0; i < maxSizesPerKey+extra; i++ {
+		tr.RecordSend(SendSample{Key: k, MsgBytes: 128})
+	}
+	if got := len(tr.Sizes(k)); got != maxSizesPerKey {
+		t.Fatalf("retained %d sizes, want %d", got, maxSizesPerKey)
+	}
+	if got := tr.Dropped(k); got != extra {
+		t.Fatalf("Dropped=%d, want %d", got, extra)
+	}
+	rows := tr.SendRows()
+	if len(rows) != 1 || rows[0].Dropped != extra {
+		t.Fatalf("SendRows dropped=%v", rows)
+	}
+	// Aggregates must still see every sample.
+	if rows[0].Count != maxSizesPerKey+extra {
+		t.Fatalf("Count=%d", rows[0].Count)
+	}
+	if tr.Dropped(Key{"other", "key"}) != 0 {
+		t.Fatal("unrelated key reported drops")
+	}
+}
+
+func TestAllocRatioFor(t *testing.T) {
+	tr := New()
+	a, b := Key{"p", "a"}, Key{"p", "b"}
+	tr.RecordRecv(RecvSample{Key: a, Alloc: 3 * time.Microsecond, Total: 10 * time.Microsecond})
+	tr.RecordRecv(RecvSample{Key: b, Alloc: 1 * time.Microsecond, Total: 10 * time.Microsecond})
+	if got := tr.AllocRatioFor(a); got != 0.3 {
+		t.Fatalf("AllocRatioFor(a)=%v", got)
+	}
+	if got := tr.AllocRatioFor(b); got != 0.1 {
+		t.Fatalf("AllocRatioFor(b)=%v", got)
+	}
+	if got := tr.AllocRatioFor(Key{"p", "unseen"}); got != 0 {
+		t.Fatalf("AllocRatioFor(unseen)=%v", got)
+	}
+	if keys := tr.RecvKeys(); len(keys) != 2 || keys[0] != a || keys[1] != b {
+		t.Fatalf("RecvKeys=%v", keys)
+	}
 }
 
 func TestSendAggregation(t *testing.T) {
