@@ -3,7 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +47,7 @@ type Client struct {
 	conns  map[string]*Connection
 	idSeq  atomic.Int32
 	m      clientMetrics
+	keys   keyCache
 
 	// Stats counts issued calls and failures.
 	Stats ClientStats
@@ -74,16 +75,31 @@ type Connection struct {
 	tc        transport.Conn
 	sendMu    *emutex
 	mu        sync.Mutex
-	calls     map[int32]*callState
+	calls     map[int32]*Future
 	streamBuf []byte // persistent BufferedOutputStream analog (baseline)
 	lastSend  time.Duration
+	lastUsed  time.Duration // last call issue, for idle reaping
 	closed    bool
 	closeErr  error
 }
 
-type callState struct {
-	reply  wire.Writable
-	replyQ exec.Queue
+// touch records call activity for the idle reaper.
+func (conn *Connection) touch(now time.Duration) {
+	conn.mu.Lock()
+	conn.lastUsed = now
+	conn.mu.Unlock()
+}
+
+func (conn *Connection) isClosed() bool {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	return conn.closed
+}
+
+func (conn *Connection) closeError() error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	return conn.closeErr
 }
 
 // connection returns (establishing on demand) the connection to addr.
@@ -99,6 +115,7 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	// not be (it would wedge the cooperative scheduler).
 	mu.lock(e)
 	defer mu.unlock()
+	c.reapIdle(e, addr)
 	c.mu.Lock()
 	conn := c.conns[addr]
 	c.mu.Unlock()
@@ -113,7 +130,7 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn = &Connection{client: c, tc: tc, sendMu: newEmutex(e), calls: map[int32]*callState{}}
+	conn = &Connection{client: c, tc: tc, sendMu: newEmutex(e), calls: map[int32]*Future{}, lastUsed: e.Now()}
 	c.mu.Lock()
 	c.conns[addr] = conn
 	c.mu.Unlock()
@@ -122,22 +139,60 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	return conn, nil
 }
 
-func (conn *Connection) addCall(id int32, cs *callState) {
+// reapIdle closes connections that have sat past MaxIdleTime with no calls
+// in flight — Hadoop's ipc.client.connection.maxidletime, done lazily on
+// client activity rather than by a background thread so a finished
+// simulation can drain. keep is the address about to be used. Addresses are
+// visited in sorted order so the teardown sequence is deterministic under
+// simulation regardless of map iteration order.
+func (c *Client) reapIdle(e exec.Env, keep string) {
+	maxIdle := c.opts.MaxIdleTime
+	if maxIdle <= 0 {
+		return
+	}
+	now := e.Now()
+	c.mu.Lock()
+	var idle []*Connection
+	addrs := make([]string, 0, len(c.conns))
+	for addr := range c.conns {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		if addr == keep {
+			continue
+		}
+		conn := c.conns[addr]
+		conn.mu.Lock()
+		expired := !conn.closed && len(conn.calls) == 0 && now-conn.lastUsed >= maxIdle
+		conn.mu.Unlock()
+		if expired {
+			delete(c.conns, addr)
+			idle = append(idle, conn)
+		}
+	}
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.fail(ErrClosed)
+	}
+}
+
+func (conn *Connection) addCall(id int32, f *Future) {
 	conn.mu.Lock()
-	conn.calls[id] = cs
+	conn.calls[id] = f
 	conn.mu.Unlock()
 	conn.client.m.outstanding.Inc()
 }
 
-func (conn *Connection) takeCall(id int32) *callState {
+func (conn *Connection) takeCall(id int32) *Future {
 	conn.mu.Lock()
-	cs := conn.calls[id]
+	f := conn.calls[id]
 	delete(conn.calls, id)
 	conn.mu.Unlock()
-	if cs != nil {
+	if f != nil {
 		conn.client.m.outstanding.Dec()
 	}
-	return cs
+	return f
 }
 
 // fail tears the connection down and fails every pending call.
@@ -150,41 +205,65 @@ func (conn *Connection) fail(err error) {
 	conn.closed = true
 	conn.closeErr = err
 	pending := conn.calls
-	conn.calls = map[int32]*callState{}
+	conn.calls = map[int32]*Future{}
 	conn.mu.Unlock()
 	conn.client.m.connections.Dec()
 	conn.client.m.outstanding.Add(-int64(len(pending)))
 	conn.tc.Close()
-	for _, cs := range pending {
-		cs.replyQ.Close()
+	for _, f := range pending {
+		f.replyQ.Close()
 	}
 }
 
 // Call invokes protocol.method(param) on the server at addr, deserializing
 // the result into reply (which may be nil for void-like methods whose value
 // the caller ignores). It blocks the calling thread until the response
-// arrives, a timeout fires, or the connection fails.
+// arrives, a timeout fires, or the connection fails. When the client's
+// Options carry a retrying Policy it is applied here, uniformly for every
+// synchronous caller.
 func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wire.Writable) error {
+	if p := c.opts.Policy; p.MaxAttempts > 1 || p.Deadline > 0 {
+		return c.CallWith(e, p, addr, protocol, method, param, reply)
+	}
+	return c.issue(e, addr, protocol, method, param, reply, c.timeout).Wait(e)
+}
+
+// CallAsync starts protocol.method(param) on the server at addr and returns
+// immediately with a Future; the caller overlaps its own work with the round
+// trip and collects the outcome with Wait. reply is filled by the receiver
+// thread before the future resolves, so the caller must not touch it until
+// Wait/TryWait reports completion.
+func (c *Client) CallAsync(e exec.Env, addr, protocol, method string, param, reply wire.Writable) *Future {
+	return c.issue(e, addr, protocol, method, param, reply, c.timeout)
+}
+
+// issue performs the send half of one call attempt — connection lookup,
+// serialization, wire send — and registers the pending-call state. Issue
+// failures come back as already-resolved futures so callers have exactly one
+// error path.
+func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply wire.Writable, timeout time.Duration) *Future {
 	c.Stats.Calls.Add(1)
 	c.m.calls.Inc()
 	callStart := e.Now()
 	conn, err := c.connection(e, addr)
 	if err != nil {
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		return err
+		return c.failedFuture(err)
 	}
+	conn.touch(callStart)
 	id := c.idSeq.Add(1)
-	cs := &callState{reply: reply, replyQ: e.NewQueue(1)}
-	conn.addCall(id, cs)
+	f := &Future{
+		c: c, conn: conn, id: id,
+		protocol: protocol, method: method,
+		start: callStart, timeout: timeout,
+		reply: reply, replyQ: e.NewQueue(1),
+	}
+	conn.addCall(id, f)
 
 	conn.sendMu.lock(e)
 	if conn.closed {
 		conn.sendMu.unlock()
 		conn.takeCall(id)
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		return ErrClosed
+		return c.failedFuture(ErrClosed)
 	}
 	var sample trace.SendSample
 	sample.Key = trace.Key{Protocol: protocol, Method: method}
@@ -197,36 +276,12 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 	if err != nil {
 		conn.takeCall(id)
 		conn.fail(err)
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		return err
+		return c.failedFuture(err)
 	}
 	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
 	c.m.bytesOut.Add(int64(sample.MsgBytes))
 	c.opts.Tracer.RecordSend(sample)
-
-	v, ok, timedOut := cs.replyQ.GetTimeout(e, c.timeout)
-	switch {
-	case timedOut:
-		conn.takeCall(id)
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		c.m.timeouts.Inc()
-		return ErrTimeout
-	case !ok:
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		if conn.closeErr != nil {
-			return fmt.Errorf("%w: %v", ErrClosed, conn.closeErr)
-		}
-		return ErrClosed
-	case v != nil:
-		c.Stats.Errors.Add(1)
-		c.m.errors.Inc()
-		return v.(error)
-	}
-	observeSince(c.m.rtt(protocol, method), e, callStart)
-	return nil
+	return f
 }
 
 // sendBaseline is the paper's Listing 1: serialize into a fresh 32-byte
@@ -269,12 +324,43 @@ func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, protocol, 
 // poolKey builds the shadow-pool history key for a call kind.
 func poolKey(protocol, method string) string { return protocol + "+" + method }
 
+// callKind identifies a <protocol, method> pair without concatenation; it is
+// the comparable map key of the pool-key cache.
+type callKind struct{ protocol, method string }
+
+// keyCache interns shadow-pool history keys so the hot send path looks up a
+// struct-keyed map instead of allocating protocol+"+"+method per call.
+type keyCache struct {
+	mu sync.RWMutex
+	m  map[callKind]string
+}
+
+func (kc *keyCache) get(protocol, method, suffix string) string {
+	k := callKind{protocol, method}
+	kc.mu.RLock()
+	s, ok := kc.m[k]
+	kc.mu.RUnlock()
+	if ok {
+		return s
+	}
+	kc.mu.Lock()
+	if kc.m == nil {
+		kc.m = map[callKind]string{}
+	}
+	if s, ok = kc.m[k]; !ok {
+		s = poolKey(protocol, method) + suffix
+		kc.m[k] = s
+	}
+	kc.mu.Unlock()
+	return s
+}
+
 // sendRPCoIB serializes straight into a history-sized registered buffer and
 // hands it to the verbs transport with zero copies.
 func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
 	cost := c.cost()
 	t0 := e.Now()
-	s := NewRDMAOutputStream(c.opts.Pool, poolKey(protocol, method))
+	s := NewRDMAOutputStream(c.opts.Pool, c.keys.get(protocol, method, ""))
 	c.work(e, cost.PoolGet)
 	out := wire.NewDataOutput(s)
 	encodeRequestHeader(out, id, protocol, method)
@@ -344,25 +430,29 @@ func (conn *Connection) receiveLoop(e exec.Env) {
 		}
 		id := in.ReadInt32()
 		status := in.ReadU8()
-		cs := conn.takeCall(id)
-		var result any
-		if cs != nil {
+		f := conn.takeCall(id)
+		if f != nil {
 			if status == statusSuccess {
-				if cs.reply != nil {
-					cs.reply.ReadFields(in)
+				if f.reply != nil {
+					f.reply.ReadFields(in)
 				}
 				if err := in.Err(); err != nil {
-					result = err
+					f.outErr = err
 				}
 			} else {
-				result = &RemoteError{Msg: in.ReadText()}
+				f.outErr = &RemoteError{Msg: in.ReadText()}
 			}
 		}
 		c.work(e, cost.Serialize(in.Ops())+cost.Copy(n))
 		release()
-		if cs != nil {
+		if f != nil {
 			c.work(e, cost.ThreadHandoff)
-			cs.replyQ.TryPut(result)
+			// Completion is stamped here, not at Wait, so RTT accounting
+			// reflects the wire round trip even when the caller parks the
+			// future and collects it later. The outcome fields are published
+			// by the queue hand-off; nothing is boxed through the queue.
+			f.outAt = e.Now()
+			f.replyQ.TryPut(nil)
 		}
 	}
 }

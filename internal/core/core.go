@@ -91,6 +91,17 @@ type Options struct {
 	Readers int
 	// CallTimeout bounds a client call (DefaultCallTimeout if 0).
 	CallTimeout time.Duration
+	// Policy, when it prescribes more than one attempt or a deadline, is
+	// applied uniformly to every synchronous Call on the client. The zero
+	// value keeps the historical single-attempt behavior. Async callers
+	// (CallAsync/FanOut) manage retries themselves via CallWith.
+	Policy CallPolicy
+	// MaxIdleTime, when positive, closes client connections that have had
+	// no calls in flight for this long — Hadoop's
+	// ipc.client.connection.maxidletime. Reaping is lazy (piggybacked on
+	// call activity), never a background thread, so simulations drain.
+	// 0 disables reaping.
+	MaxIdleTime time.Duration
 }
 
 func (o Options) withDefaults() Options {

@@ -64,14 +64,15 @@ func (m *serverMetrics) stage(protocol, method, stage string) *metrics.Histogram
 
 // clientMetrics holds the client's pre-resolved instruments.
 type clientMetrics struct {
-	reg         *metrics.Registry
-	connections *metrics.Gauge
-	outstanding *metrics.Gauge
-	calls       *metrics.Counter
-	errors      *metrics.Counter
-	timeouts    *metrics.Counter
-	retries     *metrics.Counter
-	bytesOut    *metrics.Counter
+	reg           *metrics.Registry
+	connections   *metrics.Gauge
+	outstanding   *metrics.Gauge
+	calls         *metrics.Counter
+	errors        *metrics.Counter
+	timeouts      *metrics.Counter
+	retries       *metrics.Counter
+	policyRetries *metrics.Counter
+	bytesOut      *metrics.Counter
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
@@ -79,14 +80,15 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 		return clientMetrics{}
 	}
 	return clientMetrics{
-		reg:         r,
-		connections: r.Gauge("rpc_client_connections"),
-		outstanding: r.Gauge("rpc_client_outstanding_calls"),
-		calls:       r.Counter("rpc_client_calls_total"),
-		errors:      r.Counter("rpc_client_errors_total"),
-		timeouts:    r.Counter("rpc_client_timeouts_total"),
-		retries:     r.Counter("rpc_client_reconnects_total"),
-		bytesOut:    r.Counter("rpc_client_bytes_out_total"),
+		reg:           r,
+		connections:   r.Gauge("rpc_client_connections"),
+		outstanding:   r.Gauge("rpc_client_outstanding_calls"),
+		calls:         r.Counter("rpc_client_calls_total"),
+		errors:        r.Counter("rpc_client_errors_total"),
+		timeouts:      r.Counter("rpc_client_timeouts_total"),
+		retries:       r.Counter("rpc_client_reconnects_total"),
+		policyRetries: r.Counter("rpc_client_retries_total"),
+		bytesOut:      r.Counter("rpc_client_bytes_out_total"),
 	}
 }
 

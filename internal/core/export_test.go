@@ -1,0 +1,34 @@
+package core
+
+// Test-only introspection hooks: visible to the package's external tests via
+// the test binary, absent from the shipped package.
+
+// PendingCalls counts in-flight entries across every connection's
+// pending-call table. Tests use it to prove that timeouts and failures do
+// not leak call state.
+func PendingCalls(c *Client) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, conn := range c.conns {
+		conn.mu.Lock()
+		n += len(conn.calls)
+		conn.mu.Unlock()
+	}
+	return n
+}
+
+// OpenConnections counts cached, unclosed connections.
+func OpenConnections(c *Client) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, conn := range c.conns {
+		conn.mu.Lock()
+		if !conn.closed {
+			n++
+		}
+		conn.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/wire"
+)
+
+// Future is the completion handle of one asynchronous call attempt. The
+// caller that issued it waits (or polls) for the result; the Connection
+// receiver thread completes it. A Future is resolved at most once and caches
+// its outcome, so Wait after completion is cheap and idempotent. It is built
+// on exec.Queue, so it behaves identically under the simulator and on real
+// goroutines.
+//
+// A Future has a single logical consumer: the thread that issued the call
+// (or one it handed the future to). Two threads must not Wait on the same
+// Future concurrently.
+type Future struct {
+	c        *Client
+	conn     *Connection
+	id       int32
+	protocol string
+	method   string
+	start    time.Duration
+	timeout  time.Duration
+	replyQ   exec.Queue
+
+	// reply and the outcome fields are written by the connection's receiver
+	// thread strictly before it signals replyQ, and read by the waiter only
+	// after the queue hand-off, so the queue is their synchronization edge.
+	// The Future doubles as the connection's pending-call record: folding the
+	// outcome into it (rather than boxing a value through the queue) keeps
+	// the per-call allocation count down, which BenchmarkRealModeAllocs
+	// tracks. outAt stamps virtual completion time so RTT accounting charges
+	// the wire round trip, not how long the caller postponed Wait.
+	reply  wire.Writable
+	outErr error
+	outAt  time.Duration
+
+	mu   sync.Mutex
+	done bool
+	err  error
+}
+
+// Wait blocks until the call completes, times out, or its connection fails,
+// and returns the call's error (nil on success). Waiting again returns the
+// cached outcome.
+func (f *Future) Wait(e exec.Env) error {
+	f.mu.Lock()
+	if f.done {
+		err := f.err
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+	_, ok, timedOut := f.replyQ.GetTimeout(e, f.timeout)
+	return f.resolve(ok, timedOut)
+}
+
+// TryWait polls for completion without blocking. done reports whether the
+// future is resolved; err is meaningful only when done.
+func (f *Future) TryWait() (done bool, err error) {
+	f.mu.Lock()
+	if f.done {
+		done, err = true, f.err
+		f.mu.Unlock()
+		return done, err
+	}
+	f.mu.Unlock()
+	if _, ok := f.replyQ.TryGet(); ok {
+		return true, f.resolve(true, false)
+	}
+	if f.conn.isClosed() {
+		// The reply may have raced the close; drain once more before
+		// resolving to the connection error.
+		if _, ok := f.replyQ.TryGet(); ok {
+			return true, f.resolve(true, false)
+		}
+		return true, f.resolve(false, false)
+	}
+	return false, nil
+}
+
+// resolve classifies the queue outcome exactly as the old synchronous Call
+// did, updates stats, and caches the result.
+func (f *Future) resolve(ok, timedOut bool) error {
+	c := f.c
+	var err error
+	switch {
+	case timedOut:
+		// Drop the pending entry so the table does not leak and a late
+		// response is ignored.
+		f.conn.takeCall(f.id)
+		c.m.timeouts.Inc()
+		err = ErrTimeout
+	case !ok:
+		if ce := f.conn.closeError(); ce != nil {
+			err = fmt.Errorf("%w: %v", ErrClosed, ce)
+		} else {
+			err = ErrClosed
+		}
+	default:
+		if f.outErr != nil {
+			err = f.outErr
+		} else if h := c.m.rtt(f.protocol, f.method); h != nil {
+			h.ObserveDuration(f.outAt - f.start)
+		}
+	}
+	if err != nil {
+		c.Stats.Errors.Add(1)
+		c.m.errors.Inc()
+	}
+	f.mu.Lock()
+	f.done, f.err = true, err
+	f.mu.Unlock()
+	return err
+}
+
+// failedFuture returns an already-resolved future for errors hit while
+// issuing (dial failure, send failure, closed connection).
+func (c *Client) failedFuture(err error) *Future {
+	c.Stats.Errors.Add(1)
+	c.m.errors.Inc()
+	return &Future{c: c, done: true, err: err}
+}
+
+// CallPolicy drives retries at the client layer: how many attempts, the
+// exponential backoff between them (with jitter drawn from the environment's
+// seeded PRNG, so simulated schedules stay deterministic), and an overall
+// deadline budgeted across attempts. The zero value means one attempt, no
+// deadline — exactly the pre-policy behavior.
+type CallPolicy struct {
+	// MaxAttempts is the total number of attempts (<= 0 means 1).
+	MaxAttempts int
+	// Backoff is the sleep before the second attempt; it doubles per
+	// attempt. 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// Jitter spreads each backoff uniformly over [1-Jitter, 1+Jitter]
+	// multiples of its nominal value (0 = none).
+	Jitter float64
+	// Deadline bounds the whole retry schedule from the first attempt
+	// (0 = none). Remaining budget also caps each attempt's wait.
+	Deadline time.Duration
+	// RetryOn decides whether an error is worth another attempt. When nil,
+	// CallWith uses RetryTransient and Do retries every error.
+	RetryOn func(error) bool
+}
+
+// RetryTransient is the default CallWith predicate: retry connection-level
+// failures (dial errors, ErrClosed), which a reconnect can cure, but not
+// server-side RemoteErrors or timeouts — the server may have executed a
+// timed-out call, so blind re-issue is not safe by default.
+func RetryTransient(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrTimeout)
+}
+
+// backoffFor returns the sleep after `attempt` failed attempts (1-based).
+func (p CallPolicy) backoffFor(attempt int, rnd *rand.Rand) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			break
+		}
+		if d > time.Hour { // overflow guard; no modeled backoff needs more
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 && rnd != nil {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rnd.Float64()-1)))
+	}
+	return d
+}
+
+// Do runs op under the policy's retry/backoff/deadline schedule and returns
+// the last error (nil once op succeeds). attempt is 0-based. Unlike CallWith,
+// a nil RetryOn retries every error: Do is the generic driver for semantic
+// retries (e.g. polling a namenode until replication completes) where the
+// "error" is an application-level not-yet signal.
+func (p CallPolicy) Do(e exec.Env, op func(attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	retry := p.RetryOn
+	if retry == nil {
+		retry = func(error) bool { return true }
+	}
+	start := e.Now()
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := p.backoffFor(attempt, e.Rand())
+			if p.Deadline > 0 {
+				rem := p.Deadline - (e.Now() - start)
+				if rem <= 0 {
+					return err
+				}
+				if d > rem {
+					d = rem
+				}
+			}
+			if d > 0 {
+				e.Sleep(d)
+			}
+		}
+		if err = op(attempt); err == nil || !retry(err) {
+			return err
+		}
+		if p.Deadline > 0 && e.Now()-start >= p.Deadline {
+			return err
+		}
+	}
+	return err
+}
+
+// CallWith is Call under an explicit policy: each attempt is a full
+// issue+wait whose timeout is clamped to the policy's remaining deadline;
+// retryable failures (per RetryOn, default RetryTransient) re-dial and
+// re-issue after backoff.
+func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method string, param, reply wire.Writable) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	retry := p.RetryOn
+	if retry == nil {
+		retry = RetryTransient
+	}
+	start := e.Now()
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.m.policyRetries.Inc()
+			d := p.backoffFor(attempt, e.Rand())
+			if p.Deadline > 0 {
+				rem := p.Deadline - (e.Now() - start)
+				if rem <= 0 {
+					return err
+				}
+				if d > rem {
+					d = rem
+				}
+			}
+			if d > 0 {
+				e.Sleep(d)
+			}
+		}
+		timeout := c.timeout
+		if p.Deadline > 0 {
+			rem := p.Deadline - (e.Now() - start)
+			if rem <= 0 {
+				return err
+			}
+			if rem < timeout {
+				timeout = rem
+			}
+		}
+		err = c.issue(e, addr, protocol, method, param, reply, timeout).Wait(e)
+		if err == nil || !retry(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// FanOutCall names one call of a batch: destination plus the usual call
+// arguments. Reply must be a distinct Writable per call.
+type FanOutCall struct {
+	Addr     string
+	Protocol string
+	Method   string
+	Param    wire.Writable
+	Reply    wire.Writable
+}
+
+// FanOut issues every call asynchronously, in slice order (deterministic
+// under simulation), and returns the futures in the same order. Calls to
+// distinct servers proceed concurrently: serialization is pipelined behind
+// each connection's send lock and the waits overlap.
+func (c *Client) FanOut(e exec.Env, calls []FanOutCall) []*Future {
+	futs := make([]*Future, len(calls))
+	for i, fc := range calls {
+		futs[i] = c.CallAsync(e, fc.Addr, fc.Protocol, fc.Method, fc.Param, fc.Reply)
+	}
+	return futs
+}
+
+// WaitAll waits on every future in order and returns the first error seen
+// (nil if all succeeded). All futures are waited even after a failure, so no
+// pending-call state leaks.
+func WaitAll(e exec.Env, futs []*Future) error {
+	var first error
+	for _, f := range futs {
+		if f == nil {
+			continue
+		}
+		if err := f.Wait(e); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// RuntimeKey names one shared client: the node it lives on and a label for
+// the protocol configuration it was built with (mode, link, timeout, ...).
+// Two callers asking for the same key get the same *Client and therefore
+// share its cached connections, exactly like Hadoop's RPC.getProxy cache
+// keyed by <address, protocol, ticket>.
+type RuntimeKey struct {
+	Node   int
+	Config string
+}
+
+// Runtime is a per-deployment cache of shared clients. Substrates
+// (HDFS, MapReduce, HBase) hold one Runtime and route every task's RPC
+// through it instead of building a throwaway Client per task or flush: the
+// connection, its receiver thread, and the warmed buffer-pool history are
+// all reused, which is where the paper's allocation-avoidance pays off on
+// the request path.
+type Runtime struct {
+	mu      sync.Mutex
+	clients map[RuntimeKey]*Client
+}
+
+// NewRuntime creates an empty client runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{clients: map[RuntimeKey]*Client{}}
+}
+
+// Client returns the shared client for <node, config>, invoking build to
+// create it on first use. build must not block (NewClient does not); it runs
+// under the runtime lock so exactly one client exists per key.
+func (r *Runtime) Client(node int, config string, build func() *Client) *Client {
+	key := RuntimeKey{Node: node, Config: config}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.clients[key]
+	if c == nil {
+		c = build()
+		r.clients[key] = c
+	}
+	return c
+}
+
+// Close tears down every shared client. Keys are closed in sorted order so
+// shutdown event sequences stay deterministic under simulation.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	keys := make([]RuntimeKey, 0, len(r.clients))
+	for k := range r.clients {
+		keys = append(keys, k)
+	}
+	clients := r.clients
+	r.clients = map[RuntimeKey]*Client{}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Config < keys[j].Config
+	})
+	for _, k := range keys {
+		clients[k].Close()
+	}
+}

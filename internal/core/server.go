@@ -49,6 +49,7 @@ type Server struct {
 	conns     []transport.Conn
 	running   bool
 	m         serverMetrics
+	respKeys  keyCache
 
 	// Stats counts server activity.
 	Stats ServerStats
@@ -298,7 +299,7 @@ func (s *Server) handlerLoop(e exec.Env) {
 
 		resp := &response{conn: call.conn, protocol: call.protocol, method: call.method}
 		if s.opts.Mode == ModeRPCoIB {
-			st := NewRDMAOutputStream(s.opts.Pool, poolKey(call.protocol, call.method)+"#r")
+			st := NewRDMAOutputStream(s.opts.Pool, s.respKeys.get(call.protocol, call.method, "#r"))
 			s.work(e, cost.PoolGet)
 			out := wire.NewDataOutput(st)
 			writeResponseBody(out, call.id, value, callErr)

@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"fmt"
+	"time"
 
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
@@ -107,8 +108,63 @@ func (p *MultiPutParam) ReadFields(in *wire.DataInput) {
 	in.ReadBytes(int(n))
 }
 
+// MultiGetParam is a batched read addressed to one region server: the rows a
+// client's MultiGet mapped onto that server's key range.
+type MultiGetParam struct {
+	Table     string
+	Count     int32
+	Rows      []string
+	ValueSize int32
+}
+
+func (p *MultiGetParam) Write(out *wire.DataOutput) {
+	out.WriteText(p.Table)
+	out.WriteInt32(p.Count)
+	for _, r := range p.Rows {
+		out.WriteText(r)
+	}
+	out.WriteInt32(p.ValueSize)
+}
+
+func (p *MultiGetParam) ReadFields(in *wire.DataInput) {
+	p.Table = in.ReadText()
+	p.Count = in.ReadInt32()
+	if p.Count < 0 || int(p.Count) > in.Remaining() {
+		return
+	}
+	p.Rows = make([]string, 0, p.Count)
+	for i := int32(0); i < p.Count; i++ {
+		p.Rows = append(p.Rows, in.ReadText())
+	}
+	p.ValueSize = in.ReadInt32()
+}
+
+// MultiGetResult carries a batch of row values back, the payload virtually
+// sized like MultiPutParam's.
+type MultiGetResult struct {
+	Count      int32
+	TotalBytes int64
+	payload    []byte
+}
+
+func (p *MultiGetResult) Write(out *wire.DataOutput) {
+	out.WriteInt32(p.Count)
+	out.WriteInt64(p.TotalBytes)
+	out.WriteInt32(int32(len(p.payload)))
+	out.WriteBytes(p.payload)
+}
+
+func (p *MultiGetResult) ReadFields(in *wire.DataInput) {
+	p.Count = in.ReadInt32()
+	p.TotalBytes = in.ReadInt64()
+	n := in.ReadInt32()
+	in.ReadBytes(int(n))
+}
+
 // HClient is an HBase client handle with an autoflush-off write buffer per
-// region server (the YCSB binding's configuration).
+// region server (the YCSB binding's configuration). All HClients on a node
+// share the node's RPC client (and so its region-server connections) through
+// the deployment's client runtime.
 type HClient struct {
 	h    *HBase
 	node int
@@ -125,10 +181,7 @@ type clientBuffer struct {
 func (h *HBase) NewClient(node int) *HClient {
 	return &HClient{
 		h: h, node: node,
-		rpc: core.NewClient(h.net(node), core.Options{
-			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
-			Metrics: h.cfg.Metrics,
-		}),
+		rpc: h.rpcClient(node),
 		buf: make([]clientBuffer, len(h.rss)),
 	}
 }
@@ -140,6 +193,45 @@ func (c *HClient) Get(e exec.Env, row string, valueSize int) error {
 	var result Result
 	return c.rpc.Call(e, c.h.RSAddr(rs), RegionInterface, "get",
 		&GetParam{Table: "usertable", Row: row, ValueSize: int32(valueSize)}, &result)
+}
+
+// MultiGet fetches a batch of rows in one round: rows are grouped by owning
+// region server and the per-server multiGet calls fan out concurrently, so
+// the batch completes in roughly the slowest server's time instead of the
+// sum (HTable.get(List) semantics).
+func (c *HClient) MultiGet(e exec.Env, rows []string, valueSize int) error {
+	e.Work(time.Duration(len(rows)) * clientGetCPU)
+	byRS := make([][]string, len(c.h.rss))
+	for _, row := range rows {
+		rs := c.h.regionOf(row)
+		byRS[rs] = append(byRS[rs], row)
+	}
+	var calls []core.FanOutCall
+	var replies []*MultiGetResult
+	var counts []int
+	for rs, group := range byRS {
+		if len(group) == 0 {
+			continue
+		}
+		reply := &MultiGetResult{}
+		calls = append(calls, core.FanOutCall{
+			Addr: c.h.RSAddr(rs), Protocol: RegionInterface, Method: "multiGet",
+			Param: &MultiGetParam{Table: "usertable", Count: int32(len(group)),
+				Rows: group, ValueSize: int32(valueSize)},
+			Reply: reply,
+		})
+		replies = append(replies, reply)
+		counts = append(counts, len(group))
+	}
+	if err := core.WaitAll(e, c.rpc.FanOut(e, calls)); err != nil {
+		return err
+	}
+	for i, r := range replies {
+		if int(r.Count) != counts[i] {
+			return fmt.Errorf("multiGet returned %d of %d rows", r.Count, counts[i])
+		}
+	}
+	return nil
 }
 
 // Put buffers a row write, flushing the per-server buffer when it exceeds
@@ -156,13 +248,32 @@ func (c *HClient) Put(e exec.Env, row string, valueSize int) error {
 	return nil
 }
 
-// Flush drains every buffered write.
+// Flush drains every buffered write. The per-server multiPuts fan out
+// concurrently, so a full drain costs roughly the slowest server's round
+// trip rather than the sum over 16 servers.
 func (c *HClient) Flush(e exec.Env) error {
+	var calls []core.FanOutCall
+	var replies []*wire.IntWritable
+	var counts []int
 	for rs := range c.buf {
-		if c.buf[rs].bytes > 0 {
-			if err := c.flushServer(e, rs); err != nil {
-				return err
-			}
+		if c.buf[rs].bytes == 0 {
+			continue
+		}
+		param := c.takeBuffer(rs)
+		reply := &wire.IntWritable{}
+		calls = append(calls, core.FanOutCall{
+			Addr: c.h.RSAddr(rs), Protocol: RegionInterface, Method: "multiPut",
+			Param: param, Reply: reply,
+		})
+		replies = append(replies, reply)
+		counts = append(counts, len(param.Rows))
+	}
+	if err := core.WaitAll(e, c.rpc.FanOut(e, calls)); err != nil {
+		return err
+	}
+	for i, r := range replies {
+		if int(r.Value) != counts[i] {
+			return fmt.Errorf("multiPut applied %d of %d", r.Value, counts[i])
 		}
 	}
 	return nil
@@ -172,7 +283,8 @@ func (c *HClient) Flush(e exec.Env) error {
 // batch travels as virtual size through the transport.
 const maxRealPayload = 64 << 10
 
-func (c *HClient) flushServer(e exec.Env, rs int) error {
+// takeBuffer drains server rs's write buffer into a multiPut parameter.
+func (c *HClient) takeBuffer(rs int) *MultiPutParam {
 	b := &c.buf[rs]
 	real := b.bytes
 	if real > maxRealPayload {
@@ -183,11 +295,16 @@ func (c *HClient) flushServer(e exec.Env, rs int) error {
 		Rows: b.rows, TotalBytes: b.bytes,
 		payload: make([]byte, real),
 	}
+	c.buf[rs] = clientBuffer{}
+	return param
+}
+
+func (c *HClient) flushServer(e exec.Env, rs int) error {
+	param := c.takeBuffer(rs)
 	var n wire.IntWritable
 	err := c.rpc.Call(e, c.h.RSAddr(rs), RegionInterface, "multiPut", param, &n)
-	if err == nil && int(n.Value) != len(b.rows) {
-		err = fmt.Errorf("multiPut applied %d of %d", n.Value, len(b.rows))
+	if err == nil && int(n.Value) != len(param.Rows) {
+		err = fmt.Errorf("multiPut applied %d of %d", n.Value, len(param.Rows))
 	}
-	c.buf[rs] = clientBuffer{}
 	return err
 }

@@ -78,13 +78,14 @@ type HBase struct {
 	cfg Config
 	dfs *hdfs.HDFS
 	rss []*RegionServer
+	rt  *core.Runtime
 }
 
 // Deploy spawns the region servers. dfs may be nil (no flush/read I/O, for
 // unit tests).
 func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *HBase {
 	cfg = cfg.withDefaults()
-	h := &HBase{c: c, cfg: cfg, dfs: dfs}
+	h := &HBase{c: c, cfg: cfg, dfs: dfs, rt: core.NewRuntime()}
 	for i, node := range cfg.RegionServers {
 		rs := &RegionServer{h: h, index: i, node: node}
 		h.rss = append(h.rss, rs)
@@ -108,6 +109,18 @@ func (h *HBase) rpcMode() core.Mode {
 		return core.ModeRPCoIB
 	}
 	return core.ModeBaseline
+}
+
+// rpcClient returns the node's shared HBase RPC client. All HClients on a
+// node route through it, so region-server connections (and the warmed RPCoIB
+// buffer pools behind them) are reused across tables and flushes.
+func (h *HBase) rpcClient(node int) *core.Client {
+	return h.rt.Client(node, "hbase-rpc", func() *core.Client {
+		return core.NewClient(h.net(node), core.Options{
+			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+			Metrics: h.cfg.Metrics,
+		})
+	})
 }
 
 // regionOf maps a row key to its region server index (clients cache this,
@@ -166,6 +179,8 @@ func (rs *RegionServer) run(e exec.Env) {
 		func() wire.Writable { return &PutParam{} }, rs.put)
 	srv.Register(RegionInterface, "multiPut",
 		func() wire.Writable { return &MultiPutParam{} }, rs.multiPut)
+	srv.Register(RegionInterface, "multiGet",
+		func() wire.Writable { return &MultiGetParam{} }, rs.multiGet)
 	if err := srv.Start(e, rsPort); err != nil {
 		panic(fmt.Sprintf("regionserver %d: %v", rs.index, err))
 	}
@@ -175,21 +190,50 @@ func (rs *RegionServer) get(e exec.Env, p wire.Writable) (wire.Writable, error) 
 	req := p.(*GetParam)
 	rs.Gets++
 	e.Work(getCPU)
-	// Block-cache miss: fetch one HFile block from HDFS — a NameNode
-	// getBlockLocations RPC plus a positioned read of the (node-local,
-	// thanks to local-writer placement) replica.
-	if rs.h.dfs != nil && len(rs.stores) > 0 && e.Rand().Float64() < rs.h.cfg.CacheMissRatio {
-		rs.Misses++
-		dfs := rs.h.dfs.NewClient(rs.node)
-		path := rs.stores[e.Rand().Intn(len(rs.stores))].path
-		if _, err := dfs.Locate(e, path); err != nil {
-			return nil, err
-		}
-		se := e.(*cluster.SimEnv)
-		rs.h.c.Node(rs.node).Disk.Read(se.Proc(), blockReadKB<<10)
+	if err := rs.maybeCacheMiss(e); err != nil {
+		return nil, err
 	}
 	value := make([]byte, req.ValueSize)
 	return &Result{Exists: true, Value: value}, nil
+}
+
+// multiGet serves a batched read: one scan per row, with each row rolling
+// the block-cache-miss dice independently, exactly as the rows would under
+// single gets.
+func (rs *RegionServer) multiGet(e exec.Env, p wire.Writable) (wire.Writable, error) {
+	req := p.(*MultiGetParam)
+	rs.Gets += int64(req.Count)
+	e.Work(time.Duration(req.Count) * getCPU)
+	for i := int32(0); i < req.Count; i++ {
+		if err := rs.maybeCacheMiss(e); err != nil {
+			return nil, err
+		}
+	}
+	total := int64(req.Count) * int64(req.ValueSize)
+	real := total
+	if real > maxRealPayload {
+		real = maxRealPayload
+	}
+	return &MultiGetResult{Count: req.Count, TotalBytes: total,
+		payload: make([]byte, real)}, nil
+}
+
+// maybeCacheMiss models a block-cache miss: fetch one HFile block from HDFS —
+// a NameNode getBlockLocations RPC plus a positioned read of the (node-local,
+// thanks to local-writer placement) replica.
+func (rs *RegionServer) maybeCacheMiss(e exec.Env) error {
+	if rs.h.dfs == nil || len(rs.stores) == 0 || e.Rand().Float64() >= rs.h.cfg.CacheMissRatio {
+		return nil
+	}
+	rs.Misses++
+	dfs := rs.h.dfs.Client(rs.node)
+	path := rs.stores[e.Rand().Intn(len(rs.stores))].path
+	if _, err := dfs.Locate(e, path); err != nil {
+		return err
+	}
+	se := e.(*cluster.SimEnv)
+	rs.h.c.Node(rs.node).Disk.Read(se.Proc(), blockReadKB<<10)
+	return nil
 }
 
 func (rs *RegionServer) put(e exec.Env, p wire.Writable) (wire.Writable, error) {
@@ -240,7 +284,7 @@ func (rs *RegionServer) flush(e exec.Env, n int, size int64) {
 		rs.flushing = false
 		return
 	}
-	dfs := rs.h.dfs.NewClient(rs.node)
+	dfs := rs.h.dfs.Client(rs.node)
 	path := fmt.Sprintf("/hbase/t/region-%d/store-%d", rs.index, n)
 	if err := dfs.CreateFile(e, path, size, 3); err != nil {
 		panic(fmt.Sprintf("regionserver %d flush: %v", rs.index, err))
@@ -266,7 +310,7 @@ func (rs *RegionServer) compact(e exec.Env) {
 		return
 	}
 	rs.Compactions++
-	dfs := rs.h.dfs.NewClient(rs.node)
+	dfs := rs.h.dfs.Client(rs.node)
 	var total int64
 	for _, sf := range inputs {
 		n, err := dfs.ReadFile(e, sf.path)

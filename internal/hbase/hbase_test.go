@@ -183,6 +183,75 @@ func TestCompactionMergesStores(t *testing.T) {
 	}
 }
 
+func TestMultiGetFansOut(t *testing.T) {
+	h := deployTest(t, 4, Config{}, func(e exec.Env, h *HBase, c *HClient) {
+		rows := make([]string, 0, 64)
+		for i := 0; i < 64; i++ {
+			row := fmt.Sprintf("key-%d", i)
+			rows = append(rows, row)
+			if err := c.Put(e, row, 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Flush(e); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.MultiGet(e, rows, 1024); err != nil {
+			t.Error(err)
+		}
+	})
+	total := int64(0)
+	servers := 0
+	for _, rs := range h.RegionServers() {
+		total += rs.Gets
+		if rs.Gets > 0 {
+			servers++
+		}
+	}
+	if total != 64 {
+		t.Fatalf("gets=%d, want 64", total)
+	}
+	if servers < 2 {
+		t.Fatalf("multiGet reached %d region servers, want fan-out", servers)
+	}
+}
+
+func TestMultiGetFasterThanSequentialGets(t *testing.T) {
+	// One batched, fanned-out read round vs the same rows fetched one Get at
+	// a time: the fan-out must beat the serial sum of round trips.
+	run := func(batched bool) time.Duration {
+		var took time.Duration
+		deployTest(t, 4, Config{}, func(e exec.Env, h *HBase, c *HClient) {
+			rows := make([]string, 0, 128)
+			for i := 0; i < 128; i++ {
+				rows = append(rows, fmt.Sprintf("key-%d", i))
+			}
+			start := e.Now()
+			if batched {
+				if err := c.MultiGet(e, rows, 1024); err != nil {
+					t.Error(err)
+				}
+			} else {
+				for _, row := range rows {
+					if err := c.Get(e, row, 1024); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			took = e.Now() - start
+		})
+		return took
+	}
+	seq, batched := run(false), run(true)
+	t.Logf("128 rows over 4 servers: sequential=%v multiGet=%v", seq, batched)
+	if batched >= seq {
+		t.Fatalf("MultiGet (%v) not faster than sequential gets (%v)", batched, seq)
+	}
+}
+
 func TestHBaseoIBMode(t *testing.T) {
 	deployTest(t, 2, Config{HBaseRDMA: true}, func(e exec.Env, h *HBase, c *HClient) {
 		for i := 0; i < 64; i++ {

@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -112,21 +113,41 @@ func (c *DFSClient) CreateFile(e exec.Env, path string, size int64, replication 
 			break
 		}
 	}
-	// completeFile polls until the NameNode has seen every block reported
-	// (DFSClient's 400 ms retry loop).
-	for attempt := 0; ; attempt++ {
+	// completeFile polls until the NameNode has seen every block reported.
+	// The schedule is DFSClient's 400 ms retry loop expressed as a
+	// CallPolicy.
+	if err := completePolicy.Do(e, func(attempt int) error {
 		var done wire.BooleanWritable
 		if err := c.call(e, "complete", &CompleteParam{Path: path, ClientName: c.name}, &done); err != nil {
 			return err
 		}
-		if done.Value {
-			return nil
+		if !done.Value {
+			return errIncomplete
 		}
-		if attempt > 50 {
+		return nil
+	}); err != nil {
+		if errors.Is(err, errIncomplete) {
 			return fmt.Errorf("complete: %s never reached minimal replication", path)
 		}
-		e.Sleep(400 * time.Millisecond)
+		return err
 	}
+	return nil
+}
+
+// errIncomplete is the semantic not-yet signal of the completeFile poll.
+var errIncomplete = errors.New("hdfs: file blocks not yet minimally replicated")
+
+// completePolicy drives the completeFile poll: up to 51 attempts at a
+// constant 400 ms (MaxBackoff pins the historical DFSClient cadence — an
+// exponential schedule would make fast-RPC writers, which reach `complete`
+// before the DataNodes' blockReceived lands, wait progressively longer than
+// the slow-RPC ones). Only the not-yet signal is retried; RPC failures
+// surface immediately.
+var completePolicy = core.CallPolicy{
+	MaxAttempts: 51,
+	Backoff:     400 * time.Millisecond,
+	MaxBackoff:  400 * time.Millisecond,
+	RetryOn:     func(err error) bool { return errors.Is(err, errIncomplete) },
 }
 
 // writeBlock streams one block into the pipeline headed by lb.Targets[0].

@@ -2,7 +2,6 @@ package hdfs
 
 import (
 	"fmt"
-	"time"
 
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/core"
@@ -54,20 +53,21 @@ func (dn *DataNode) run(e exec.Env) {
 		panic(fmt.Sprintf("datanode %d: listen: %v", dn.id, err))
 	}
 	e.Spawn(fmt.Sprintf("dn%d-dataserver", dn.id), func(se exec.Env) { dn.serveData(se, ln) })
-	dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "blockReport",
+	// The initial block report is issued asynchronously and collected before
+	// the first heartbeat: the DataNode serves pipeline traffic while the
+	// (potentially large) report round-trips to the NameNode.
+	reportFut := dn.rpc.CallAsync(e, dn.h.nnAddr, DatanodeProtocol, "blockReport",
 		&BlockReportParam{Reg: dn.reg()}, nil)
-	// Heartbeats use a short call timeout so a partitioned DataNode resumes
-	// promptly once the network heals instead of blocking on a lost reply.
-	hbClient := core.NewClient(dn.h.rpcNet(dn.node), core.Options{
-		Mode: dn.h.cfg.RPCMode, Costs: dn.h.c.Costs, Tracer: dn.h.cfg.Tracer,
-		Metrics:     dn.h.cfg.Metrics,
-		CallTimeout: 2*dn.h.cfg.HeartbeatInterval + time.Second,
-	})
+	hbClient := dn.h.heartbeatClient(dn.node)
 	for {
 		_, ok, timedOut := dn.h.stopQ.GetTimeout(e, dn.h.cfg.HeartbeatInterval)
 		if !timedOut && !ok {
 			ln.Close()
 			return
+		}
+		if reportFut != nil {
+			reportFut.Wait(e)
+			reportFut = nil
 		}
 		hb := &HeartbeatParam{Reg: dn.reg(), Capacity: 1 << 40,
 			DfsUsed: int64(len(dn.blocks)) * dn.h.cfg.BlockSize, Remaining: 1 << 39}
@@ -140,9 +140,18 @@ func (dn *DataNode) serveData(e exec.Env, ln transport.Listener) {
 	}
 }
 
-// handleConn serves one data connection (an "xceiver" in HDFS terms).
+// handleConn serves one data connection (an "xceiver" in HDFS terms). The
+// blockReceived notification of each finished block is issued asynchronously
+// and collected before the next block starts (or at connection teardown), so
+// the NameNode round trip overlaps the writer's next pipeline setup.
 func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 	defer conn.Close()
+	var pending *core.Future
+	defer func() {
+		if pending != nil {
+			pending.Wait(e)
+		}
+	}()
 	for {
 		data, release, err := conn.Recv(e)
 		if err != nil {
@@ -162,9 +171,17 @@ func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 			if in.Err() != nil {
 				return
 			}
-			if err := dn.receiveBlock(e, conn, blockID, targets); err != nil {
+			if pending != nil {
+				if pending.Wait(e) != nil {
+					return
+				}
+				pending = nil
+			}
+			fut, err := dn.receiveBlock(e, conn, blockID, targets)
+			if err != nil {
 				return
 			}
+			pending = fut
 		case opReadBlock:
 			blockID := in.ReadInt64()
 			release()
@@ -195,27 +212,29 @@ func packetHeader(seq int32, dataLen int32, last bool) []byte {
 // establish the remaining pipeline, ack setup upstream, then for each packet
 // forward downstream first (cut-through) and write locally on an overlapped
 // disk-writer thread; ack upstream once the local disk and the downstream
-// replica both finished; finally report blockReceived to the NameNode.
-func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string) error {
+// replica both finished; finally report blockReceived to the NameNode —
+// asynchronously, returning the future for the caller to collect once it has
+// other work in hand.
+func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string) (*core.Future, error) {
 	var downstream transport.Conn
 	if len(targets) > 0 {
 		var err error
 		downstream, err = dn.h.dataNet(dn.node).Dial(e, targets[0])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer downstream.Close()
 		if err := downstream.Send(e, writeBlockHeader(blockID, targets[1:])); err != nil {
-			return err
+			return nil, err
 		}
 		if _, rel, err := downstream.Recv(e); err != nil { // setup ack
-			return err
+			return nil, err
 		} else {
 			rel()
 		}
 	}
 	if err := upstream.Send(e, []byte{1}); err != nil { // setup ack
-		return err
+		return nil, err
 	}
 
 	// Writes land in the page cache; a background flusher drains them to
@@ -253,7 +272,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 		data, release, err := upstream.Recv(e)
 		if err != nil {
 			diskQ.Close()
-			return err
+			return nil, err
 		}
 		in := wire.NewDataInput(data)
 		in.ReadInt32() // seq
@@ -262,7 +281,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 		release()
 		if in.Err() != nil {
 			diskQ.Close()
-			return in.Err()
+			return nil, in.Err()
 		}
 		dn.PacketsIn++
 		dn.h.m.recv.add(int64(dataLen))
@@ -272,7 +291,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 			hdr := packetHeader(0, dataLen, last)
 			if err := transport.SendSized(e, downstream, hdr, len(hdr)+int(dataLen)); err != nil {
 				diskQ.Close()
-				return err
+				return nil, err
 			}
 			dn.h.m.forward.add(int64(dataLen))
 		}
@@ -288,17 +307,17 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 	diskQ.Close()
 	if downstream != nil {
 		if _, rel, err := downstream.Recv(e); err != nil { // final ack
-			return err
+			return nil, err
 		} else {
 			rel()
 		}
 	}
 	dn.blocks[blockID] = length
 	if err := upstream.Send(e, []byte{2}); err != nil { // final ack
-		return err
+		return nil, err
 	}
-	return dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived",
-		&BlockReceivedParam{Reg: dn.reg(), BlockID: blockID, Length: length, DelHint: ""}, nil)
+	return dn.rpc.CallAsync(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived",
+		&BlockReceivedParam{Reg: dn.reg(), BlockID: blockID, Length: length, DelHint: ""}, nil), nil
 }
 
 // sendBlock streams a replica back to a reader.

@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rpcoib/internal/cluster"
@@ -111,6 +112,13 @@ type HDFS struct {
 	stopQ  exec.Queue
 	server *core.Server
 	m      hdfsMetrics
+
+	// rt shares one RPC client per <node, config> across every DataNode,
+	// DFSClient, and substrate task on that node.
+	rt *core.Runtime
+
+	clientMu sync.Mutex
+	clients  map[int]*DFSClient
 }
 
 // Deploy spawns the NameNode and DataNodes. It returns immediately; the
@@ -118,7 +126,7 @@ type HDFS struct {
 func Deploy(c *cluster.Cluster, cfg Config) *HDFS {
 	cfg = cfg.withDefaults()
 	h := &HDFS{c: c, cfg: cfg, nnAddr: netsim.Addr(cfg.NameNode, nnPort),
-		m: newHDFSMetrics(cfg.Metrics)}
+		m: newHDFSMetrics(cfg.Metrics), rt: core.NewRuntime(), clients: map[int]*DFSClient{}}
 	h.nn = newNameNode(h)
 
 	c.SpawnOn(cfg.NameNode, "namenode", func(e exec.Env) {
@@ -195,18 +203,52 @@ func (h *HDFS) dataNet(node int) transport.Network {
 	return h.c.SocketNet(h.cfg.DataKind, node)
 }
 
+// newRPCClient returns the node's shared control-plane client, creating it
+// on first use. Every caller on the node multiplexes over the same cached
+// NameNode connection and warmed buffer-pool history.
 func (h *HDFS) newRPCClient(node int) *core.Client {
-	return core.NewClient(h.rpcNet(node), core.Options{
-		Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
-		Metrics: h.cfg.Metrics,
+	return h.rt.Client(node, "hdfs-rpc", func() *core.Client {
+		return core.NewClient(h.rpcNet(node), core.Options{
+			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+			Metrics: h.cfg.Metrics,
+		})
 	})
 }
 
-// NewClient returns a DFSClient bound to node.
+// heartbeatClient returns the node's shared heartbeat client. Heartbeats use
+// a short call timeout so a partitioned DataNode resumes promptly once the
+// network heals, so they live under their own runtime config key.
+func (h *HDFS) heartbeatClient(node int) *core.Client {
+	return h.rt.Client(node, "hdfs-rpc-hb", func() *core.Client {
+		return core.NewClient(h.rpcNet(node), core.Options{
+			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
+			Metrics:     h.cfg.Metrics,
+			CallTimeout: 2*h.cfg.HeartbeatInterval + time.Second,
+		})
+	})
+}
+
+// NewClient returns a DFSClient bound to node. The underlying RPC client is
+// the node's shared one, so "new" clients are cheap handles.
 func (h *HDFS) NewClient(node int) *DFSClient {
 	return &DFSClient{
 		h: h, node: node,
 		rpc:  h.newRPCClient(node),
 		name: fmt.Sprintf("DFSClient_node%d", node),
 	}
+}
+
+// Client returns the node's shared DFSClient (the per-node client-runtime
+// handle substrates reuse across tasks and flushes). DFSClient methods are
+// stateless and the lease-holder name is deterministic per node, so sharing
+// one is safe.
+func (h *HDFS) Client(node int) *DFSClient {
+	h.clientMu.Lock()
+	defer h.clientMu.Unlock()
+	dc := h.clients[node]
+	if dc == nil {
+		dc = h.NewClient(node)
+		h.clients[node] = dc
+	}
+	return dc
 }

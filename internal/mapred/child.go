@@ -19,12 +19,34 @@ type childTask struct {
 	spec TaskSpec
 	umb  *core.Client
 	conf *SubmitJobParam
+
+	// statusFut is the in-flight asynchronous statusUpdate, if any: progress
+	// reports overlap the next chunk of task work instead of stalling it.
+	statusFut *core.Future
 }
 
 func (c *childTask) umbAddr() string { return c.tt.mr.UmbilicalAddr(c.tt.node) }
 
 func (c *childTask) call(e exec.Env, method string, param, reply wire.Writable) error {
 	return c.umb.Call(e, c.umbAddr(), UmbilicalProtocol, method, param, reply)
+}
+
+// reportStatus sends a progress report asynchronously, first collecting the
+// previous one so at most one report is in flight. Report errors are
+// ignored, as they were under the synchronous path.
+func (c *childTask) reportStatus(e exec.Env, st *TaskStatus) {
+	c.drainStatus(e)
+	c.statusFut = c.umb.CallAsync(e, c.umbAddr(), UmbilicalProtocol,
+		"statusUpdate", st, &wire.BooleanWritable{})
+}
+
+// drainStatus collects any in-flight progress report; tasks call it before
+// lifecycle RPCs (commitPending, done) so those never race a stale update.
+func (c *childTask) drainStatus(e exec.Env) {
+	if c.statusFut != nil {
+		c.statusFut.Wait(e)
+		c.statusFut = nil
+	}
 }
 
 func (c *childTask) status(progress float64, phase byte) *TaskStatus {
@@ -63,7 +85,7 @@ func (c *childTask) runMap(e exec.Env) {
 	// Absolute paths are HDFS inputs; anything else is a synthetic split
 	// (RandomWriter-style input formats generate data rather than read it).
 	if len(c.spec.InputFile) > 0 && c.spec.InputFile[0] == '/' && mr.dfs != nil {
-		dfs := mr.dfs.NewClient(c.tt.node)
+		dfs := mr.dfs.Client(c.tt.node)
 		if st, err := dfs.GetFileInfo(e, c.spec.InputFile); err != nil || !st.Exists {
 			c.fail(e, fmt.Sprintf("input missing: %s", c.spec.InputFile))
 			return
@@ -99,7 +121,7 @@ func (c *childTask) runMap(e exec.Env) {
 		if inputBytes > 0 {
 			progress = float64(processed) / float64(inputBytes)
 		}
-		c.call(e, "statusUpdate", c.status(progress, 0), &wire.BooleanWritable{})
+		c.reportStatus(e, c.status(progress, 0))
 		if inputBytes == 0 {
 			break
 		}
@@ -119,6 +141,7 @@ func (c *childTask) runMap(e exec.Env) {
 			return
 		}
 	}
+	c.drainStatus(e)
 	c.call(e, "done", &c.spec.Task, nil)
 }
 
@@ -172,14 +195,13 @@ func (c *childTask) runReduce(e exec.Env) {
 			shuffled += n
 			fetched += len(idxs)
 		}
-		c.call(e, "statusUpdate",
-			c.status(float64(fetched)/float64(c.spec.NumMaps)/3, 1), &wire.BooleanWritable{})
+		c.reportStatus(e, c.status(float64(fetched)/float64(c.spec.NumMaps)/3, 1))
 	}
 
 	// Merge pass: read all segments, write one sorted run.
 	disk.ReadStream(se.Proc(), streamID(c.spec.Task, 3), shuffled)
 	disk.WriteStream(se.Proc(), streamID(c.spec.Task, 4), shuffled)
-	c.call(e, "statusUpdate", c.status(0.66, 2), &wire.BooleanWritable{})
+	c.reportStatus(e, c.status(0.66, 2))
 
 	// Reduce function over the merged run.
 	reduceCPUPerMB := time.Duration(c.conf.ReduceCPUPerMBNs)
@@ -191,8 +213,7 @@ func (c *childTask) runReduce(e exec.Env) {
 		disk.ReadStream(se.Proc(), streamID(c.spec.Task, 4), chunk)
 		e.Work(reduceCPUPerMB * time.Duration(chunk>>20))
 		processed += chunk
-		c.call(e, "statusUpdate",
-			c.status(0.66+float64(processed)/float64(shuffled)/3, 3), &wire.BooleanWritable{})
+		c.reportStatus(e, c.status(0.66+float64(processed)/float64(shuffled)/3, 3))
 	}
 
 	outBytes := int64(float64(shuffled) * float64(c.conf.ReduceOutRatioPct) / 100)
@@ -201,6 +222,7 @@ func (c *childTask) runReduce(e exec.Env) {
 			return
 		}
 	}
+	c.drainStatus(e)
 	c.call(e, "done", &c.spec.Task, nil)
 }
 
@@ -244,7 +266,7 @@ func (c *childTask) fetchSegments(e exec.Env, conns map[string]transport.Conn, a
 // the mkdirs/create/addBlock/complete/rename/delete NameNode traffic
 // Table I profiles.
 func (c *childTask) writeHDFSOutput(e exec.Env, bytes int64) bool {
-	dfs := c.tt.mr.dfs.NewClient(c.tt.node)
+	dfs := c.tt.mr.dfs.Client(c.tt.node)
 	tmpDir := fmt.Sprintf("%s/_temporary", c.spec.OutputPath)
 	part := fmt.Sprintf("part-%s-%05d", mapOrRed(c.spec.Task.IsMap), c.spec.Task.Index)
 	tmp := fmt.Sprintf("%s/%s", tmpDir, part)
@@ -259,6 +281,7 @@ func (c *childTask) writeHDFSOutput(e exec.Env, bytes int64) bool {
 		c.fail(e, err.Error())
 		return false
 	}
+	c.drainStatus(e)
 	c.call(e, "commitPending", c.status(1.0, 3), nil)
 	var can wire.BooleanWritable
 	for {

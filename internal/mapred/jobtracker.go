@@ -148,11 +148,18 @@ func (jt *JobTracker) heartbeat(e exec.Env, p wire.Writable) (wire.Writable, err
 
 	resp := &HeartbeatResponse{Interval: int64(jt.mr.cfg.HeartbeatInterval)}
 
-	// Assignment: first runnable job gets the slots (FIFO scheduler).
-	mapsToGive := hb.MapSlotsFree
-	if mapsToGive > 1 {
-		mapsToGive = 1
+	// Assignment, 0.20.2 JobQueueTaskScheduler style (FIFO job order): maps
+	// fill the tracker up to its current capacity — the cluster load factor
+	// times its slot count — in a single heartbeat, so ramp-up is bounded by
+	// slots rather than by heartbeat count; reduces are handed out at most
+	// one per heartbeat.
+	remainingMapLoad := int32(0)
+	for _, id := range jt.order {
+		if job := jt.jobs[id]; !job.complete {
+			remainingMapLoad += int32(len(job.maps)) - job.mapsDone
+		}
 	}
+	mapsToGive := jt.trackerTaskQuota(remainingMapLoad, jt.mr.cfg.MapSlots, hb.MapSlotsFree)
 	redsToGive := hb.RedSlotsFree
 	if redsToGive > 1 {
 		redsToGive = 1
@@ -205,6 +212,30 @@ func (jt *JobTracker) heartbeat(e exec.Env, p wire.Writable) (wire.Writable, err
 		}
 	}
 	return resp, nil
+}
+
+// trackerTaskQuota returns how many tasks one tracker may take this
+// heartbeat: the cluster load factor (remaining work over cluster capacity,
+// at most 1) times the tracker's slot count, rounded up, minus what it is
+// already running — clamped to its free slots. Spreading residual work this
+// way keeps a draining job from piling onto whichever tracker beats the
+// others to the heartbeat.
+func (jt *JobTracker) trackerTaskQuota(remainingLoad int32, slotsPerTracker int, slotsFree int32) int32 {
+	clusterCapacity := int32(len(jt.mr.cfg.TaskTrackers) * slotsPerTracker)
+	capacity := int32(slotsPerTracker)
+	if remainingLoad < clusterCapacity && clusterCapacity > 0 {
+		// ceil(remainingLoad/clusterCapacity * slotsPerTracker) in integers.
+		capacity = (remainingLoad*int32(slotsPerTracker) + clusterCapacity - 1) / clusterCapacity
+	}
+	running := int32(slotsPerTracker) - slotsFree
+	give := capacity - running
+	if give > slotsFree {
+		give = slotsFree
+	}
+	if give < 0 {
+		give = 0
+	}
+	return give
 }
 
 // pickMap prefers a pending map whose input is local to the tracker.

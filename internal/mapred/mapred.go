@@ -72,6 +72,10 @@ type MapReduce struct {
 	stopQ  exec.Queue
 	server *core.Server
 
+	// rt shares one RPC client per node across the TaskTracker, every child
+	// task's umbilical, and job clients on that node.
+	rt *core.Runtime
+
 	// inputLocality maps input file -> nodes holding replicas, consulted by
 	// the scheduler for map locality.
 	inputLocality map[string][]int
@@ -86,6 +90,7 @@ func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *MapReduce {
 	mr := &MapReduce{
 		c: c, cfg: cfg, dfs: dfs,
 		jtAddr:        netsim.Addr(cfg.JobTracker, jtPort),
+		rt:            core.NewRuntime(),
 		inputLocality: map[string][]int{},
 		jobConfs:      map[int32]*SubmitJobParam{},
 	}
@@ -146,10 +151,16 @@ func (mr *MapReduce) shuffleNet(node int) transport.Network {
 	return mr.c.SocketNet(mr.cfg.ShuffleKind, node)
 }
 
+// newRPCClient returns the node's shared RPC client: every child task's
+// umbilical, the TaskTracker's JobTracker channel, and job clients on the
+// node multiplex one connection per destination instead of spinning up a
+// throwaway client (and receiver thread) per task.
 func (mr *MapReduce) newRPCClient(node int) *core.Client {
-	return core.NewClient(mr.rpcNet(node), core.Options{
-		Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
-		Metrics: mr.cfg.Metrics,
+	return mr.rt.Client(node, "mr-rpc", func() *core.Client {
+		return core.NewClient(mr.rpcNet(node), core.Options{
+			Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
+			Metrics: mr.cfg.Metrics,
+		})
 	})
 }
 
@@ -195,9 +206,14 @@ func (mr *MapReduce) RunJob(e exec.Env, node int, conf SubmitJobParam) (*JobResu
 	}
 	mr.jobConfs[jobID.Value] = &conf
 	for {
+		// Pipelined status polling: the poll is issued as a future and the
+		// 1 s polling pause runs while it is in flight, so the JobTracker
+		// round trip is hidden inside the sleep instead of added to it.
 		var st JobStatus
-		if err := client.Call(e, mr.jtAddr, JobSubmissionProtocol, "getJobStatus",
-			&wire.IntWritable{Value: jobID.Value}, &st); err != nil {
+		fut := client.CallAsync(e, mr.jtAddr, JobSubmissionProtocol, "getJobStatus",
+			&wire.IntWritable{Value: jobID.Value}, &st)
+		e.Sleep(time.Second)
+		if err := fut.Wait(e); err != nil {
 			return nil, err
 		}
 		if st.Failed {
@@ -212,11 +228,10 @@ func (mr *MapReduce) RunJob(e exec.Env, node int, conf SubmitJobParam) (*JobResu
 			}
 			// Output-committer cleanup: remove the temporary directory.
 			if conf.WritesHDFSOutput && mr.dfs != nil && conf.OutputPath != "" {
-				dfs := mr.dfs.NewClient(node)
+				dfs := mr.dfs.Client(node)
 				dfs.Delete(e, conf.OutputPath+"/_temporary")
 			}
 			return &JobResult{Status: st, Duration: d}, nil
 		}
-		e.Sleep(time.Second)
 	}
 }

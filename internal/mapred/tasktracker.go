@@ -111,8 +111,13 @@ func (tt *TaskTracker) run(e exec.Env) {
 			})
 		}
 		tt.completed = nil
+		// The heartbeat goes out as a future: the send completes and the
+		// tracker finishes its local bookkeeping while the JobTracker round
+		// trip is in flight; the response is collected (and its actions
+		// applied) as soon as it lands.
 		var resp HeartbeatResponse
-		if err := tt.jtClient.Call(e, tt.mr.jtAddr, InterTrackerProtocol, "heartbeat", hb, &resp); err == nil {
+		fut := tt.jtClient.CallAsync(e, tt.mr.jtAddr, InterTrackerProtocol, "heartbeat", hb, &resp)
+		if err := fut.Wait(e); err == nil {
 			if len(resp.Events) > 0 {
 				tt.events[resp.EventJob] = append(tt.events[resp.EventJob], resp.Events...)
 			}
@@ -223,7 +228,8 @@ func (tt *TaskTracker) registerUmbilical(srv *core.Server) {
 	srv.Register(UmbilicalProtocol, "done",
 		func() wire.Writable { return &TaskID{} },
 		func(e exec.Env, p wire.Writable) (wire.Writable, error) {
-			tt.taskDone(*p.(*TaskID))
+			id := *p.(*TaskID)
+			tt.taskDone(id)
 			return &wire.NullWritable{}, nil
 		})
 	srv.Register(UmbilicalProtocol, "getMapCompletionEvents",

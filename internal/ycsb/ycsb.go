@@ -58,14 +58,35 @@ func (r Result) Throughput() float64 {
 // Key formats record i as a YCSB-style key.
 func Key(i int) string { return fmt.Sprintf("user%019d", i*2654435761%1000000007) }
 
-// Load inserts records [from, to) through the client, flushing at the end.
+// loadVerifyRows is how many loaded records each client reads back (in one
+// batched multiGet) to confirm the load before the measured phase starts.
+const loadVerifyRows = 16
+
+// Load inserts records [from, to) through the client, flushing at the end,
+// then reads back an evenly spaced sample in one fanned-out MultiGet to
+// verify the load landed.
 func Load(e exec.Env, c *hbase.HClient, w Workload, from, to int) error {
 	for i := from; i < to; i++ {
 		if err := c.Put(e, Key(i), w.RecordSize); err != nil {
 			return err
 		}
 	}
-	return c.Flush(e)
+	if err := c.Flush(e); err != nil {
+		return err
+	}
+	n := to - from
+	if n <= 0 {
+		return nil
+	}
+	sample := loadVerifyRows
+	if sample > n {
+		sample = n
+	}
+	rows := make([]string, 0, sample)
+	for i := 0; i < sample; i++ {
+		rows = append(rows, Key(from+i*n/sample))
+	}
+	return c.MultiGet(e, rows, w.RecordSize)
 }
 
 // Run executes ops operations with the given mix and key distribution.

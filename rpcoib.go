@@ -8,6 +8,9 @@
 //     the paper's two wire paths — the default Hadoop-RPC socket design and
 //     RPCoIB's pooled, RDMA-backed design — selectable per Options.Mode
 //     (the paper's rpc.ib.enabled switch);
+//   - the asynchronous call layer: CallAsync futures, FanOut batches,
+//     CallPolicy retry/backoff/deadline schedules, and the shared-client
+//     Runtime that substrates route their RPC through;
 //   - the history-based two-level buffer pool (NewBufferPool) and the
 //     RDMAOutputStream that serializes into it;
 //   - a real-TCP transport for running the engine as an ordinary Go RPC
@@ -70,6 +73,41 @@ type MethodFunc = core.MethodFunc
 
 // RemoteError is a server-side failure delivered to a caller.
 type RemoteError = core.RemoteError
+
+// ---- async calls, retry policies, shared runtimes ----
+
+// Future is the completion handle of one asynchronous call (Client.CallAsync);
+// collect it with Wait or poll with TryWait.
+type Future = core.Future
+
+// CallPolicy drives client-layer retries: attempt count, exponential backoff
+// with seeded jitter, and an overall deadline (Client.CallWith / CallPolicy.Do).
+type CallPolicy = core.CallPolicy
+
+// FanOutCall names one call of a concurrent batch for Client.FanOut.
+type FanOutCall = core.FanOutCall
+
+// Runtime is a per-deployment cache of shared clients keyed by
+// <node, protocol-config>, Hadoop's RPC.getProxy cache.
+type Runtime = core.Runtime
+
+// NewRuntime creates an empty shared-client runtime.
+func NewRuntime() *Runtime { return core.NewRuntime() }
+
+// WaitAll waits on every future in order and returns the first error seen.
+func WaitAll(e Env, futs []*Future) error { return core.WaitAll(e, futs) }
+
+// RetryTransient is the default CallWith predicate: retry connection-level
+// failures, not server-side errors or timeouts.
+func RetryTransient(err error) bool { return core.RetryTransient(err) }
+
+// Sentinel errors of the call path.
+var (
+	// ErrTimeout reports a call that exceeded its timeout.
+	ErrTimeout = core.ErrTimeout
+	// ErrClosed reports a connection torn down with calls in flight.
+	ErrClosed = core.ErrClosed
+)
 
 // RDMAOutputStream serializes directly into pooled registered buffers.
 type RDMAOutputStream = core.RDMAOutputStream
