@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"rpcoib/internal/bench"
+	"rpcoib/internal/faultsim"
 	"rpcoib/internal/metrics"
 )
 
@@ -19,9 +20,20 @@ func main() {
 	dataGB := flag.Int("data-gb", 4, "Sort input size in GB for table1/fig3 (paper: 4)")
 	iters := flag.Int("iters", 20, "calls per Figure 1 payload point")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
+	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
 	flag.Parse()
 	if *metricsPath != "" {
 		bench.EnableMetrics()
+	}
+	if *faultsPath != "" {
+		plan, err := faultsim.LoadPlan(*faultsPath)
+		if err == nil {
+			err = bench.SetFaultPlan(plan)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	switch *experiment {

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"rpcoib/internal/bench"
+	"rpcoib/internal/faultsim"
 )
 
 func main() {
@@ -18,9 +19,20 @@ func main() {
 		"which experiment to run: latency | throughput | threshold | pool | readers | all")
 	iters := flag.Int("iters", 200, "calls per measurement")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
+	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
 	flag.Parse()
 	if *metricsPath != "" {
 		bench.EnableMetrics()
+	}
+	if *faultsPath != "" {
+		plan, err := faultsim.LoadPlan(*faultsPath)
+		if err == nil {
+			err = bench.SetFaultPlan(plan)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"rpcoib/internal/cluster"
+	"rpcoib/internal/faultsim"
 	"rpcoib/internal/metrics"
 )
 
@@ -44,11 +46,35 @@ func WriteMetricsReport(path string) error {
 	return benchLog.WriteFile(path)
 }
 
-// newCluster wraps cluster.New, instrumenting the verbs network when
-// metrics are enabled.
+// benchFaults, when set, is applied to every subsequently constructed
+// benchmark cluster (the -faults CLI flag).
+var benchFaults *faultsim.Plan
+
+// SetFaultPlan arms (or, with nil, disarms) a fault plan for all benchmark
+// clusters built afterwards. The plan is validated here so CLI flag parsing
+// reports schema errors before any experiment runs.
+func SetFaultPlan(p *faultsim.Plan) error {
+	if p != nil {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	benchFaults = p
+	return nil
+}
+
+// newCluster wraps cluster.New, instrumenting the verbs network when metrics
+// are enabled and applying the armed fault plan, if any.
 func newCluster(cc cluster.Config) *cluster.Cluster {
 	cl := cluster.New(cc)
 	cl.IBNet().Instrument(benchReg)
+	if benchFaults != nil {
+		inj, err := faultsim.Apply(cl, *benchFaults)
+		if err != nil {
+			panic(fmt.Sprintf("bench: applying fault plan: %v", err))
+		}
+		inj.Instrument(benchReg)
+	}
 	return cl
 }
 

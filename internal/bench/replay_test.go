@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/metrics"
+)
+
+// TestFig6aDeterministicReplay: the Fig 6(a) sort pipeline is a full-stack
+// workload (MapReduce over HDFS over the RPC engine over the simulated
+// fabrics); running it twice in one process must reproduce the engine-wide
+// metrics registry byte-for-byte. Any hidden nondeterminism — map iteration
+// leaking into scheduling, wall-clock time, unseeded randomness — shows up
+// here as a diff.
+func TestFig6aDeterministicReplay(t *testing.T) {
+	savedReg, savedLog, savedFaults := benchReg, benchLog, benchFaults
+	defer func() { benchReg, benchLog, benchFaults = savedReg, savedLog, savedFaults }()
+	benchFaults = nil
+
+	run := func() metrics.Snapshot {
+		benchReg = metrics.New()
+		benchLog = &metrics.Log{}
+		points := Fig6aSort(nil, 2, []int{1})
+		if len(points) != 2 {
+			t.Fatalf("points=%d", len(points))
+		}
+		// Stamp with the run's own virtual outcome so timing divergence is
+		// part of the comparison, not masked by a fixed timestamp.
+		return benchReg.Snapshot(points[0].Sort + points[1].Sort)
+	}
+	first := run()
+	second := run()
+	if len(first.Counters) == 0 {
+		t.Fatal("metrics registry empty; the pipeline was not instrumented")
+	}
+	if same, diff := faultsim.SameSnapshot(first, second); !same {
+		t.Fatalf("same-seed Fig6a replays diverged: %s", diff)
+	}
+}
+
+// TestFaultedBenchClusterAppliesPlan: a plan armed via SetFaultPlan must
+// reach clusters built by the bench helpers and show up in the shared
+// registry via the injector's instruments.
+func TestFaultedBenchClusterAppliesPlan(t *testing.T) {
+	savedReg, savedLog, savedFaults := benchReg, benchLog, benchFaults
+	defer func() { benchReg, benchLog, benchFaults = savedReg, savedLog, savedFaults }()
+	benchReg = metrics.New()
+	benchLog = &metrics.Log{}
+
+	if err := SetFaultPlan(&faultsim.Plan{Profile: faultsim.Profile{DropRate: 2}}); err == nil {
+		t.Fatal("invalid plan accepted by SetFaultPlan")
+	}
+	// Delays and duplicates only: the micro-benchmark drivers treat call
+	// errors as fatal, so a benchmark-compatible weather profile perturbs
+	// timing without killing connections.
+	if err := SetFaultPlan(&faultsim.Plan{
+		Seed:    3,
+		Profile: faultsim.Profile{DupRate: 0.2, DelayRate: 0.3, DelayMaxMS: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := Fig5aLatency(nil, []int{128}, 30)
+	if len(res) == 0 {
+		t.Fatal("benchmark produced no results")
+	}
+	snap := benchReg.Snapshot(time.Second)
+	if snap.Counters["fault_delays_total"] == 0 && snap.Counters["fault_dups_total"] == 0 {
+		t.Error("armed fault plan never touched a message in the bench cluster")
+	}
+}

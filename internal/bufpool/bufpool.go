@@ -30,6 +30,7 @@ type Buffer struct {
 	class int // index into pool classes; -1 for oversize one-offs
 	owner *NativePool
 	grown bool // buffer came from a doubling re-get, not the first Acquire
+	idle  bool // buffer is back in (or dropped from) the pool; catches double frees
 }
 
 // Cap returns the buffer capacity.
@@ -48,6 +49,8 @@ type Stats struct {
 	Misses          int64 // class empty: fresh allocation (+registration)
 	Oversize        int64 // larger than the max class: one-off allocation
 	Puts            int64 // buffers returned
+	DoubleFrees     int64 // Puts of an already-returned buffer (refused, counted)
+	Denied          int64 // Gets served unregistered because of a registered-memory cap
 	BytesRegistered int64 // current native memory footprint
 	PeakRegistered  int64 // high-water mark of BytesRegistered
 }
@@ -60,6 +63,7 @@ type NativePool struct {
 	classes  []int // class sizes, ascending powers of two
 	free     [][]*Buffer
 	maxClass int
+	limit    int64 // registered-bytes cap (0 = unlimited); see SetRegisteredLimit
 	stats    Stats
 	m        nativeInstruments
 }
@@ -86,7 +90,7 @@ func (p *NativePool) Preregister(count int) {
 	defer p.mu.Unlock()
 	for ci, size := range p.classes {
 		for i := 0; i < count; i++ {
-			p.free[ci] = append(p.free[ci], &Buffer{Data: make([]byte, size), class: ci, owner: p})
+			p.free[ci] = append(p.free[ci], &Buffer{Data: make([]byte, size), class: ci, owner: p, idle: true})
 			p.register(int64(size))
 		}
 	}
@@ -139,14 +143,43 @@ func (p *NativePool) Get(size int) *Buffer {
 		b := p.free[ci][n-1]
 		p.free[ci] = p.free[ci][:n-1]
 		b.grown = false
+		b.idle = false
 		p.stats.Hits++
 		p.m.hits.Inc()
 		return b
+	}
+	if p.limit > 0 && p.stats.BytesRegistered+int64(p.classes[ci]) > p.limit {
+		// Registered memory is exhausted (an injected cap modeling a host
+		// out of pinnable pages): fall back to an unregistered one-off, the
+		// slow path the pool exists to avoid. The caller pays on-the-fly
+		// registration, exactly as for an oversize buffer.
+		p.stats.Denied++
+		p.m.denied.Inc()
+		return &Buffer{Data: make([]byte, p.classes[ci]), class: -1, owner: p}
 	}
 	p.stats.Misses++
 	p.m.misses.Inc()
 	p.register(int64(p.classes[ci]))
 	return &Buffer{Data: make([]byte, p.classes[ci]), class: ci, owner: p}
+}
+
+// SetRegisteredLimit caps the pool's registered-memory footprint (0 removes
+// the cap). Gets that would register past the cap are served unregistered
+// one-off buffers and counted in Stats.Denied. Already-registered classes
+// keep serving hits. Used by fault injection to model pinnable-memory
+// exhaustion.
+func (p *NativePool) SetRegisteredLimit(bytes int64) {
+	p.mu.Lock()
+	p.limit = bytes
+	p.mu.Unlock()
+}
+
+// Outstanding reports buffers currently held by callers (Gets minus Puts);
+// zero at quiescence means nothing leaked.
+func (p *NativePool) Outstanding() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.Gets - p.stats.Puts
 }
 
 // Put returns a buffer to its class free list. Oversize one-offs are dropped
@@ -160,6 +193,15 @@ func (p *NativePool) Put(b *Buffer) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if b.idle {
+		// Double free: the buffer is already back in (or dropped from) the
+		// pool. Honoring it would hand the same memory to two callers, so it
+		// is refused and counted for the invariant checker.
+		p.stats.DoubleFrees++
+		p.m.doubleFrees.Inc()
+		return
+	}
+	b.idle = true
 	p.stats.Puts++
 	p.m.puts.Inc()
 	if b.class < 0 {

@@ -5,13 +5,15 @@ import "rpcoib/internal/metrics"
 // nativeInstruments mirrors Stats into a metrics.Registry. The zero value is
 // inert (nil instruments no-op), so uninstrumented pools pay nothing.
 type nativeInstruments struct {
-	gets     *metrics.Counter
-	hits     *metrics.Counter
-	misses   *metrics.Counter
-	oversize *metrics.Counter
-	puts     *metrics.Counter
-	bytes    *metrics.Gauge
-	peak     *metrics.Gauge
+	gets        *metrics.Counter
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	oversize    *metrics.Counter
+	puts        *metrics.Counter
+	doubleFrees *metrics.Counter
+	denied      *metrics.Counter
+	bytes       *metrics.Gauge
+	peak        *metrics.Gauge
 }
 
 // Instrument mirrors the pool's counters into r under prefix (e.g.
@@ -27,13 +29,15 @@ func (p *NativePool) Instrument(r *metrics.Registry, prefix string) {
 	defer p.mu.Unlock()
 	seed := p.m.gets == nil
 	p.m = nativeInstruments{
-		gets:     r.Counter(prefix + "_gets_total"),
-		hits:     r.Counter(prefix + "_hits_total"),
-		misses:   r.Counter(prefix + "_misses_total"),
-		oversize: r.Counter(prefix + "_oversize_total"),
-		puts:     r.Counter(prefix + "_puts_total"),
-		bytes:    r.Gauge(prefix + "_bytes_registered"),
-		peak:     r.Gauge(prefix + "_peak_bytes_registered"),
+		gets:        r.Counter(prefix + "_gets_total"),
+		hits:        r.Counter(prefix + "_hits_total"),
+		misses:      r.Counter(prefix + "_misses_total"),
+		oversize:    r.Counter(prefix + "_oversize_total"),
+		puts:        r.Counter(prefix + "_puts_total"),
+		doubleFrees: r.Counter(prefix + "_double_frees_total"),
+		denied:      r.Counter(prefix + "_denied_total"),
+		bytes:       r.Gauge(prefix + "_bytes_registered"),
+		peak:        r.Gauge(prefix + "_peak_bytes_registered"),
 	}
 	if seed {
 		p.m.gets.Add(p.stats.Gets)
@@ -41,6 +45,8 @@ func (p *NativePool) Instrument(r *metrics.Registry, prefix string) {
 		p.m.misses.Add(p.stats.Misses)
 		p.m.oversize.Add(p.stats.Oversize)
 		p.m.puts.Add(p.stats.Puts)
+		p.m.doubleFrees.Add(p.stats.DoubleFrees)
+		p.m.denied.Add(p.stats.Denied)
 		p.m.bytes.Add(p.stats.BytesRegistered)
 	}
 	if p.stats.PeakRegistered > p.m.peak.Value() {

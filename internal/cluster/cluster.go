@@ -122,6 +122,18 @@ func (c *Cluster) Fabric(kind perfmodel.LinkKind) *netsim.Fabric { return c.fabr
 // IBNet returns the verbs network.
 func (c *Cluster) IBNet() *ibverbs.Network { return c.ibnet }
 
+// Fabrics returns every interconnect fabric in a fixed order. Fault
+// injection applies link events and transfer hooks across all of them, just
+// as PartitionNode partitions a node on every rail.
+func (c *Cluster) Fabrics() []*netsim.Fabric {
+	kinds := []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB}
+	out := make([]*netsim.Fabric, 0, len(kinds))
+	for _, kind := range kinds {
+		out = append(out, c.fabrics[kind])
+	}
+	return out
+}
+
 // PartitionNode drops (or restores) all fabric traffic to and from a node,
 // for failure-injection experiments.
 func (c *Cluster) PartitionNode(node int, down bool) {

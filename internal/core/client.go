@@ -26,9 +26,13 @@ type RemoteError struct{ Msg string }
 // Error implements error.
 func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 
-// ClientStats counts client activity.
+// ClientStats counts client activity. Calls counts call attempts issued and
+// Resolved counts futures that reached an outcome (success or failure); the
+// two match once every future has been waited, which is the no-leaked-future
+// invariant fault-injection runs assert at quiescence.
 type ClientStats struct {
 	Calls    atomic.Int64
+	Resolved atomic.Int64
 	Errors   atomic.Int64
 	BytesOut atomic.Int64
 }
@@ -244,10 +248,11 @@ func (c *Client) CallAsync(e exec.Env, addr, protocol, method string, param, rep
 func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply wire.Writable, timeout time.Duration) *Future {
 	c.Stats.Calls.Add(1)
 	c.m.calls.Inc()
+	c.m.issued(protocol, method).Inc()
 	callStart := e.Now()
 	conn, err := c.connection(e, addr)
 	if err != nil {
-		return c.failedFuture(err)
+		return c.failedFuture(protocol, method, err)
 	}
 	conn.touch(callStart)
 	id := c.idSeq.Add(1)
@@ -263,7 +268,7 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	if conn.closed {
 		conn.sendMu.unlock()
 		conn.takeCall(id)
-		return c.failedFuture(ErrClosed)
+		return c.failedFuture(protocol, method, ErrClosed)
 	}
 	var sample trace.SendSample
 	sample.Key = trace.Key{Protocol: protocol, Method: method}
@@ -276,7 +281,7 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	if err != nil {
 		conn.takeCall(id)
 		conn.fail(err)
-		return c.failedFuture(err)
+		return c.failedFuture(protocol, method, err)
 	}
 	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
 	c.m.bytesOut.Add(int64(sample.MsgBytes))

@@ -101,6 +101,28 @@ func (m *clientMetrics) rtt(protocol, method string) *metrics.Histogram {
 		"protocol", protocol, "method", method), nil)
 }
 
+// issued returns the per-call-kind attempt counter. Together with failed and
+// the rtt histogram's count it forms the balance invariant the fault-injection
+// checker asserts after every run: issued == completed + failed.
+func (m *clientMetrics) issued(protocol, method string) *metrics.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter(metrics.Labels("rpc_client_issued_total",
+		"protocol", protocol, "method", method))
+}
+
+// failed returns the per-call-kind failure counter (timeouts, connection
+// failures, remote errors — every attempt that resolved with a non-nil
+// error).
+func (m *clientMetrics) failed(protocol, method string) *metrics.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter(metrics.Labels("rpc_client_failed_total",
+		"protocol", protocol, "method", method))
+}
+
 // observeSince records e.Now()-start into h (no-op on nil histogram),
 // reading the clock only when someone is listening so uninstrumented runs
 // take the exact same Env call sequence as before.

@@ -1,34 +1,11 @@
 package core
 
-// Test-only introspection hooks: visible to the package's external tests via
-// the test binary, absent from the shipped package.
+// Aliases kept for the existing tests; the underlying accessors moved to
+// introspect.go so the fault-injection invariant checker can use them too.
 
 // PendingCalls counts in-flight entries across every connection's
-// pending-call table. Tests use it to prove that timeouts and failures do
-// not leak call state.
-func PendingCalls(c *Client) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, conn := range c.conns {
-		conn.mu.Lock()
-		n += len(conn.calls)
-		conn.mu.Unlock()
-	}
-	return n
-}
+// pending-call table.
+func PendingCalls(c *Client) int { return PendingCallCount(c) }
 
 // OpenConnections counts cached, unclosed connections.
-func OpenConnections(c *Client) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, conn := range c.conns {
-		conn.mu.Lock()
-		if !conn.closed {
-			n++
-		}
-		conn.mu.Unlock()
-	}
-	return n
-}
+func OpenConnections(c *Client) int { return OpenConnectionCount(c) }

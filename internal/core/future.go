@@ -88,7 +88,9 @@ func (f *Future) TryWait() (done bool, err error) {
 }
 
 // resolve classifies the queue outcome exactly as the old synchronous Call
-// did, updates stats, and caches the result.
+// did, updates stats, and caches the result. The outcome accounting runs
+// exactly once, on the done transition, so Stats.Resolved and the per-kind
+// completed/failed counters stay balanced against Stats.Calls.
 func (f *Future) resolve(ok, timedOut bool) error {
 	c := f.c
 	var err error
@@ -106,28 +108,35 @@ func (f *Future) resolve(ok, timedOut bool) error {
 			err = ErrClosed
 		}
 	default:
-		if f.outErr != nil {
-			err = f.outErr
-		} else if h := c.m.rtt(f.protocol, f.method); h != nil {
-			h.ObserveDuration(f.outAt - f.start)
-		}
+		err = f.outErr
 	}
+	f.mu.Lock()
+	if f.done {
+		err = f.err
+		f.mu.Unlock()
+		return err
+	}
+	f.done, f.err = true, err
+	f.mu.Unlock()
+	c.Stats.Resolved.Add(1)
 	if err != nil {
 		c.Stats.Errors.Add(1)
 		c.m.errors.Inc()
+		c.m.failed(f.protocol, f.method).Inc()
+	} else if h := c.m.rtt(f.protocol, f.method); h != nil {
+		h.ObserveDuration(f.outAt - f.start)
 	}
-	f.mu.Lock()
-	f.done, f.err = true, err
-	f.mu.Unlock()
 	return err
 }
 
 // failedFuture returns an already-resolved future for errors hit while
 // issuing (dial failure, send failure, closed connection).
-func (c *Client) failedFuture(err error) *Future {
+func (c *Client) failedFuture(protocol, method string, err error) *Future {
+	c.Stats.Resolved.Add(1)
 	c.Stats.Errors.Add(1)
 	c.m.errors.Inc()
-	return &Future{c: c, done: true, err: err}
+	c.m.failed(protocol, method).Inc()
+	return &Future{c: c, protocol: protocol, method: method, done: true, err: err}
 }
 
 // CallPolicy drives retries at the client layer: how many attempts, the

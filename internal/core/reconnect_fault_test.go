@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/wire"
+)
+
+// The client holds its connection mutex across the blocking Dial, so a dial
+// whose handshake frames are swallowed by a dead link must time out rather
+// than wedge — a wedged dial silently drops every later call on the same
+// client. These tests pin the fix (netsim.ConnectTimeout) and the
+// exactly-once behaviour of calls issued while the connection is being
+// re-established.
+
+// countingServer serves "echo" and tallies executions per payload so a test
+// can prove a call ran exactly once even across client retries.
+func countingServer(t *testing.T, cl *cluster.Cluster, e exec.Env, counts map[string]int) *core.Server {
+	t.Helper()
+	srv := core.NewServer(cl.SocketNet(perfmodel.IPoIB, 0), core.Options{Costs: cl.Costs})
+	srv.Register("test.Reconnect", "echo",
+		func() wire.Writable { return &wire.Text{} },
+		func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+			counts[p.(*wire.Text).Value]++
+			return p, nil
+		})
+	if err := srv.Start(e, 9000); err != nil {
+		t.Error(err)
+	}
+	return srv
+}
+
+// setLink flips one link on every fabric, the way a cable pull would.
+func setLink(cl *cluster.Cluster, a, b int, down bool) {
+	for _, f := range cl.Fabrics() {
+		f.SetLinkDown(a, b, down)
+	}
+}
+
+// TestFaultDialToDeadLinkTimesOut: a dial whose SYN is swallowed by a dead
+// link (listener alive, node up) must fail with the connect timeout instead
+// of hanging forever with the connection mutex held.
+func TestFaultDialToDeadLinkTimesOut(t *testing.T) {
+	cl := cluster.New(cluster.ClusterB())
+	counts := map[string]int{}
+	cl.SpawnOn(0, "server", func(e exec.Env) { countingServer(t, cl, e, counts) })
+	setLink(cl, 0, 1, true)
+
+	var dialErr error
+	var took time.Duration
+	ran := false
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		c := core.NewClient(cl.SocketNet(perfmodel.IPoIB, 1), core.Options{Costs: cl.Costs})
+		var reply wire.Text
+		start := e.Now()
+		dialErr = c.Call(e, "node0:9000", "test.Reconnect", "echo", &wire.Text{Value: "x"}, &reply)
+		took = e.Now() - start
+		ran = true
+	})
+	cl.RunUntil(10 * time.Minute)
+	if !ran {
+		t.Fatal("call never returned: dial wedged")
+	}
+	if !errors.Is(dialErr, netsim.ErrConnTimeout) {
+		t.Errorf("err=%v, want ErrConnTimeout", dialErr)
+	}
+	if took < netsim.ConnectTimeout || took > netsim.ConnectTimeout+time.Second {
+		t.Errorf("dial failed after %v, want ~%v", took, netsim.ConnectTimeout)
+	}
+	if counts["x"] != 0 {
+		t.Errorf("call executed %d times despite the dial never completing", counts["x"])
+	}
+}
+
+// TestFaultCallDuringReconnectExactlyOnce: the server dies, its link drops
+// before the client can redial, and two calls are issued while the reconnect
+// is in limbo (the redial's SYN held on the dead link). Neither call may be
+// dropped (both must resolve after the link heals) and neither may be
+// double-sent (each payload executes exactly once on the restarted server,
+// even with an aggressive retry policy armed).
+func TestFaultCallDuringReconnectExactlyOnce(t *testing.T) {
+	cl := cluster.New(cluster.ClusterB())
+	counts := map[string]int{}
+	var srv *core.Server
+	cl.SpawnOn(0, "server", func(e exec.Env) { srv = countingServer(t, cl, e, counts) })
+
+	policy := core.CallPolicy{MaxAttempts: 5, Backoff: 100 * time.Millisecond,
+		Deadline: 5 * time.Minute, RetryOn: func(error) bool { return true }}
+	var errB, errC error
+	var doneB, doneC time.Duration
+	var client *core.Client
+	done := 0
+	cl.SpawnOn(1, "driver", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client = core.NewClient(cl.SocketNet(perfmodel.IPoIB, 1), core.Options{Costs: cl.Costs})
+		var reply wire.Text
+		if err := client.Call(e, "node0:9000", "test.Reconnect", "echo", &wire.Text{Value: "warm"}, &reply); err != nil {
+			t.Error(err)
+			return
+		}
+		// Kill the server; the FIN reaches the client and fails its cached
+		// connection. Then cut the link and bring a fresh server up, so the
+		// client's redial finds a listener but its SYN is swallowed.
+		srv.Stop()
+		e.Sleep(10 * time.Millisecond)
+		setLink(cl, 0, 1, true)
+		cl.SpawnOn(0, "server-restart", func(se exec.Env) { countingServer(t, cl, se, counts) })
+
+		// Call B: issued during the dead window; its dial blocks on the held
+		// SYN. Call C queues right behind it on the connection mutex — with
+		// the old wedge it would hang until the end of the simulation.
+		e.Spawn("caller-b", func(be exec.Env) {
+			var r wire.Text
+			errB = client.CallWith(be, policy, "node0:9000", "test.Reconnect", "echo", &wire.Text{Value: "B"}, &r)
+			doneB = be.Now()
+			done++
+		})
+		e.Spawn("caller-c", func(ce exec.Env) {
+			ce.Sleep(time.Millisecond)
+			var r wire.Text
+			errC = client.CallWith(ce, policy, "node0:9000", "test.Reconnect", "echo", &wire.Text{Value: "C"}, &r)
+			doneC = ce.Now()
+			done++
+		})
+
+		// Heal the link while both calls are still in limbo: the held SYN is
+		// redelivered and the reconnect completes.
+		e.Sleep(5 * time.Second)
+		setLink(cl, 0, 1, false)
+	})
+	cl.RunUntil(10 * time.Minute)
+	if done != 2 {
+		t.Fatalf("%d of 2 limbo calls resolved; the rest were dropped", done)
+	}
+	if errB != nil || errC != nil {
+		t.Fatalf("calls through reconnect failed: B=%v C=%v", errB, errC)
+	}
+	// Both calls were issued around t=11ms and must have waited out the
+	// 5-second outage rather than completing against a dead link.
+	for name, at := range map[string]time.Duration{"B": doneB, "C": doneC} {
+		if at < 5*time.Second {
+			t.Errorf("call %s resolved at %v, before the link healed", name, at)
+		}
+	}
+	for _, payload := range []string{"warm", "B", "C"} {
+		if counts[payload] != 1 {
+			t.Errorf("payload %q executed %d times, want exactly once", payload, counts[payload])
+		}
+	}
+
+	rep := &faultsim.Report{}
+	rep.CheckClient("reconnect-client", client)
+	if !rep.OK() {
+		t.Error(rep.String())
+	}
+}

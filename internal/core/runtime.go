@@ -46,6 +46,34 @@ func (r *Runtime) Client(node int, config string, build func() *Client) *Client 
 	return c
 }
 
+// Clients returns the cached clients in deterministic key order. The
+// fault-injection invariant checker walks them after a run; callers that
+// intend to Close the runtime should capture the slice first (Close empties
+// the cache).
+func (r *Runtime) Clients() []*Client {
+	r.mu.Lock()
+	keys := make([]RuntimeKey, 0, len(r.clients))
+	for k := range r.clients {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Config < keys[j].Config
+	})
+	out := make([]*Client, 0, len(keys))
+	r.mu.Lock()
+	for _, k := range keys {
+		if c := r.clients[k]; c != nil {
+			out = append(out, c)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
 // Close tears down every shared client. Keys are closed in sorted order so
 // shutdown event sequences stay deterministic under simulation.
 func (r *Runtime) Close() {

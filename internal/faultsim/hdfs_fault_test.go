@@ -1,0 +1,92 @@
+package faultsim_test
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
+)
+
+// faultedHDFSWrite is the acceptance scenario: a full HDFSoIB deployment
+// (RPCoIB control plane, RDMA data plane) written to while every link flaps
+// at t=50ms and one DataNode fail-stops at t=2s (restarting at t=17s). It
+// returns the metrics snapshot, the invariant report, and the write error.
+func faultedHDFSWrite(t *testing.T) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	reg := metrics.New()
+	cl := cluster.New(cluster.Config{Nodes: 6, Seed: 1, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond})
+	cl.IBNet().Instrument(reg)
+	inj, err := faultsim.Apply(cl, faultsim.Plan{
+		Seed: 5,
+		Events: []faultsim.Event{
+			{AtMS: 50, Kind: faultsim.KindLinkFlap, AllLinks: true, DurMS: 40},
+			{AtMS: 2000, Kind: faultsim.KindNodeCrash, Node: 2, DurMS: 15000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Instrument(reg)
+
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1, 2, 3, 4}, Replication: 2,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+	})
+	const client = 5
+	var writeErr error
+	wrote := false
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		// Let the flap pass and the crashed DataNode go stale before writing.
+		e.Sleep(8 * time.Second)
+		writeErr = fs.NewClient(client).CreateFile(e, "/faulted", 8<<20, 2)
+		wrote = true
+		fs.Stop()
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !wrote {
+		t.Fatal("driver never ran to completion")
+	}
+	if s := inj.Stats(); s.LinkDowns == 0 || s.Crashes != 1 || s.Restarts != 1 {
+		t.Fatalf("plan did not execute: %+v", s)
+	}
+
+	snap := reg.Snapshot(end)
+	rep := &faultsim.Report{}
+	rep.CheckRuntime("hdfs", fs.Runtime())
+	rep.CheckDevicePools(cl.IBNet())
+	rep.CheckSnapshotBalance(snap)
+	return snap, rep, writeErr
+}
+
+// TestFaultHDFSWriteSurvivesFlapAndCrash is the tentpole acceptance test:
+// the flap-plus-crash plan must not stop the write, leak a future, or lose a
+// registered buffer — and the whole faulted run must replay bit-identically
+// under the same seed.
+func TestFaultHDFSWriteSurvivesFlapAndCrash(t *testing.T) {
+	snap1, rep, err := faultedHDFSWrite(t)
+	if err != nil {
+		t.Fatalf("HDFS write under faults: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatal(rep.String())
+	}
+
+	snap2, rep2, err2 := faultedHDFSWrite(t)
+	if err2 != nil {
+		t.Fatalf("second run write: %v", err2)
+	}
+	if !rep2.OK() {
+		t.Fatalf("second run: %s", rep2.String())
+	}
+	if same, diff := faultsim.SameSnapshot(snap1, snap2); !same {
+		t.Fatalf("same-seed faulted runs diverged: %s", diff)
+	}
+}

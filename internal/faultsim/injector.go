@@ -1,0 +1,226 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/netsim"
+)
+
+// Stats counts what the injector actually did during a run. Because the
+// simulation is deterministic, these totals are reproducible per <plan, seed>.
+type Stats struct {
+	// Drops / Dups / Delays are profile outcomes applied to transfers.
+	Drops  int64
+	Dups   int64
+	Delays int64
+	// LinkDowns / LinkUps count per-link state flips (an all_links event on an
+	// n-node cluster counts n*(n-1)/2 per fabric-independent link).
+	LinkDowns int64
+	LinkUps   int64
+	// Crashes / Restarts count node fail-stops and recoveries.
+	Crashes  int64
+	Restarts int64
+	// Stalls / PoolLimits count scripted HCA events.
+	Stalls     int64
+	PoolLimits int64
+}
+
+// Injector is an applied fault plan: it owns the seeded PRNG, acts as the
+// fabrics' transfer hook, and has its scripted events scheduled on the
+// cluster's simulator. One injector serves one cluster for one run.
+type Injector struct {
+	cl      *cluster.Cluster
+	plan    Plan
+	rng     *rand.Rand
+	stats   Stats
+	m       injMetrics
+	started bool
+}
+
+type injMetrics struct {
+	drops, dups, delays *metrics.Counter
+	linkEvents          *metrics.Counter
+	crashes, restarts   *metrics.Counter
+}
+
+// Apply validates plan, arms the probabilistic profile on every fabric, and
+// schedules the scripted events on the cluster's simulator. It must be called
+// before the simulation runs (or at least before the first event time).
+func Apply(cl *cluster.Cluster, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		// Offset so the injector's stream never aliases the simulator's own.
+		seed = cl.Config.Seed + 1
+	}
+	inj := &Injector{cl: cl, plan: plan, rng: rand.New(rand.NewSource(seed))}
+	if plan.Profile.active() {
+		for _, f := range cl.Fabrics() {
+			f.SetFaultHook(inj)
+		}
+	}
+	for _, ev := range plan.Events {
+		if err := inj.schedule(ev); err != nil {
+			return nil, err
+		}
+	}
+	return inj, nil
+}
+
+// Stats returns a copy of the injector's outcome counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Instrument mirrors the injector's counters into reg (shows up in metrics
+// snapshots next to the engine's own, so faulted benchmark reports are
+// self-describing). Counter methods are nil-safe, so Instrument is optional.
+func (inj *Injector) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	inj.m.drops = reg.Counter("fault_drops_total")
+	inj.m.dups = reg.Counter("fault_dups_total")
+	inj.m.delays = reg.Counter("fault_delays_total")
+	inj.m.linkEvents = reg.Counter("fault_link_events_total")
+	inj.m.crashes = reg.Counter("fault_crashes_total")
+	inj.m.restarts = reg.Counter("fault_restarts_total")
+}
+
+// OnTransfer implements netsim.FaultHook: one fixed-order PRNG consultation
+// per inter-node transfer, so the outcome schedule is a pure function of the
+// seed and the (deterministic) transfer sequence.
+func (inj *Injector) OnTransfer(src, dst, size int) netsim.FaultOutcome {
+	pr := inj.plan.Profile
+	if inj.cl.Sim.Now() < time.Duration(pr.StartMS)*time.Millisecond {
+		return netsim.FaultOutcome{}
+	}
+	var out netsim.FaultOutcome
+	if pr.DropRate > 0 && inj.rng.Float64() < pr.DropRate {
+		inj.stats.Drops++
+		inj.m.drops.Inc()
+		out.Drop = true
+		return out
+	}
+	if pr.DupRate > 0 && inj.rng.Float64() < pr.DupRate {
+		inj.stats.Dups++
+		inj.m.dups.Inc()
+		out.Duplicate = true
+	}
+	if pr.DelayRate > 0 && inj.rng.Float64() < pr.DelayRate {
+		inj.stats.Delays++
+		inj.m.delays.Inc()
+		out.Delay = time.Duration(1+inj.rng.Int63n(pr.DelayMaxMS)) * time.Millisecond
+	}
+	return out
+}
+
+// schedule registers one scripted event with the simulator.
+func (inj *Injector) schedule(ev Event) error {
+	cl := inj.cl
+	switch ev.Kind {
+	case KindLinkDown:
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, true) })
+	case KindLinkUp:
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, false) })
+	case KindLinkFlap:
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, true) })
+		cl.Sim.At(ev.At()+ev.Dur(), func() { inj.setLinks(ev, false) })
+	case KindNodeCrash:
+		if ev.Node >= cl.Nodes() {
+			return fmt.Errorf("faultsim: node-crash on node %d of %d", ev.Node, cl.Nodes())
+		}
+		cl.Sim.At(ev.At(), func() {
+			inj.stats.Crashes++
+			inj.m.crashes.Inc()
+			cl.PartitionNode(ev.Node, true)
+		})
+		if ev.DurMS > 0 {
+			cl.Sim.At(ev.At()+ev.Dur(), func() {
+				inj.stats.Restarts++
+				inj.m.restarts.Inc()
+				cl.PartitionNode(ev.Node, false)
+			})
+		}
+	case KindNodeRestart:
+		if ev.Node >= cl.Nodes() {
+			return fmt.Errorf("faultsim: node-restart on node %d of %d", ev.Node, cl.Nodes())
+		}
+		cl.Sim.At(ev.At(), func() {
+			inj.stats.Restarts++
+			inj.m.restarts.Inc()
+			cl.PartitionNode(ev.Node, false)
+		})
+	case KindCQStall:
+		if ev.Node >= cl.Nodes() {
+			return fmt.Errorf("faultsim: cq-stall on node %d of %d", ev.Node, cl.Nodes())
+		}
+		cl.Sim.At(ev.At(), func() {
+			inj.stats.Stalls++
+			cl.IBNet().Device(ev.Node).StallCQ(ev.At() + ev.Dur())
+		})
+	case KindPoolLimit:
+		if ev.Node >= cl.Nodes() {
+			return fmt.Errorf("faultsim: pool-limit on node %d of %d", ev.Node, cl.Nodes())
+		}
+		cl.Sim.At(ev.At(), func() {
+			inj.stats.PoolLimits++
+			for _, node := range inj.poolNodes(ev) {
+				cl.IBNet().Device(node).RecvPool().SetRegisteredLimit(ev.Bytes)
+			}
+		})
+		if ev.DurMS > 0 {
+			cl.Sim.At(ev.At()+ev.Dur(), func() {
+				for _, node := range inj.poolNodes(ev) {
+					cl.IBNet().Device(node).RecvPool().SetRegisteredLimit(0)
+				}
+			})
+		}
+	default:
+		return fmt.Errorf("faultsim: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// poolNodes resolves a pool-limit event's target set.
+func (inj *Injector) poolNodes(ev Event) []int {
+	if ev.Node >= 0 {
+		return []int{ev.Node}
+	}
+	nodes := make([]int, inj.cl.Nodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// setLinks applies one link state flip to the event's link set, across every
+// fabric (a flapped cable takes all rails riding it down together, matching
+// PartitionNode's semantics).
+func (inj *Injector) setLinks(ev Event, down bool) {
+	apply := func(a, b int) {
+		for _, f := range inj.cl.Fabrics() {
+			f.SetLinkDown(a, b, down)
+		}
+		if down {
+			inj.stats.LinkDowns++
+		} else {
+			inj.stats.LinkUps++
+		}
+		inj.m.linkEvents.Inc()
+	}
+	if !ev.AllLinks {
+		apply(ev.Node, ev.Peer)
+		return
+	}
+	n := inj.cl.Nodes()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			apply(a, b)
+		}
+	}
+}

@@ -168,6 +168,10 @@ func Deploy(c *cluster.Cluster, cfg Config) *HDFS {
 // NameNode exposes the metadata server (tests, schedulers).
 func (h *HDFS) NameNode() *NameNode { return h.nn }
 
+// Runtime exposes the deployment's shared client runtime (fault-injection
+// invariant checks walk its clients after a run).
+func (h *HDFS) Runtime() *core.Runtime { return h.rt }
+
 // NameNodeAddr returns the RPC address of the NameNode.
 func (h *HDFS) NameNodeAddr() string { return h.nnAddr }
 

@@ -15,6 +15,7 @@ package ibverbs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"rpcoib/internal/bufpool"
@@ -88,16 +89,32 @@ func (n *Network) Device(node int) *Device {
 	return d
 }
 
+// Devices returns every opened device in node order (fault-injection
+// invariant checks walk their receive pools after a run).
+func (n *Network) Devices() []*Device {
+	nodes := make([]int, 0, len(n.devices))
+	for node := range n.devices {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	out := make([]*Device, len(nodes))
+	for i, node := range nodes {
+		out[i] = n.devices[node]
+	}
+	return out
+}
+
 // Device models one node's HCA: it owns the pre-registered receive pool
 // shared by all endpoints on the node (an SRQ-style arrangement).
 type Device struct {
-	fabric    *netsim.Fabric
-	node      int
-	costs     *perfmodel.CPUCosts
-	threshold int
-	recvPool  *bufpool.NativePool
-	stats     Stats
-	m         netInstruments
+	fabric     *netsim.Fabric
+	node       int
+	costs      *perfmodel.CPUCosts
+	threshold  int
+	recvPool   *bufpool.NativePool
+	stats      Stats
+	m          netInstruments
+	stallUntil time.Duration
 }
 
 // Node returns the device's node id.
@@ -111,6 +128,16 @@ func (d *Device) RecvPool() *bufpool.NativePool { return d.recvPool }
 
 // StatsSnapshot returns a copy of the device counters.
 func (d *Device) StatsSnapshot() Stats { return d.stats }
+
+// StallCQ freezes completion-queue reaping on this device until the given
+// virtual time: completions that arrive earlier are not returned by Recv
+// until the stall lifts, modeling a descheduled polling thread or a
+// completion-channel backlog. Later calls can only extend the stall.
+func (d *Device) StallCQ(until time.Duration) {
+	if until > d.stallUntil {
+		d.stallUntil = until
+	}
+}
 
 // recvMsg is one completed reception.
 type recvMsg struct {
@@ -182,6 +209,47 @@ type EndPoint struct {
 	pending map[int]recvMsg // arrived out of order
 }
 
+// teardown closes this end locally and reclaims every buffered reception —
+// queued or parked in the reorder buffer — back to the device pool, so no
+// registered buffer is stranded by a failure. Pending entries are released
+// in sequence order to keep the pool's free-list state deterministic.
+func (ep *EndPoint) teardown() {
+	if ep.closed {
+		return
+	}
+	ep.closed = true
+	for {
+		v, ok := ep.recvQ.TryGet()
+		if !ok {
+			break
+		}
+		ep.dev.recvPool.Put(v.(recvMsg).buf)
+		ep.dev.m.postedRecvs.Dec()
+	}
+	if len(ep.pending) > 0 {
+		seqs := make([]int, 0, len(ep.pending))
+		for s := range ep.pending {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		for _, s := range seqs {
+			ep.dev.recvPool.Put(ep.pending[s].buf)
+			ep.dev.m.postedRecvs.Dec()
+		}
+		ep.pending = nil
+	}
+	ep.recvQ.Close()
+}
+
+// fault transitions the queue pair to the error state: an RC QP that
+// exhausts its retransmission budget on a lost message fails, and since the
+// fabric that would carry a goodbye just failed too, both ends close without
+// in-band notification. The RPC layer's reconnect machinery takes over.
+func (ep *EndPoint) fault() {
+	ep.teardown()
+	ep.peer.teardown()
+}
+
 // deliver releases msg (and any consecutively buffered successors) to the
 // receive queue, preserving send order. Runs in kernel context.
 func (ep *EndPoint) deliver(seq int, msg recvMsg) {
@@ -227,7 +295,15 @@ func (n *Network) Dial(p *sim.Proc, srcNode int, addr string) (*EndPoint, error)
 			done.TryPutUnbounded(struct{}{})
 		})
 	})
-	if _, ok := done.Get(p); !ok {
+	_, ok, timedOut := done.GetTimeout(p, netsim.ConnectTimeout)
+	if timedOut {
+		// A handshake frame was lost (partition or injected fault): fail the
+		// dial rather than wedging the caller forever.
+		local.teardown()
+		remote.teardown()
+		return nil, fmt.Errorf("ibverbs: connect timed out: %s", addr)
+	}
+	if !ok {
 		return nil, ErrClosed
 	}
 	return local, nil
@@ -286,9 +362,9 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 		rx := peer.dev.recvPool.Get(n)
 		peer.dev.m.postedRecvs.Inc()
 		copy(rx.Data, b.Data[:n])
-		dev.fabric.Transfer(dev.node, peer.dev.node, size+eagerHeader, func() {
+		dev.fabric.TransferLossy(dev.node, peer.dev.node, size+eagerHeader, func() {
 			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size, eager: true})
-		})
+		}, ep.lossOf(rx))
 		return nil
 	}
 	dev.stats.RDMASends++
@@ -300,12 +376,26 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 	peer.dev.m.postedRecvs.Inc()
 	copy(rx.Data, b.Data[:n])
 	// Rendezvous: control message first, then the one-sided payload write.
-	dev.fabric.Transfer(dev.node, peer.dev.node, ctrlBytes, func() {
-		dev.fabric.Transfer(dev.node, peer.dev.node, size, func() {
+	lost := ep.lossOf(rx)
+	dev.fabric.TransferLossy(dev.node, peer.dev.node, ctrlBytes, func() {
+		dev.fabric.TransferLossy(dev.node, peer.dev.node, size, func() {
 			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size})
-		})
-	})
+		}, lost)
+	}, lost)
 	return nil
+}
+
+// lossOf builds the loss callback for one in-flight message: reclaim the
+// pre-posted receive buffer and fault the queue pair. A lost message would
+// otherwise wedge the peer's in-order reorder buffer forever, which is
+// exactly how a reliable QP behaves — it goes to the error state instead.
+func (ep *EndPoint) lossOf(rx *bufpool.Buffer) func() {
+	peer := ep.peer
+	return func() {
+		peer.dev.recvPool.Put(rx)
+		peer.dev.m.postedRecvs.Dec()
+		ep.fault()
+	}
 }
 
 // Recv blocks until a message completes, returning a view of the registered
@@ -318,6 +408,11 @@ func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
 	}
 	msg := v.(recvMsg)
 	dev := ep.dev
+	if wait := dev.stallUntil - p.Now(); wait > 0 {
+		// An injected CQ stall: the completion is in the queue but the
+		// polling side does not see it until the stall lifts.
+		p.Sleep(wait)
+	}
 	dev.stats.CQPolls++
 	dev.m.cqPolls.Inc()
 	cost := dev.costs.CQPoll
@@ -340,18 +435,15 @@ func (ep *EndPoint) WireTime(n int) time.Duration {
 	return p.Latency + p.TransferTime(n)
 }
 
-// Close tears down both ends after an in-band notification.
+// Close tears down both ends after an in-band notification. Receptions the
+// consumer never collected return to the device pool.
 func (ep *EndPoint) Close() {
 	if ep.closed {
 		return
 	}
-	ep.closed = true
-	ep.recvQ.Close()
 	peer := ep.peer
-	ep.dev.fabric.Transfer(ep.dev.node, peer.dev.node, ctrlBytes, func() {
-		if !peer.closed {
-			peer.closed = true
-			peer.recvQ.Close()
-		}
-	})
+	ep.teardown()
+	// If the goodbye is lost (partition, injected drop) the peer QP still
+	// dies — immediately, as its next send would fault it anyway.
+	ep.dev.fabric.TransferLossy(ep.dev.node, peer.dev.node, ctrlBytes, peer.teardown, peer.teardown)
 }

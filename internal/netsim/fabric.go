@@ -31,10 +31,51 @@ type Fabric struct {
 	listeners map[string]*Listener
 	connSeq   int
 	down      map[int]bool
+	linkDown  map[linkKey]bool
+	held      map[linkKey][]heldXfer
+	hook      FaultHook
 
 	// Delivered counts messages and bytes that completed transfer.
 	Delivered      int64
 	DeliveredBytes int64
+}
+
+// FaultOutcome is a FaultHook's verdict on one inter-node transfer.
+type FaultOutcome struct {
+	// Drop loses the message: the loss callback (if any) runs instead of
+	// delivery, as for a partitioned endpoint.
+	Drop bool
+	// Duplicate makes the frame occupy the wire twice. It is still delivered
+	// once: every transport above this layer is reliable (TCP, RC queue
+	// pairs) and discards the duplicate after it has burned bandwidth.
+	Duplicate bool
+	// Delay postpones delivery past the modeled wire time.
+	Delay time.Duration
+}
+
+// FaultHook inspects every inter-node transfer before it is scheduled.
+// Loopback traffic is never offered to the hook. Implementations must be
+// deterministic for reproducible simulations (draw randomness from a seeded
+// source consumed only here).
+type FaultHook interface {
+	OnTransfer(src, dst, size int) FaultOutcome
+}
+
+// linkKey names an undirected node pair.
+type linkKey struct{ a, b int }
+
+func linkOf(src, dst int) linkKey {
+	if src < dst {
+		return linkKey{src, dst}
+	}
+	return linkKey{dst, src}
+}
+
+// heldXfer is a transfer parked on a downed link, re-dispatched on heal.
+type heldXfer struct {
+	src, dst, size int
+	deliver        func()
+	lost           func()
 }
 
 type nic struct {
@@ -51,6 +92,8 @@ func NewFabric(s *sim.Sim, params perfmodel.LinkParams, cpuOf CPUFunc) *Fabric {
 		nics:      map[int]*nic{},
 		listeners: map[string]*Listener{},
 		down:      map[int]bool{},
+		linkDown:  map[linkKey]bool{},
+		held:      map[linkKey][]heldXfer{},
 	}
 }
 
@@ -92,20 +135,53 @@ func (f *Fabric) ChargeCPU(p *sim.Proc, node int, d time.Duration) {
 // handles one message at a time, so incast congestion queues at the
 // receiver.
 func (f *Fabric) Transfer(src, dst, size int, deliver func()) {
+	f.TransferLossy(src, dst, size, deliver, nil)
+}
+
+// TransferLossy is Transfer with an explicit loss callback: when the message
+// cannot be delivered (a partitioned endpoint or an injected drop), lost runs
+// instead of deliver, so a sender holding resources for the in-flight message
+// (a pre-posted receive buffer, QP state) can reclaim them — the analog of a
+// send work request completing in error. lost may be nil for senders with
+// nothing to reclaim (plain socket frames).
+func (f *Fabric) TransferLossy(src, dst, size int, deliver, lost func()) {
 	if f.down[src] || f.down[dst] {
-		// Partitioned host: frames are silently lost; timeouts upstack
-		// detect the failure, as on a real fabric.
+		// Partitioned host: frames are lost; timeouts upstack detect the
+		// failure, as on a real fabric.
+		if lost != nil {
+			lost()
+		}
 		return
 	}
 	now := f.s.Now()
 	if src == dst {
-		// Loopback: no NIC involvement, a fixed small kernel hop.
+		// Loopback: no NIC involvement, a fixed small kernel hop. Injected
+		// faults model the interconnect and never apply here.
 		f.s.At(now+loopbackLatency, func() {
 			f.Delivered++
 			f.DeliveredBytes += int64(size)
 			deliver()
 		})
 		return
+	}
+	if k := linkOf(src, dst); f.linkDown[k] {
+		// A downed link pauses traffic rather than dropping it: reliable
+		// transports ride out a short flap via retransmission, so the
+		// message is re-dispatched when the link heals.
+		f.held[k] = append(f.held[k], heldXfer{src, dst, size, deliver, lost})
+		return
+	}
+	var delay time.Duration
+	dup := false
+	if f.hook != nil {
+		o := f.hook.OnTransfer(src, dst, size)
+		if o.Drop {
+			if lost != nil {
+				lost()
+			}
+			return
+		}
+		delay, dup = o.Delay, o.Duplicate
 	}
 	tx, rx := f.nic(src), f.nic(dst)
 	dur := f.params.TransferTime(size)
@@ -114,11 +190,18 @@ func (f *Fabric) Transfer(src, dst, size int, deliver func()) {
 	rxStart := maxDur(txStart+f.params.Latency, rx.rxFree)
 	rxDone := rxStart + dur
 	rx.rxFree = rxDone
-	f.s.At(rxDone, func() {
+	f.s.At(rxDone+delay, func() {
 		f.Delivered++
 		f.DeliveredBytes += int64(size)
 		deliver()
 	})
+	if dup {
+		// The duplicate burns wire time on both NICs but is not delivered.
+		txStart := maxDur(now, tx.txFree)
+		tx.txFree = txStart + dur
+		rxStart := maxDur(txStart+f.params.Latency, rx.rxFree)
+		rx.rxFree = rxStart + dur
+	}
 }
 
 // loopbackLatency is the same-host delivery latency (localhost sockets).
@@ -137,6 +220,35 @@ func (f *Fabric) SetNodeDown(node int, down bool) { f.down[node] = down }
 
 // NodeDown reports whether a node is partitioned.
 func (f *Fabric) NodeDown(node int) bool { return f.down[node] }
+
+// SetLinkDown fails (or heals) the a<->b link in both directions. Unlike a
+// node partition, traffic attempted while the link is down is held and
+// re-dispatched on heal — the view a reliable transport has of a short flap.
+// Re-dispatched messages pass the normal checks again, so one that meanwhile
+// lost an endpoint to a partition is dropped (its loss callback runs).
+func (f *Fabric) SetLinkDown(a, b int, down bool) {
+	k := linkOf(a, b)
+	if down {
+		f.linkDown[k] = true
+		return
+	}
+	if !f.linkDown[k] {
+		return
+	}
+	delete(f.linkDown, k)
+	held := f.held[k]
+	delete(f.held, k)
+	for _, h := range held {
+		f.TransferLossy(h.src, h.dst, h.size, h.deliver, h.lost)
+	}
+}
+
+// LinkDown reports whether the a<->b link is down.
+func (f *Fabric) LinkDown(a, b int) bool { return f.linkDown[linkOf(a, b)] }
+
+// SetFaultHook installs (nil clears) the fault-injection hook consulted on
+// every inter-node transfer.
+func (f *Fabric) SetFaultHook(h FaultHook) { f.hook = h }
 
 // Addr formats a node/port pair as a dialable address.
 func Addr(node, port int) string { return fmt.Sprintf("node%d:%d", node, port) }

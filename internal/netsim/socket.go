@@ -17,6 +17,17 @@ var ErrConnRefused = errors.New("netsim: connection refused")
 // handshakeBytes models the TCP SYN/SYN-ACK frames exchanged on connect.
 const handshakeBytes = 64
 
+// ConnectTimeout bounds the connect handshake: if the SYN or SYN-ACK is lost
+// to a partition or an injected fault, Dial fails instead of wedging its
+// caller forever (the analog of Hadoop's ipc 20 s connect timeout). Without
+// it, a client whose re-dial raced a partition held its connection lock until
+// the end of the simulation, silently dropping every later call to that
+// server.
+const ConnectTimeout = 20 * time.Second
+
+// ErrConnTimeout reports a connect handshake that never completed.
+var ErrConnTimeout = errors.New("netsim: connect timed out")
+
 // Listener accepts socket connections on (node, port).
 type Listener struct {
 	f       *Fabric
@@ -100,7 +111,11 @@ func (f *Fabric) Dial(p *sim.Proc, srcNode int, addr string) (*SocketConn, error
 			done.TryPutUnbounded(struct{}{})
 		})
 	})
-	if _, ok := done.Get(p); !ok {
+	_, ok, timedOut := done.GetTimeout(p, ConnectTimeout)
+	if timedOut {
+		return nil, fmt.Errorf("%w: %s", ErrConnTimeout, addr)
+	}
+	if !ok {
 		return nil, ErrClosed
 	}
 	return client, nil
