@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"rpcoib/internal/exec"
@@ -35,7 +36,20 @@ type Config struct {
 	Seed int64
 	// RDMAThreshold is the verbs eager/RDMA crossover (0 = default).
 	RDMAThreshold int
+	// ConnectTimeout bounds connect handshakes on every fabric (socket SYN
+	// exchange and verbs QP bootstrap alike). 0 takes the
+	// RPCOIB_CONNECT_TIMEOUT environment variable if set (a Go duration,
+	// e.g. "400ms"), else DefaultConnectTimeout — far below the real ipc
+	// 20 s so fault runs don't burn minutes of virtual time per dead dial.
+	ConnectTimeout time.Duration
 }
+
+// DefaultConnectTimeout is the simulated clusters' connect timeout when
+// neither Config.ConnectTimeout nor RPCOIB_CONNECT_TIMEOUT is set.
+const DefaultConnectTimeout = 5 * time.Second
+
+// ConnectTimeoutEnv names the environment override for Config.ConnectTimeout.
+const ConnectTimeoutEnv = "RPCOIB_CONNECT_TIMEOUT"
 
 // ClusterA returns the paper's 65-node QDR cluster (Intel Westmere, 8 cores,
 // 12 GB RAM, one HDD per node).
@@ -97,9 +111,19 @@ func New(cfg Config) *Cluster {
 		}
 		c.nodes = append(c.nodes, n)
 	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = DefaultConnectTimeout
+		if v := os.Getenv(ConnectTimeoutEnv); v != "" {
+			if d, err := time.ParseDuration(v); err == nil && d > 0 {
+				cfg.ConnectTimeout = d
+			}
+		}
+	}
+	c.Config = cfg
 	cpuOf := func(node int) *sim.Resource { return c.nodes[node].CPU }
 	for _, kind := range []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB} {
 		c.fabrics[kind] = netsim.NewFabric(s, perfmodel.Link(kind), cpuOf)
+		c.fabrics[kind].SetConnectTimeout(cfg.ConnectTimeout)
 	}
 	c.ibnet = ibverbs.NewNetwork(c.fabrics[perfmodel.NativeIB], c.Costs, cfg.RDMAThreshold)
 	return c

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"time"
 
 	"rpcoib/internal/bufpool"
@@ -95,6 +96,14 @@ func (c *Cluster) RPCoIBNet(node int) transport.Network {
 // epInfoBytes sizes the QP/LID/rkey exchange blob.
 var epInfoBytes = make([]byte, 72)
 
+// fallbackHello is the bootstrap-channel greeting a client sends when it
+// wants the IPoIB socket itself as the transport (circuit-breaker failover)
+// rather than a verbs endpoint exchange. Its length differs from
+// epInfoBytes, which is how the listener tells the two apart.
+var fallbackHello = []byte("RPCOIB-FALLBACK1")
+
+var errListenerClosed = errors.New("cluster: listener closed")
+
 type ibNet struct {
 	c    *Cluster
 	node int
@@ -102,7 +111,7 @@ type ibNet struct {
 
 func (n *ibNet) Kind() string { return "RPCoIB" }
 
-func (n *ibNet) Listen(_ exec.Env, port int) (transport.Listener, error) {
+func (n *ibNet) Listen(e exec.Env, port int) (transport.Listener, error) {
 	sockLn, err := n.c.fabrics[perfmodel.IPoIB].Listen(n.node, port)
 	if err != nil {
 		return nil, err
@@ -112,8 +121,34 @@ func (n *ibNet) Listen(_ exec.Env, port int) (transport.Listener, error) {
 		sockLn.Close()
 		return nil, err
 	}
-	return &ibListener{c: n.c, sockLn: sockLn, ibLn: ibLn}, nil
+	l := &ibListener{c: n.c, sockLn: sockLn, ibLn: ibLn, ready: e.NewQueue(0)}
+	e.Spawn("rpcoib-bootstrap:"+sockLn.Addr(), l.bootstrapLoop)
+	e.Spawn("rpcoib-accept:"+sockLn.Addr(), l.ibAcceptLoop)
+	return l, nil
 }
+
+// DialFallback opens a plain IPoIB socket connection to the RPCoIB listener
+// at addr, announced by the fallbackHello greeting on the bootstrap channel.
+// The circuit breaker in internal/core uses it to keep calls flowing while
+// the verbs path is down. Implements transport.FallbackDialer.
+func (n *ibNet) DialFallback(e exec.Env, addr string) (transport.Conn, error) {
+	p := procOf(e)
+	sc, err := n.c.fabrics[perfmodel.IPoIB].Dial(p, n.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Send(p, fallbackHello); err != nil {
+		sc.Close()
+		return nil, err
+	}
+	if _, err := sc.Recv(p); err != nil { // server ack
+		sc.Close()
+		return nil, err
+	}
+	return &sockConn{c: sc}, nil
+}
+
+var _ transport.FallbackDialer = (*ibNet)(nil)
 
 func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
 	p := procOf(e)
@@ -139,33 +174,76 @@ type ibListener struct {
 	c      *Cluster
 	sockLn *netsim.Listener
 	ibLn   *ibverbs.EPListener
+	ready  exec.Queue // accepted transport.Conns (verbs and fallback sockets)
+}
+
+// bootstrapLoop accepts connections on the IPoIB bootstrap channel. Each one
+// is either a verbs endpoint exchange (epInfoBytes greeting; the socket is
+// closed once the exchange completes and the verbs endpoint arrives through
+// ibAcceptLoop) or a fallback transport request (fallbackHello greeting; the
+// socket itself becomes the connection). Handshakes run in their own procs
+// so a slow or dead client cannot block other accepts.
+func (l *ibListener) bootstrapLoop(e exec.Env) {
+	for {
+		sc, err := l.sockLn.Accept(procOf(e))
+		if err != nil {
+			return
+		}
+		e.Spawn("rpcoib-handshake:"+sc.RemoteAddr(), func(he exec.Env) {
+			l.handshake(he, sc)
+		})
+	}
+}
+
+func (l *ibListener) handshake(e exec.Env, sc *netsim.SocketConn) {
+	p := procOf(e)
+	hello, err := sc.Recv(p)
+	if err != nil {
+		sc.Close()
+		return
+	}
+	if len(hello) == len(fallbackHello) {
+		// Fallback transport: ack and surface the socket as the connection.
+		if err := sc.Send(p, fallbackHello); err != nil {
+			sc.Close()
+			return
+		}
+		if !l.ready.TryPut(&sockConn{c: sc}) {
+			sc.Close()
+		}
+		return
+	}
+	// Verbs endpoint exchange: reply with our endpoint info and drop the
+	// bootstrap socket; the endpoint itself arrives via ibAcceptLoop.
+	_ = sc.Send(p, epInfoBytes)
+	sc.Close()
+}
+
+func (l *ibListener) ibAcceptLoop(e exec.Env) {
+	p := procOf(e)
+	for {
+		ep, err := l.ibLn.Accept(p)
+		if err != nil {
+			return
+		}
+		if !l.ready.TryPut(&ibConn{c: l.c, ep: ep, dev: l.ibLn.Device()}) {
+			ep.Close()
+		}
+	}
 }
 
 func (l *ibListener) Accept(e exec.Env) (transport.Conn, error) {
-	p := procOf(e)
-	sc, err := l.sockLn.Accept(p)
-	if err != nil {
-		return nil, err
+	v, ok := l.ready.Get(e)
+	if !ok {
+		return nil, errListenerClosed
 	}
-	if _, err := sc.Recv(p); err != nil { // client endpoint info
-		sc.Close()
-		return nil, err
-	}
-	if err := sc.Send(p, epInfoBytes); err != nil { // our endpoint info
-		sc.Close()
-		return nil, err
-	}
-	ep, err := l.ibLn.Accept(p)
-	sc.Close()
-	if err != nil {
-		return nil, err
-	}
-	return &ibConn{c: l.c, ep: ep, dev: l.ibLn.Device()}, nil
+	return v.(transport.Conn), nil
 }
 
 func (l *ibListener) Close() {
 	l.sockLn.Close()
 	l.ibLn.Close()
+	l.ready.Close()
 }
 
 func (l *ibListener) Addr() string { return l.sockLn.Addr() }

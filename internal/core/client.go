@@ -20,6 +20,30 @@ var ErrTimeout = errors.New("rpc: call timed out")
 // ErrClosed reports a connection torn down with calls in flight.
 var ErrClosed = errors.New("rpc: connection closed")
 
+// ErrDeadlineExceeded reports a call whose propagated deadline passed before
+// a response arrived. The server may have dropped it undispatched
+// (statusExpired) or the wait may have expired locally; either way no more
+// work is done on it anywhere.
+var ErrDeadlineExceeded = errors.New("rpc: call deadline exceeded")
+
+// ErrServerTooBusy reports a call shed by the server's admission control
+// (full call queue). It is retriable; the TooBusyError carrying it suggests
+// how long to back off.
+var ErrServerTooBusy = errors.New("rpc: server too busy")
+
+// TooBusyError is the client-side face of a shed call: it matches
+// ErrServerTooBusy under errors.Is and carries the server-suggested backoff
+// that CallPolicy honors before the next attempt.
+type TooBusyError struct{ Backoff time.Duration }
+
+// Error implements error.
+func (e *TooBusyError) Error() string {
+	return "rpc: server too busy (retry after " + e.Backoff.String() + ")"
+}
+
+// Unwrap makes errors.Is(err, ErrServerTooBusy) work.
+func (e *TooBusyError) Unwrap() error { return ErrServerTooBusy }
+
 // RemoteError carries a server-side failure back to the caller.
 type RemoteError struct{ Msg string }
 
@@ -46,15 +70,25 @@ type Client struct {
 	net     transport.Network
 	timeout time.Duration
 
-	mu     sync.Mutex
-	connMu *emutex
-	conns  map[string]*Connection
-	idSeq  atomic.Int32
-	m      clientMetrics
-	keys   keyCache
+	mu       sync.Mutex
+	connMu   *emutex
+	conns    map[connKey]*Connection
+	breakers map[string]*breaker
+	idSeq    atomic.Int32
+	m        clientMetrics
+	keys     keyCache
 
 	// Stats counts issued calls and failures.
 	Stats ClientStats
+}
+
+// connKey names one cached connection: the peer address plus which transport
+// flavor reaches it. Primary and fallback connections to the same peer
+// coexist, so a half-open probe on the primary never tears down the fallback
+// the other callers are still using (and vice versa).
+type connKey struct {
+	addr     string
+	fallback bool
 }
 
 // NewClient creates a client over net with the given options.
@@ -67,7 +101,7 @@ func NewClient(net transport.Network, opts Options) *Client {
 		engine:  engine{opts: opts},
 		net:     net,
 		timeout: opts.CallTimeout,
-		conns:   map[string]*Connection{},
+		conns:   map[connKey]*Connection{},
 		m:       newClientMetrics(opts.Metrics),
 	}
 }
@@ -77,6 +111,8 @@ func NewClient(net transport.Network, opts Options) *Client {
 type Connection struct {
 	client    *Client
 	tc        transport.Conn
+	fallback  bool     // riding the network's fallback transport
+	br        *breaker // non-nil when failover guards this peer
 	sendMu    *emutex
 	mu        sync.Mutex
 	calls     map[int32]*Future
@@ -106,7 +142,9 @@ func (conn *Connection) closeError() error {
 	return conn.closeErr
 }
 
-// connection returns (establishing on demand) the connection to addr.
+// connection returns (establishing on demand) the connection to addr. With
+// failover armed, the peer's circuit breaker chooses between the primary
+// transport and the network's fallback; each flavor is cached independently.
 func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	c.mu.Lock()
 	if c.connMu == nil {
@@ -119,9 +157,19 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	// not be (it would wedge the cooperative scheduler).
 	mu.lock(e)
 	defer mu.unlock()
-	c.reapIdle(e, addr)
+
+	var br *breaker
+	fd, hasFallback := c.net.(transport.FallbackDialer)
+	if c.opts.Failover && hasFallback {
+		br = c.breaker(addr)
+	}
+	key := connKey{addr: addr}
+	if br != nil {
+		key.fallback = br.route(e.Now())
+	}
+	c.reapIdle(e, key)
 	c.mu.Lock()
-	conn := c.conns[addr]
+	conn := c.conns[key]
 	c.mu.Unlock()
 	if conn != nil && !conn.closed {
 		return conn, nil
@@ -130,13 +178,26 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 		// A cached connection died and is being replaced.
 		c.m.retries.Inc()
 	}
-	tc, err := c.net.Dial(e, addr)
+	var tc transport.Conn
+	var err error
+	if key.fallback {
+		tc, err = fd.DialFallback(e, addr)
+	} else {
+		tc, err = c.net.Dial(e, addr)
+	}
 	if err != nil {
+		if br != nil && !key.fallback {
+			br.onFailure(e.Now())
+		}
 		return nil, err
 	}
-	conn = &Connection{client: c, tc: tc, sendMu: newEmutex(e), calls: map[int32]*Future{}, lastUsed: e.Now()}
+	if key.fallback {
+		c.m.failovers.Inc()
+	}
+	conn = &Connection{client: c, tc: tc, fallback: key.fallback, br: br,
+		sendMu: newEmutex(e), calls: map[int32]*Future{}, lastUsed: e.Now()}
 	c.mu.Lock()
-	c.conns[addr] = conn
+	c.conns[key] = conn
 	c.mu.Unlock()
 	c.m.connections.Inc()
 	e.Spawn("rpc-conn-recv:"+addr, conn.receiveLoop)
@@ -146,10 +207,11 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 // reapIdle closes connections that have sat past MaxIdleTime with no calls
 // in flight — Hadoop's ipc.client.connection.maxidletime, done lazily on
 // client activity rather than by a background thread so a finished
-// simulation can drain. keep is the address about to be used. Addresses are
+// simulation can drain. keep is the connection about to be used. Keys are
 // visited in sorted order so the teardown sequence is deterministic under
-// simulation regardless of map iteration order.
-func (c *Client) reapIdle(e exec.Env, keep string) {
+// simulation regardless of map iteration order. Idle teardown is
+// administrative: it never feeds the circuit breaker.
+func (c *Client) reapIdle(e exec.Env, keep connKey) {
 	maxIdle := c.opts.MaxIdleTime
 	if maxIdle <= 0 {
 		return
@@ -157,21 +219,26 @@ func (c *Client) reapIdle(e exec.Env, keep string) {
 	now := e.Now()
 	c.mu.Lock()
 	var idle []*Connection
-	addrs := make([]string, 0, len(c.conns))
-	for addr := range c.conns {
-		addrs = append(addrs, addr)
+	keys := make([]connKey, 0, len(c.conns))
+	for k := range c.conns {
+		keys = append(keys, k)
 	}
-	sort.Strings(addrs)
-	for _, addr := range addrs {
-		if addr == keep {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return !keys[i].fallback && keys[j].fallback
+	})
+	for _, k := range keys {
+		if k == keep {
 			continue
 		}
-		conn := c.conns[addr]
+		conn := c.conns[k]
 		conn.mu.Lock()
 		expired := !conn.closed && len(conn.calls) == 0 && now-conn.lastUsed >= maxIdle
 		conn.mu.Unlock()
 		if expired {
-			delete(c.conns, addr)
+			delete(c.conns, k)
 			idle = append(idle, conn)
 		}
 	}
@@ -197,6 +264,20 @@ func (conn *Connection) takeCall(id int32) *Future {
 		conn.client.m.outstanding.Dec()
 	}
 	return f
+}
+
+// organicFail is fail for failures the transport produced (receive errors,
+// send errors) rather than administrative teardown: on a primary connection
+// it also charges the peer's circuit breaker. now is the caller's virtual
+// time, for the breaker's cooldown clock.
+func (conn *Connection) organicFail(now time.Duration, err error) {
+	conn.mu.Lock()
+	already := conn.closed
+	conn.mu.Unlock()
+	if !already && conn.br != nil && !conn.fallback {
+		conn.br.onFailure(now)
+	}
+	conn.fail(err)
 }
 
 // fail tears the connection down and fails every pending call.
@@ -229,7 +310,7 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 	if p := c.opts.Policy; p.MaxAttempts > 1 || p.Deadline > 0 {
 		return c.CallWith(e, p, addr, protocol, method, param, reply)
 	}
-	return c.issue(e, addr, protocol, method, param, reply, c.timeout).Wait(e)
+	return c.issue(e, addr, protocol, method, param, reply, c.timeout, 0).Wait(e)
 }
 
 // CallAsync starts protocol.method(param) on the server at addr and returns
@@ -238,14 +319,16 @@ func (c *Client) Call(e exec.Env, addr, protocol, method string, param, reply wi
 // thread before the future resolves, so the caller must not touch it until
 // Wait/TryWait reports completion.
 func (c *Client) CallAsync(e exec.Env, addr, protocol, method string, param, reply wire.Writable) *Future {
-	return c.issue(e, addr, protocol, method, param, reply, c.timeout)
+	return c.issue(e, addr, protocol, method, param, reply, c.timeout, 0)
 }
 
 // issue performs the send half of one call attempt — connection lookup,
 // serialization, wire send — and registers the pending-call state. Issue
 // failures come back as already-resolved futures so callers have exactly one
-// error path.
-func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply wire.Writable, timeout time.Duration) *Future {
+// error path. deadline, when non-zero, is the absolute virtual time the call
+// must complete by; it rides the request header so the server can drop the
+// call undispatched once it has expired.
+func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply wire.Writable, timeout, deadline time.Duration) *Future {
 	c.Stats.Calls.Add(1)
 	c.m.calls.Inc()
 	c.m.issued(protocol, method).Inc()
@@ -259,7 +342,7 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	f := &Future{
 		c: c, conn: conn, id: id,
 		protocol: protocol, method: method,
-		start: callStart, timeout: timeout,
+		start: callStart, timeout: timeout, deadline: deadline,
 		reply: reply, replyQ: e.NewQueue(1),
 	}
 	conn.addCall(id, f)
@@ -273,14 +356,14 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	var sample trace.SendSample
 	sample.Key = trace.Key{Protocol: protocol, Method: method}
 	if c.opts.Mode == ModeRPCoIB {
-		err = c.sendRPCoIB(e, conn, id, protocol, method, param, &sample)
+		err = c.sendRPCoIB(e, conn, id, deadline, protocol, method, param, &sample)
 	} else {
-		err = c.sendBaseline(e, conn, id, protocol, method, param, &sample)
+		err = c.sendBaseline(e, conn, id, deadline, protocol, method, param, &sample)
 	}
 	conn.sendMu.unlock()
 	if err != nil {
 		conn.takeCall(id)
-		conn.fail(err)
+		conn.organicFail(e.Now(), err)
 		return c.failedFuture(protocol, method, err)
 	}
 	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
@@ -292,12 +375,12 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 // sendBaseline is the paper's Listing 1: serialize into a fresh 32-byte
 // DataOutputBuffer (Algorithm 1 growth), copy onto the connection's stream
 // buffer behind a 4-byte length, copy heap-to-native, syscall, send.
-func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, deadline time.Duration, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
 	cost := c.cost()
 	t0 := e.Now()
 	d := wire.NewDataOutputBuffer()
 	out := wire.NewDataOutput(d)
-	encodeRequestHeader(out, id, protocol, method)
+	encodeRequestHeader(out, id, deadline, protocol, method)
 	if param != nil {
 		param.Write(out)
 	}
@@ -362,13 +445,13 @@ func (kc *keyCache) get(protocol, method, suffix string) string {
 
 // sendRPCoIB serializes straight into a history-sized registered buffer and
 // hands it to the verbs transport with zero copies.
-func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, deadline time.Duration, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
 	cost := c.cost()
 	t0 := e.Now()
 	s := NewRDMAOutputStream(c.opts.Pool, c.keys.get(protocol, method, ""))
 	c.work(e, cost.PoolGet)
 	out := wire.NewDataOutput(s)
-	encodeRequestHeader(out, id, protocol, method)
+	encodeRequestHeader(out, id, deadline, protocol, method)
 	if param != nil {
 		param.Write(out)
 	}
@@ -418,7 +501,7 @@ func (conn *Connection) receiveLoop(e exec.Env) {
 	for {
 		data, release, err := conn.tc.Recv(e)
 		if err != nil {
-			conn.fail(err)
+			conn.organicFail(e.Now(), err)
 			return
 		}
 		n := len(data)
@@ -437,14 +520,20 @@ func (conn *Connection) receiveLoop(e exec.Env) {
 		status := in.ReadU8()
 		f := conn.takeCall(id)
 		if f != nil {
-			if status == statusSuccess {
+			switch status {
+			case statusSuccess:
 				if f.reply != nil {
 					f.reply.ReadFields(in)
 				}
 				if err := in.Err(); err != nil {
 					f.outErr = err
 				}
-			} else {
+			case statusBusy:
+				c.m.busyRejections.Inc()
+				f.outErr = &TooBusyError{Backoff: time.Duration(in.ReadVLong())}
+			case statusExpired:
+				f.outErr = ErrDeadlineExceeded
+			default:
 				f.outErr = &RemoteError{Msg: in.ReadText()}
 			}
 		}
@@ -462,14 +551,15 @@ func (conn *Connection) receiveLoop(e exec.Env) {
 	}
 }
 
-// Close tears down every cached connection.
+// Close tears down every cached connection (administratively: the circuit
+// breakers are not charged).
 func (c *Client) Close() {
 	c.mu.Lock()
 	conns := make([]*Connection, 0, len(c.conns))
 	for _, conn := range c.conns {
 		conns = append(conns, conn)
 	}
-	c.conns = map[string]*Connection{}
+	c.conns = map[connKey]*Connection{}
 	c.mu.Unlock()
 	for _, conn := range conns {
 		conn.fail(ErrClosed)

@@ -61,8 +61,21 @@ const DefaultHandlers = 8
 // DefaultCallTimeout bounds how long a caller waits for a response.
 const DefaultCallTimeout = 120 * time.Second
 
-// defaultCallQueueDepth matches Hadoop's bounded call queue.
+// defaultCallQueueDepth matches Hadoop's bounded call queue
+// (ipc.server.max.queue.size).
 const defaultCallQueueDepth = 100
+
+// DefaultBusyBackoff is the server-suggested retry backoff carried in "too
+// busy" responses when Options.BusyBackoff is unset.
+const DefaultBusyBackoff = 100 * time.Millisecond
+
+// DefaultBreakerThreshold is how many consecutive primary-path failures trip
+// the transport circuit breaker when Options.BreakerThreshold is unset.
+const DefaultBreakerThreshold = 3
+
+// DefaultBreakerCooldown is how long a tripped breaker waits before letting
+// a half-open probe try the primary path again.
+const DefaultBreakerCooldown = time.Second
 
 // Options configures a Client or Server.
 type Options struct {
@@ -102,6 +115,33 @@ type Options struct {
 	// call activity), never a background thread, so simulations drain.
 	// 0 disables reaping.
 	MaxIdleTime time.Duration
+
+	// CallQueueDepth bounds the server call queue (Hadoop's
+	// ipc.server.max.queue.size; defaultCallQueueDepth if 0).
+	CallQueueDepth int
+	// ShedOverload makes the server reject calls that arrive with the call
+	// queue full, answering with a retriable "too busy" response that carries
+	// BusyBackoff, instead of exerting backpressure on the reader. Off by
+	// default: blocking readers are the historical Hadoop behavior the
+	// paper's experiments measure.
+	ShedOverload bool
+	// BusyBackoff is the server-suggested retry delay carried in shed
+	// responses (DefaultBusyBackoff if 0).
+	BusyBackoff time.Duration
+
+	// Failover arms the client's per-peer circuit breaker: consecutive
+	// primary-path failures (dial timeouts, call timeouts, connection
+	// faults) open the breaker and re-route calls to the network's fallback
+	// transport (transport.FallbackDialer — IPoIB sockets under RPCoIB)
+	// until half-open probes find the primary healthy again. Ignored when
+	// the network has no fallback.
+	Failover bool
+	// BreakerThreshold is the consecutive-failure trip count
+	// (DefaultBreakerThreshold if 0).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell before a half-open probe
+	// (DefaultBreakerCooldown if 0).
+	BreakerCooldown time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +156,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Mode == ModeRPCoIB && o.Pool == nil {
 		o.Pool = bufpool.NewShadowPool(bufpool.NewNativePool(0), bufpool.PolicyHistory)
+	}
+	if o.CallQueueDepth <= 0 {
+		o.CallQueueDepth = defaultCallQueueDepth
+	}
+	if o.BusyBackoff <= 0 {
+		o.BusyBackoff = DefaultBusyBackoff
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
 	}
 	return o
 }
@@ -160,23 +212,39 @@ var zeroCosts perfmodel.CPUCosts
 // ---- wire format ----
 //
 // Request:  [frame len int32 (baseline only)] [call id int32]
+//           [deadline vlong (absolute ns; 0 = none)]
 //           [protocol UTF] [method UTF] [param fields...]
 // Response: [frame len int32 (baseline only)] [call id int32]
-//           [status byte] [value fields... | error Text]
+//           [status byte] [value fields... | error Text | busy backoff vlong]
+//
+// The deadline is an absolute virtual timestamp rather than a remaining
+// budget: client and server share one clock (the simulator's, or the single
+// process's in real mode), so the server can judge expiry at dispatch time
+// even when the request sat behind a stalled completion queue — a relative
+// budget anchored at read time could never expire there.
 
 const (
 	statusSuccess = 0
 	statusError   = 1
+	// statusBusy is a shed call: the server's call queue was full. The body
+	// carries a server-suggested backoff (vlong nanoseconds) the client's
+	// CallPolicy honors before retrying.
+	statusBusy = 2
+	// statusExpired is a call dropped server-side because its propagated
+	// deadline had already passed before dispatch; no handler ran.
+	statusExpired = 3
 )
 
-func encodeRequestHeader(out *wire.DataOutput, id int32, protocol, method string) {
+func encodeRequestHeader(out *wire.DataOutput, id int32, deadline time.Duration, protocol, method string) {
 	out.WriteInt32(id)
+	out.WriteVLong(int64(deadline))
 	out.WriteUTF(protocol)
 	out.WriteUTF(method)
 }
 
-func decodeRequestHeader(in *wire.DataInput) (id int32, protocol, method string) {
+func decodeRequestHeader(in *wire.DataInput) (id int32, deadline time.Duration, protocol, method string) {
 	id = in.ReadInt32()
+	deadline = time.Duration(in.ReadVLong())
 	protocol = in.ReadUTF()
 	method = in.ReadUTF()
 	return

@@ -29,6 +29,8 @@ type serverMetrics struct {
 	callsReceived    *metrics.Counter
 	callsHandled     *metrics.Counter
 	callErrors       *metrics.Counter
+	callsShed        *metrics.Counter
+	callsExpired     *metrics.Counter
 	bytesIn          *metrics.Counter
 	bytesOut         *metrics.Counter
 }
@@ -46,6 +48,8 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		callsReceived:    r.Counter("rpc_server_calls_received_total"),
 		callsHandled:     r.Counter("rpc_server_calls_handled_total"),
 		callErrors:       r.Counter("rpc_server_call_errors_total"),
+		callsShed:        r.Counter("rpc_server_calls_shed_total"),
+		callsExpired:     r.Counter("rpc_server_calls_expired_total"),
 		bytesIn:          r.Counter("rpc_server_bytes_in_total"),
 		bytesOut:         r.Counter("rpc_server_bytes_out_total"),
 	}
@@ -64,15 +68,24 @@ func (m *serverMetrics) stage(protocol, method, stage string) *metrics.Histogram
 
 // clientMetrics holds the client's pre-resolved instruments.
 type clientMetrics struct {
-	reg           *metrics.Registry
-	connections   *metrics.Gauge
-	outstanding   *metrics.Gauge
-	calls         *metrics.Counter
-	errors        *metrics.Counter
-	timeouts      *metrics.Counter
-	retries       *metrics.Counter
-	policyRetries *metrics.Counter
-	bytesOut      *metrics.Counter
+	reg              *metrics.Registry
+	connections      *metrics.Gauge
+	outstanding      *metrics.Gauge
+	calls            *metrics.Counter
+	errors           *metrics.Counter
+	timeouts         *metrics.Counter
+	retries          *metrics.Counter
+	policyRetries    *metrics.Counter
+	bytesOut         *metrics.Counter
+	deadlineExceeded *metrics.Counter
+	busyRejections   *metrics.Counter
+	breakerOpens     *metrics.Counter
+	breakerHalfOpens *metrics.Counter
+	breakerCloses    *metrics.Counter
+	breakerReopens   *metrics.Counter
+	breakerOpenGauge *metrics.Gauge
+	failovers        *metrics.Counter
+	fallbackCalls    *metrics.Counter
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
@@ -80,15 +93,24 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 		return clientMetrics{}
 	}
 	return clientMetrics{
-		reg:           r,
-		connections:   r.Gauge("rpc_client_connections"),
-		outstanding:   r.Gauge("rpc_client_outstanding_calls"),
-		calls:         r.Counter("rpc_client_calls_total"),
-		errors:        r.Counter("rpc_client_errors_total"),
-		timeouts:      r.Counter("rpc_client_timeouts_total"),
-		retries:       r.Counter("rpc_client_reconnects_total"),
-		policyRetries: r.Counter("rpc_client_retries_total"),
-		bytesOut:      r.Counter("rpc_client_bytes_out_total"),
+		reg:              r,
+		connections:      r.Gauge("rpc_client_connections"),
+		outstanding:      r.Gauge("rpc_client_outstanding_calls"),
+		calls:            r.Counter("rpc_client_calls_total"),
+		errors:           r.Counter("rpc_client_errors_total"),
+		timeouts:         r.Counter("rpc_client_timeouts_total"),
+		retries:          r.Counter("rpc_client_reconnects_total"),
+		policyRetries:    r.Counter("rpc_client_retries_total"),
+		bytesOut:         r.Counter("rpc_client_bytes_out_total"),
+		deadlineExceeded: r.Counter("rpc_client_deadline_exceeded_total"),
+		busyRejections:   r.Counter("rpc_client_busy_total"),
+		breakerOpens:     r.Counter("rpc_client_breaker_opens_total"),
+		breakerHalfOpens: r.Counter("rpc_client_breaker_half_opens_total"),
+		breakerCloses:    r.Counter("rpc_client_breaker_closes_total"),
+		breakerReopens:   r.Counter("rpc_client_breaker_reopens_total"),
+		breakerOpenGauge: r.Gauge("rpc_client_breaker_open"),
+		failovers:        r.Counter("rpc_client_failovers_total"),
+		fallbackCalls:    r.Counter("rpc_client_fallback_calls_total"),
 	}
 }
 

@@ -1,0 +1,192 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/wire"
+)
+
+// TestServerShedsOverload: with admission control armed (ShedOverload,
+// CallQueueDepth 1, one handler on a slow method), a burst of async calls
+// must not all block behind the queue — the surplus comes back as retriable
+// "too busy" rejections carrying the server-suggested backoff, the shed
+// counter accounts for every one of them, and a policy-driven retry rides
+// out the burst to an eventual success.
+func TestServerShedsOverload(t *testing.T) {
+	const (
+		burst       = 8
+		busyBackoff = 50 * time.Millisecond
+	)
+	cl := cluster.New(cluster.ClusterB())
+	var srv *core.Server
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv = core.NewServer(cl.SocketNet(perfmodel.IPoIB, 0), core.Options{
+			Costs: cl.Costs, Handlers: 1, CallQueueDepth: 1,
+			ShedOverload: true, BusyBackoff: busyBackoff,
+		})
+		srv.Register("test.Busy", "slow",
+			func() wire.Writable { return &wire.Text{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+				e.Sleep(100 * time.Millisecond)
+				return p, nil
+			})
+		if err := srv.Start(e, 9000); err != nil {
+			t.Error(err)
+		}
+	})
+
+	var client *core.Client
+	busy, succeeded := 0, 0
+	var suggested time.Duration
+	var retriedErr error
+	ran := false
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client = core.NewClient(cl.SocketNet(perfmodel.IPoIB, 1), core.Options{Costs: cl.Costs})
+		futs := make([]*core.Future, burst)
+		replies := make([]wire.Text, burst)
+		for i := range futs {
+			futs[i] = client.CallAsync(e, "node0:9000", "test.Busy", "slow",
+				&wire.Text{Value: "x"}, &replies[i])
+		}
+		for _, f := range futs {
+			switch err := f.Wait(e); {
+			case err == nil:
+				succeeded++
+			case errors.Is(err, core.ErrServerTooBusy):
+				busy++
+				var tb *core.TooBusyError
+				if errors.As(err, &tb) {
+					suggested = tb.Backoff
+				}
+			default:
+				t.Errorf("unexpected burst error: %v", err)
+			}
+		}
+		// The shed calls are retriable: a policy whose backoff honors the
+		// server's suggestion eventually lands once the burst drains.
+		var r wire.Text
+		retriedErr = client.CallWith(e, core.CallPolicy{MaxAttempts: 10, Backoff: 10 * time.Millisecond},
+			"node0:9000", "test.Busy", "slow", &wire.Text{Value: "retry"}, &r)
+		ran = true
+	})
+	cl.RunUntil(time.Minute)
+	if !ran {
+		t.Fatal("client never finished")
+	}
+	if busy == 0 {
+		t.Fatal("no call was shed: admission control never engaged")
+	}
+	if succeeded+busy != burst {
+		t.Errorf("burst outcomes: %d ok + %d busy != %d issued", succeeded, busy, burst)
+	}
+	if succeeded < 2 {
+		t.Errorf("only %d call(s) succeeded; queue + handler should admit at least 2", succeeded)
+	}
+	if suggested != busyBackoff {
+		t.Errorf("server-suggested backoff %v, want %v", suggested, busyBackoff)
+	}
+	if got := srv.Stats.CallsShed.Load(); got != int64(busy) {
+		t.Errorf("server CallsShed %d, client saw %d busy rejections", got, busy)
+	}
+	if retriedErr != nil {
+		t.Errorf("retry after shed burst failed: %v", retriedErr)
+	}
+
+	rep := &faultsim.Report{}
+	rep.CheckClient("shed-client", client)
+	if !rep.OK() {
+		t.Error(rep.String())
+	}
+}
+
+// TestDeadlinePropagation: a call whose deadline expires while its request
+// sits behind a stalled completion queue must be dropped server-side without
+// invoking the handler (CallsExpired accounts for it), while the client
+// resolves to ErrDeadlineExceeded at the deadline — and the ledgers still
+// balance: the late statusExpired response finds no pending call and is
+// discarded.
+func TestDeadlinePropagation(t *testing.T) {
+	const (
+		stallStart = 50 * time.Millisecond
+		stallDur   = 300 * time.Millisecond
+		deadline   = 100 * time.Millisecond
+	)
+	cl := cluster.New(cluster.ClusterB())
+	opts := core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs}
+	handled := map[string]int{}
+	var srv *core.Server
+	cl.SpawnOn(0, "server", func(e exec.Env) {
+		srv = core.NewServer(cl.RPCoIBNet(0), opts)
+		srv.Register("test.Deadline", "echo",
+			func() wire.Writable { return &wire.Text{} },
+			func(e exec.Env, p wire.Writable) (wire.Writable, error) {
+				handled[p.(*wire.Text).Value]++
+				if rem, ok := core.RemainingBudget(e); ok && rem <= 0 {
+					t.Errorf("handler invoked with exhausted budget %v", rem)
+				}
+				return p, nil
+			})
+		if err := srv.Start(e, 9000); err != nil {
+			t.Error(err)
+		}
+	})
+
+	var client *core.Client
+	var warmErr, lateErr error
+	var lateAt time.Duration
+	ran := false
+	cl.SpawnOn(1, "client", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		client = core.NewClient(cl.RPCoIBNet(1), opts)
+		var r wire.Text
+		warmErr = client.CallWith(e, core.CallPolicy{Deadline: time.Second},
+			"node0:9000", "test.Deadline", "echo", &wire.Text{Value: "warm"}, &r)
+
+		// Freeze the server HCA's completion queue, then issue a call whose
+		// deadline expires mid-stall: its request reaches the server only
+		// after the CQ thaws, by which time the deadline has passed.
+		e.Sleep(stallStart - e.Now())
+		cl.IBNet().Device(0).StallCQ(stallStart + stallDur)
+		start := e.Now()
+		lateErr = client.CallWith(e, core.CallPolicy{Deadline: deadline},
+			"node0:9000", "test.Deadline", "echo", &wire.Text{Value: "late"}, &r)
+		lateAt = e.Now() - start
+		ran = true
+	})
+	cl.RunUntil(time.Minute)
+	if !ran {
+		t.Fatal("client never finished")
+	}
+	if warmErr != nil {
+		t.Fatalf("warm call: %v", warmErr)
+	}
+	if !errors.Is(lateErr, core.ErrDeadlineExceeded) {
+		t.Fatalf("stalled call error %v, want ErrDeadlineExceeded", lateErr)
+	}
+	if lateAt < deadline || lateAt > deadline+10*time.Millisecond {
+		t.Errorf("client gave up after %v, want ~%v", lateAt, deadline)
+	}
+	if handled["late"] != 0 {
+		t.Errorf("expired call invoked the handler %d time(s)", handled["late"])
+	}
+	if handled["warm"] != 1 {
+		t.Errorf("warm call handled %d times, want 1", handled["warm"])
+	}
+	if got := srv.Stats.CallsExpired.Load(); got != 1 {
+		t.Errorf("server CallsExpired %d, want 1", got)
+	}
+
+	rep := &faultsim.Report{}
+	rep.CheckClient("deadline-client", client)
+	if !rep.OK() {
+		t.Error(rep.String())
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
+)
+
+// breakerCounts is the counter state one state-machine step must land on.
+type breakerCounts struct {
+	opens, halfOpens, closes, reopens int64
+	openGauge                         int64
+}
+
+func checkBreakerCounts(t *testing.T, step string, reg *metrics.Registry, want breakerCounts) {
+	t.Helper()
+	snap := reg.Snapshot(0)
+	got := breakerCounts{
+		opens:     snap.Counters["rpc_client_breaker_opens_total"],
+		halfOpens: snap.Counters["rpc_client_breaker_half_opens_total"],
+		closes:    snap.Counters["rpc_client_breaker_closes_total"],
+		reopens:   snap.Counters["rpc_client_breaker_reopens_total"],
+		openGauge: snap.Gauges["rpc_client_breaker_open"],
+	}
+	if got != want {
+		t.Errorf("%s: counters %+v, want %+v", step, got, want)
+	}
+}
+
+// TestBreakerStateMachine drives the breaker through both half-open probe
+// outcomes — closed→open→half-open→closed and closed→open→half-open→open→
+// half-open→closed — checking the routing decision, the state label, and the
+// metric counters after every step.
+func TestBreakerStateMachine(t *testing.T) {
+	const (
+		threshold = 3
+		cooldown  = time.Second
+	)
+	type step struct {
+		name string
+		// act mutates the breaker; route, when >= 0, first asserts the
+		// routing decision at time at (0 = primary, 1 = fallback).
+		act       func(b *breaker)
+		at        time.Duration
+		wantRoute int // -1: skip the route check
+		wantState string
+		want      breakerCounts
+	}
+	fail := func(at time.Duration) func(*breaker) {
+		return func(b *breaker) { b.onFailure(at) }
+	}
+	succeed := func(b *breaker) { b.onSuccess() }
+
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "open-probe-close",
+			steps: []step{
+				{name: "fresh", at: 0, wantRoute: 0, wantState: "closed"},
+				{name: "failure 1", act: fail(10 * time.Millisecond), at: 10 * time.Millisecond, wantRoute: 0, wantState: "closed"},
+				{name: "failure 2", act: fail(20 * time.Millisecond), at: 20 * time.Millisecond, wantRoute: 0, wantState: "closed"},
+				{name: "failure 3 trips", act: fail(30 * time.Millisecond), at: 40 * time.Millisecond,
+					wantRoute: 1, wantState: "open",
+					want: breakerCounts{opens: 1, openGauge: 1}},
+				{name: "still cooling", at: 30*time.Millisecond + cooldown - 1, wantRoute: 1, wantState: "open",
+					want: breakerCounts{opens: 1, openGauge: 1}},
+				{name: "cooldown elapses: probe", at: 30*time.Millisecond + cooldown, wantRoute: 0, wantState: "half-open",
+					want: breakerCounts{opens: 1, halfOpens: 1, openGauge: 1}},
+				{name: "second caller while probing", at: 30*time.Millisecond + cooldown, wantRoute: 1, wantState: "half-open",
+					want: breakerCounts{opens: 1, halfOpens: 1, openGauge: 1}},
+				{name: "probe succeeds", act: succeed, at: 2 * time.Second, wantRoute: 0, wantState: "closed",
+					want: breakerCounts{opens: 1, halfOpens: 1, closes: 1}},
+			},
+		},
+		{
+			name: "open-probe-reopen",
+			steps: []step{
+				{name: "trip 1/3", act: fail(0), at: 0, wantRoute: 0, wantState: "closed"},
+				{name: "trip 2/3", act: fail(0), at: 0, wantRoute: 0, wantState: "closed"},
+				{name: "trip 3/3", act: fail(0), at: time.Millisecond, wantRoute: 1, wantState: "open",
+					want: breakerCounts{opens: 1, openGauge: 1}},
+				{name: "probe", at: cooldown, wantRoute: 0, wantState: "half-open",
+					want: breakerCounts{opens: 1, halfOpens: 1, openGauge: 1}},
+				{name: "probe fails: reopen", act: fail(cooldown + 10*time.Millisecond),
+					at: cooldown + 20*time.Millisecond, wantRoute: 1, wantState: "open",
+					want: breakerCounts{opens: 1, halfOpens: 1, reopens: 1, openGauge: 1}},
+				{name: "second cooldown: probe again", at: 2*cooldown + 10*time.Millisecond,
+					wantRoute: 0, wantState: "half-open",
+					want: breakerCounts{opens: 1, halfOpens: 2, reopens: 1, openGauge: 1}},
+				{name: "second probe succeeds", act: succeed, at: 3 * cooldown, wantRoute: 0, wantState: "closed",
+					want: breakerCounts{opens: 1, halfOpens: 2, closes: 1, reopens: 1}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.New()
+			m := newClientMetrics(reg)
+			b := newBreaker(threshold, cooldown, &m)
+			for _, st := range tc.steps {
+				if st.act != nil {
+					st.act(b)
+				}
+				if st.wantRoute >= 0 {
+					gotFallback := b.route(st.at)
+					if gotFallback != (st.wantRoute == 1) {
+						t.Fatalf("%s: route(%v) fallback=%v, want %v", st.name, st.at, gotFallback, st.wantRoute == 1)
+					}
+				}
+				b.mu.Lock()
+				state := b.state.String()
+				b.mu.Unlock()
+				if state != st.wantState {
+					t.Fatalf("%s: state %s, want %s", st.name, state, st.wantState)
+				}
+				checkBreakerCounts(t, tc.name+"/"+st.name, reg, st.want)
+			}
+			// The terminal counters satisfy the invariant checker identities.
+			b.mu.Lock()
+			opens, halfOpens, closes, reopens := b.opens, b.halfOpens, b.closes, b.reopens
+			b.mu.Unlock()
+			if opens+reopens-halfOpens != 0 || halfOpens-closes-reopens != 0 {
+				t.Errorf("terminal ledger unbalanced: opens %d halfOpens %d closes %d reopens %d",
+					opens, halfOpens, closes, reopens)
+			}
+		})
+	}
+}
+
+// stubEnv is the minimal exec.Env backoffFor needs: a deterministic PRNG.
+type stubEnv struct{ rnd *rand.Rand }
+
+func (s stubEnv) Now() time.Duration           { return 0 }
+func (s stubEnv) Sleep(time.Duration)          {}
+func (s stubEnv) Work(time.Duration)           {}
+func (s stubEnv) Spawn(string, func(exec.Env)) {}
+func (s stubEnv) NewQueue(int) exec.Queue      { return nil }
+func (s stubEnv) Rand() *rand.Rand             { return s.rnd }
+
+// TestBackoffJitterDrawsPerRetry pins the jitter fix: each retry draws fresh
+// randomness from the environment's PRNG (so successive backoffs differ),
+// while the same seed still reproduces the same schedule (determinism).
+func TestBackoffJitterDrawsPerRetry(t *testing.T) {
+	p := CallPolicy{Backoff: 100 * time.Millisecond, Jitter: 0.5}
+	draw := func(seed int64, n int) []time.Duration {
+		e := stubEnv{rnd: rand.New(rand.NewSource(seed))}
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = p.backoffFor(e, 1) // same attempt: only jitter varies
+		}
+		return out
+	}
+
+	a := draw(7, 8)
+	allEqual := true
+	for _, d := range a[1:] {
+		if d != a[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatalf("8 jittered draws all equal (%v): jitter is frozen, not drawn per retry", a[0])
+	}
+	for i, d := range a {
+		lo := time.Duration(float64(p.Backoff) * (1 - p.Jitter))
+		hi := time.Duration(float64(p.Backoff) * (1 + p.Jitter))
+		if d < lo || d > hi {
+			t.Errorf("draw %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+
+	b := draw(7, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed schedules diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	c := draw(8, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+
+	// Exponential growth still applies under jitter, capped by MaxBackoff.
+	pc := CallPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	e := stubEnv{rnd: rand.New(rand.NewSource(1))}
+	wants := []time.Duration{10, 20, 40, 40, 40}
+	for i, want := range wants {
+		if got := pc.backoffFor(e, i+1); got != want*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+}

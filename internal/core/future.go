@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -29,6 +28,7 @@ type Future struct {
 	method   string
 	start    time.Duration
 	timeout  time.Duration
+	deadline time.Duration // absolute propagated deadline (0 = none)
 	replyQ   exec.Queue
 
 	// reply and the outcome fields are written by the connection's receiver
@@ -90,7 +90,9 @@ func (f *Future) TryWait() (done bool, err error) {
 // resolve classifies the queue outcome exactly as the old synchronous Call
 // did, updates stats, and caches the result. The outcome accounting runs
 // exactly once, on the done transition, so Stats.Resolved and the per-kind
-// completed/failed counters stay balanced against Stats.Calls.
+// completed/failed counters stay balanced against Stats.Calls. It also feeds
+// the peer's circuit breaker: timeouts and failures on the primary path
+// count toward tripping it, a success closes a half-open probe.
 func (f *Future) resolve(ok, timedOut bool) error {
 	c := f.c
 	var err error
@@ -100,7 +102,19 @@ func (f *Future) resolve(ok, timedOut bool) error {
 		// response is ignored.
 		f.conn.takeCall(f.id)
 		c.m.timeouts.Inc()
-		err = ErrTimeout
+		if f.deadline > 0 {
+			// The wait was clamped to a propagated deadline: report the
+			// gRPC-style deadline error, not a generic timeout. The server
+			// sees the same deadline in the header and drops the call
+			// undispatched if it is still queued.
+			c.m.deadlineExceeded.Inc()
+			err = ErrDeadlineExceeded
+		} else {
+			err = ErrTimeout
+		}
+		if f.conn.br != nil && !f.conn.fallback {
+			f.conn.br.onFailure(f.start + f.timeout)
+		}
 	case !ok:
 		if ce := f.conn.closeError(); ce != nil {
 			err = fmt.Errorf("%w: %v", ErrClosed, ce)
@@ -123,8 +137,17 @@ func (f *Future) resolve(ok, timedOut bool) error {
 		c.Stats.Errors.Add(1)
 		c.m.errors.Inc()
 		c.m.failed(f.protocol, f.method).Inc()
-	} else if h := c.m.rtt(f.protocol, f.method); h != nil {
-		h.ObserveDuration(f.outAt - f.start)
+	} else {
+		if f.conn != nil {
+			if f.conn.fallback {
+				c.m.fallbackCalls.Inc()
+			} else if f.conn.br != nil {
+				f.conn.br.onSuccess()
+			}
+		}
+		if h := c.m.rtt(f.protocol, f.method); h != nil {
+			h.ObserveDuration(f.outAt - f.start)
+		}
 	}
 	return err
 }
@@ -164,37 +187,51 @@ type CallPolicy struct {
 }
 
 // RetryTransient is the default CallWith predicate: retry connection-level
-// failures (dial errors, ErrClosed), which a reconnect can cure, but not
-// server-side RemoteErrors or timeouts — the server may have executed a
-// timed-out call, so blind re-issue is not safe by default.
+// failures (dial errors, ErrClosed) which a reconnect can cure, and shed
+// "server too busy" rejections (the server itself asked for a retry), but
+// not server-side RemoteErrors, timeouts, or expired deadlines — the server
+// may have executed a timed-out call, so blind re-issue is not safe by
+// default, and a passed deadline cannot un-pass.
 func RetryTransient(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false
 	}
-	return !errors.Is(err, ErrTimeout)
+	return !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlineExceeded)
 }
 
 // backoffFor returns the sleep after `attempt` failed attempts (1-based).
-func (p CallPolicy) backoffFor(attempt int, rnd *rand.Rand) time.Duration {
+// The jitter draw comes from the environment's PRNG at each call — one draw
+// per retry, never cached per policy — so a faulted run whose retry count
+// differs across seeds still replays bit-identically under its own seed.
+func (p CallPolicy) backoffFor(e exec.Env, attempt int) time.Duration {
 	if p.Backoff <= 0 {
 		return 0
 	}
-	d := p.Backoff
-	for i := 1; i < attempt; i++ {
+	d := scaledBackoff(p.Backoff, attempt-1, p.MaxBackoff)
+	if p.Jitter > 0 {
+		if rnd := e.Rand(); rnd != nil {
+			d = time.Duration(float64(d) * (1 + p.Jitter*(2*rnd.Float64()-1)))
+		}
+	}
+	return d
+}
+
+// scaledBackoff doubles base n times, capping at max (when > 0) and at an
+// overflow guard no modeled backoff needs to exceed.
+func scaledBackoff(base time.Duration, n int, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < n; i++ {
 		d *= 2
-		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+		if max > 0 && d >= max {
 			break
 		}
-		if d > time.Hour { // overflow guard; no modeled backoff needs more
+		if d > time.Hour {
 			break
 		}
 	}
-	if p.MaxBackoff > 0 && d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
-	if p.Jitter > 0 && rnd != nil {
-		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rnd.Float64()-1)))
+	if max > 0 && d > max {
+		d = max
 	}
 	return d
 }
@@ -217,7 +254,7 @@ func (p CallPolicy) Do(e exec.Env, op func(attempt int) error) error {
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			d := p.backoffFor(attempt, e.Rand())
+			d := p.backoffFor(e, attempt)
 			if p.Deadline > 0 {
 				rem := p.Deadline - (e.Now() - start)
 				if rem <= 0 {
@@ -244,7 +281,11 @@ func (p CallPolicy) Do(e exec.Env, op func(attempt int) error) error {
 // CallWith is Call under an explicit policy: each attempt is a full
 // issue+wait whose timeout is clamped to the policy's remaining deadline;
 // retryable failures (per RetryOn, default RetryTransient) re-dial and
-// re-issue after backoff.
+// re-issue after backoff. A deadline rides the request header, so the
+// server drops the call undispatched once it expires instead of doing dead
+// work. "Server too busy" rejections are not hard failures: the
+// server-suggested backoff floors the retry sleep, growing exponentially
+// (capped by MaxBackoff) while the rejections persist.
 func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method string, param, reply wire.Writable) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
@@ -256,10 +297,17 @@ func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method strin
 	}
 	start := e.Now()
 	var err error
+	busyStreak := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.m.policyRetries.Inc()
-			d := p.backoffFor(attempt, e.Rand())
+			d := p.backoffFor(e, attempt)
+			var tb *TooBusyError
+			if errors.As(err, &tb) && tb.Backoff > 0 {
+				if sb := scaledBackoff(tb.Backoff, busyStreak-1, p.MaxBackoff); sb > d {
+					d = sb
+				}
+			}
 			if p.Deadline > 0 {
 				rem := p.Deadline - (e.Now() - start)
 				if rem <= 0 {
@@ -274,8 +322,10 @@ func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method strin
 			}
 		}
 		timeout := c.timeout
+		var deadline time.Duration
 		if p.Deadline > 0 {
-			rem := p.Deadline - (e.Now() - start)
+			deadline = start + p.Deadline
+			rem := deadline - e.Now()
 			if rem <= 0 {
 				return err
 			}
@@ -283,9 +333,14 @@ func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method strin
 				timeout = rem
 			}
 		}
-		err = c.issue(e, addr, protocol, method, param, reply, timeout).Wait(e)
+		err = c.issue(e, addr, protocol, method, param, reply, timeout, deadline).Wait(e)
 		if err == nil || !retry(err) {
 			return err
+		}
+		if errors.Is(err, ErrServerTooBusy) {
+			busyStreak++
+		} else {
+			busyStreak = 0
 		}
 	}
 	return err

@@ -73,8 +73,8 @@ func TestFaultDialToDeadLinkTimesOut(t *testing.T) {
 	if !errors.Is(dialErr, netsim.ErrConnTimeout) {
 		t.Errorf("err=%v, want ErrConnTimeout", dialErr)
 	}
-	if took < netsim.ConnectTimeout || took > netsim.ConnectTimeout+time.Second {
-		t.Errorf("dial failed after %v, want ~%v", took, netsim.ConnectTimeout)
+	if took < cl.Config.ConnectTimeout || took > cl.Config.ConnectTimeout+time.Second {
+		t.Errorf("dial failed after %v, want ~%v", took, cl.Config.ConnectTimeout)
 	}
 	if counts["x"] != 0 {
 		t.Errorf("call executed %d times despite the dial never completing", counts["x"])
@@ -132,9 +132,10 @@ func TestFaultCallDuringReconnectExactlyOnce(t *testing.T) {
 			done++
 		})
 
-		// Heal the link while both calls are still in limbo: the held SYN is
-		// redelivered and the reconnect completes.
-		e.Sleep(5 * time.Second)
+		// Heal the link while both calls are still in limbo (well inside the
+		// connect timeout, so the held SYN is redelivered and the reconnect
+		// completes rather than the dial timing out first).
+		e.Sleep(3 * time.Second)
 		setLink(cl, 0, 1, false)
 	})
 	cl.RunUntil(10 * time.Minute)
@@ -145,9 +146,9 @@ func TestFaultCallDuringReconnectExactlyOnce(t *testing.T) {
 		t.Fatalf("calls through reconnect failed: B=%v C=%v", errB, errC)
 	}
 	// Both calls were issued around t=11ms and must have waited out the
-	// 5-second outage rather than completing against a dead link.
+	// 3-second outage rather than completing against a dead link.
 	for name, at := range map[string]time.Duration{"B": doneB, "C": doneC} {
-		if at < 5*time.Second {
+		if at < 3*time.Second {
 			t.Errorf("call %s resolved at %v, before the link healed", name, at)
 		}
 	}

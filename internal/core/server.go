@@ -24,11 +24,16 @@ type methodDef struct {
 	fn       MethodFunc
 }
 
-// ServerStats counts server activity.
+// ServerStats counts server activity. CallsShed counts admissions rejected
+// with "too busy" (ShedOverload with a full call queue); CallsExpired counts
+// calls dropped undispatched because their propagated deadline had already
+// passed. Neither is ever counted in CallsHandled: no handler ran.
 type ServerStats struct {
 	CallsReceived atomic.Int64
 	CallsHandled  atomic.Int64
 	CallErrors    atomic.Int64
+	CallsShed     atomic.Int64
+	CallsExpired  atomic.Int64
 	BytesIn       atomic.Int64
 	BytesOut      atomic.Int64
 }
@@ -99,7 +104,7 @@ func (s *Server) Start(e exec.Env, port int) error {
 	s.ln = ln
 	s.running = true
 	s.mu.Unlock()
-	s.callQ = e.NewQueue(defaultCallQueueDepth)
+	s.callQ = e.NewQueue(s.opts.CallQueueDepth)
 	s.respQ = e.NewQueue(0)
 	if s.opts.Mode == ModeBaseline {
 		// Default Hadoop (0.20.2) funnels every connection's read
@@ -145,6 +150,7 @@ type serverCall struct {
 	id       int32
 	protocol string
 	method   string
+	deadline time.Duration // absolute propagated deadline (0 = none)
 	param    wire.Writable
 	fn       MethodFunc
 	errStr   string // pre-invoke failure (unknown method, bad payload)
@@ -216,8 +222,8 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		if baseline {
 			in.ReadInt32() // frame length prefix
 		}
-		id, protocol, method := decodeRequestHeader(in)
-		call := &serverCall{id: id, protocol: protocol, method: method, conn: conn}
+		id, deadline, protocol, method := decodeRequestHeader(in)
+		call := &serverCall{id: id, protocol: protocol, method: method, deadline: deadline, conn: conn}
 		if md, ok := s.lookup(protocol, method); ok {
 			call.fn = md.fn
 			call.param = md.newParam()
@@ -246,7 +252,41 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 			Total:    total,
 		})
 		s.work(e, cost.ThreadHandoff)
-		ok := s.callQ.Put(e, call)
+		if call.deadline > 0 && e.Now() >= call.deadline {
+			// The call's propagated deadline already passed (it may have sat
+			// behind a stalled CQ): drop it before dispatch so no handler
+			// slot burns on an answer the client stopped waiting for.
+			s.Stats.CallsExpired.Add(1)
+			s.m.callsExpired.Inc()
+			ok := s.sendControl(e, call, statusExpired)
+			if s.readerSem != nil {
+				s.readerSem.release()
+			}
+			if !ok {
+				return
+			}
+			continue
+		}
+		var ok bool
+		if s.opts.ShedOverload {
+			if ok = s.callQ.TryPut(call); !ok {
+				// Admission control (ipc.server.max.queue.size): a full call
+				// queue sheds the call with a retriable "busy" carrying the
+				// server's suggested backoff instead of blocking the reader.
+				s.Stats.CallsShed.Add(1)
+				s.m.callsShed.Inc()
+				ok = s.sendControl(e, call, statusBusy)
+				if s.readerSem != nil {
+					s.readerSem.release()
+				}
+				if !ok {
+					return
+				}
+				continue
+			}
+		} else {
+			ok = s.callQ.Put(e, call)
+		}
 		if s.readerSem != nil {
 			s.readerSem.release()
 		}
@@ -254,6 +294,40 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 			return
 		}
 		s.m.callQueueDepth.Inc()
+	}
+}
+
+// sendControl serializes a handler-free control response (busy, expired) and
+// hands it to the Responder. It reports false when the server is stopping.
+func (s *Server) sendControl(e exec.Env, call *serverCall, status byte) bool {
+	cost := s.cost()
+	resp := &response{conn: call.conn, protocol: call.protocol, method: call.method}
+	if s.opts.Mode == ModeRPCoIB {
+		st := NewRDMAOutputStream(s.opts.Pool, s.respKeys.get(call.protocol, call.method, "#r"))
+		s.work(e, cost.PoolGet)
+		out := wire.NewDataOutput(st)
+		writeControlBody(out, call.id, status, s.opts.BusyBackoff)
+		s.work(e, cost.Serialize(out.Ops())+cost.Copy(st.Len())+s.regetCost(st))
+		resp.stream = st
+	} else {
+		d := wire.NewDataOutputBufferSize(wire.ServerInitialBufferSize)
+		out := wire.NewDataOutput(d)
+		writeControlBody(out, call.id, status, s.opts.BusyBackoff)
+		s.work(e, cost.Serialize(out.Ops())+cost.Copy(d.Len())+s.bufferCost(d.TakeStats()))
+		resp.data = d.Data()
+	}
+	if !s.respQ.Put(e, resp) {
+		return false
+	}
+	s.m.responderBacklog.Inc()
+	return true
+}
+
+func writeControlBody(out *wire.DataOutput, id int32, status byte, backoff time.Duration) {
+	out.WriteInt32(id)
+	out.WriteU8(status)
+	if status == statusBusy {
+		out.WriteVLong(int64(backoff))
 	}
 }
 
@@ -280,6 +354,15 @@ func (s *Server) handlerLoop(e exec.Env) {
 		}
 		call := v.(*serverCall)
 		s.m.callQueueDepth.Dec()
+		if call.deadline > 0 && e.Now() >= call.deadline {
+			// Expired while queued: skip the handler entirely.
+			s.Stats.CallsExpired.Add(1)
+			s.m.callsExpired.Inc()
+			if !s.sendControl(e, call, statusExpired) {
+				return
+			}
+			continue
+		}
 		s.m.handlersBusy.Inc()
 		handleStart := e.Now()
 		s.work(e, cost.Dispatch)
@@ -334,7 +417,29 @@ func (s *Server) invoke(e exec.Env, call *serverCall) (value wire.Writable, call
 			callErr = &RemoteError{Msg: fmt.Sprintf("%s.%s: server error: %v", call.protocol, call.method, r)}
 		}
 	}()
-	return call.fn(e, call.param)
+	he := e
+	if call.deadline > 0 {
+		he = handlerEnv{Env: e, deadline: call.deadline}
+	}
+	return call.fn(he, call.param)
+}
+
+// handlerEnv wraps the handler's Env with the call's absolute deadline so
+// method implementations can read their remaining budget.
+type handlerEnv struct {
+	exec.Env
+	deadline time.Duration
+}
+
+// RemainingBudget reports how much of the propagated call deadline is left
+// for the handler running under e. ok is false when the call carried no
+// deadline (or e is not a handler env); a non-positive duration with ok true
+// means the budget is already exhausted.
+func RemainingBudget(e exec.Env) (time.Duration, bool) {
+	if he, ok := e.(handlerEnv); ok {
+		return he.deadline - e.Now(), true
+	}
+	return 0, false
 }
 
 func writeResponseBody(out *wire.DataOutput, id int32, value wire.Writable, callErr error) {

@@ -1,0 +1,193 @@
+package faultsim_test
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
+)
+
+// ChaosSeedEnv overrides the failover scenario's simulation seed, letting CI
+// sweep the chaos battery across several deterministic universes.
+const ChaosSeedEnv = "RPCOIB_CHAOS_SEED"
+
+func chaosSeed(t *testing.T) int64 {
+	v := os.Getenv(ChaosSeedEnv)
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("%s=%q: %v", ChaosSeedEnv, v, err)
+	}
+	return n
+}
+
+// failoverOutage is the graceful-degradation acceptance scenario: an HDFSoIB
+// deployment (RPCoIB control plane, RDMA data plane) whose IB rail — and only
+// the IB rail — goes down at t=50ms and heals at t=500ms, while a client
+// writes a file starting inside the outage. The control-plane clients are
+// armed with circuit breakers and a short per-attempt timeout, so NameNode
+// calls must trip onto the IPoIB socket fallback during the outage and the
+// write must complete without waiting for the fabric to heal. A probe call
+// issued while the rail is still down proves calls really complete over
+// sockets; a second probe after the breaker cooldown proves the verbs path is
+// restored (half-open → closed).
+func failoverOutage(t *testing.T, seed int64) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	const (
+		outageStart = 50 * time.Millisecond
+		outageEnd   = 500 * time.Millisecond
+	)
+	reg := metrics.New()
+	cl := cluster.New(cluster.Config{Nodes: 6, Seed: seed, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond,
+		ConnectTimeout: time.Second})
+	cl.IBNet().Instrument(reg)
+	inj, err := faultsim.Apply(cl, faultsim.Plan{
+		Seed: seed,
+		Events: []faultsim.Event{
+			// IB-only outage: the IPoIB rail stays up, so the socket fallback
+			// has somewhere to go.
+			{AtMS: 50, Kind: faultsim.KindLinkFlap, AllLinks: true, DurMS: 450, Fabric: "IB"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Instrument(reg)
+
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1, 2, 3, 4}, Replication: 2,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		// 2*hb+1s = 2s heartbeat call timeout rides out the 450ms outage, so
+		// heartbeat breakers never trip — only the writing client's does.
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCFailover:       true,
+		RPCCallTimeout:    80 * time.Millisecond,
+		RPCPolicy: core.CallPolicy{
+			MaxAttempts: 8, Backoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+			// Retry timeouts too (RetryTransient would give up): the attempts
+			// burned against the dead verbs path are what charge the breaker.
+			RetryOn: func(err error) bool {
+				var re *core.RemoteError
+				return !errors.As(err, &re)
+			},
+		},
+	})
+	const client = 5
+	var writeErr, duringErr, afterErr error
+	var duringAt, afterAt time.Duration
+	wrote := false
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		dfs := fs.NewClient(client)
+		// Warm the verbs connection to the NameNode before the outage.
+		e.Sleep(10 * time.Millisecond)
+		if err := dfs.Mkdirs(e, "/warm"); err != nil {
+			t.Errorf("pre-outage mkdirs: %v", err)
+		}
+		// Start writing inside the outage: the first create attempts time out
+		// on the dead verbs path, trip the breaker, and the rest of the write
+		// control plane rides the IPoIB fallback.
+		e.Sleep(60*time.Millisecond - e.Now())
+		writeErr = dfs.CreateFile(e, "/fault", 8<<20, 2)
+		wrote = true
+	})
+	// Independent probe while the IB rail is still down: it must complete
+	// before the heal, which is only possible over the socket fallback.
+	cl.SpawnOn(client, "outage-probe", func(e exec.Env) {
+		e.Sleep(450 * time.Millisecond)
+		_, duringErr = fs.NewClient(client).GetFileInfo(e, "/warm")
+		duringAt = e.Now()
+	})
+	// Post-cooldown probe: the half-open breaker sends it down the verbs
+	// path, it succeeds against the healed fabric, and the breaker closes.
+	cl.SpawnOn(client, "recovery-probe", func(e exec.Env) {
+		e.Sleep(2500 * time.Millisecond)
+		_, afterErr = fs.NewClient(client).GetFileInfo(e, "/warm")
+		afterAt = e.Now()
+		fs.Stop()
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !wrote {
+		t.Fatal("driver never ran to completion")
+	}
+	if s := inj.Stats(); s.LinkDowns == 0 {
+		t.Fatalf("plan did not execute: %+v", s)
+	}
+	if duringErr != nil {
+		t.Errorf("probe during outage: %v", duringErr)
+	}
+	if duringAt >= outageEnd {
+		t.Errorf("outage probe finished at %v, after the heal at %v: it never proved the socket path", duringAt, outageEnd)
+	}
+	if duringAt <= outageStart {
+		t.Errorf("outage probe finished at %v, before the outage began", duringAt)
+	}
+	if afterErr != nil {
+		t.Errorf("post-recovery probe: %v", afterErr)
+	}
+	if afterAt < 2500*time.Millisecond {
+		t.Errorf("recovery probe finished at %v, before it was issued", afterAt)
+	}
+
+	snap := reg.Snapshot(end)
+	rep := &faultsim.Report{}
+	rep.CheckRuntime("hdfs", fs.Runtime())
+	rep.CheckDevicePools(cl.IBNet())
+	rep.CheckSnapshotBalance(snap)
+	return snap, rep, writeErr
+}
+
+// TestFaultFailoverIBOutage is the graceful-degradation acceptance test: an
+// IB-only outage from t=50ms to t=500ms must not stop an HDFSoIB write that
+// starts inside it. The breaker must complete at least one full open → close
+// cycle, calls must complete over the socket fallback during the outage, the
+// invariant report must be clean, and the whole run must replay
+// byte-identically under the same seed.
+func TestFaultFailoverIBOutage(t *testing.T) {
+	seed := chaosSeed(t)
+	snap1, rep, err := failoverOutage(t, seed)
+	if err != nil {
+		t.Fatalf("HDFS write across IB outage: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatal(rep.String())
+	}
+
+	// At least one full breaker cycle, and real traffic over the fallback.
+	for _, want := range []string{
+		"rpc_client_breaker_opens_total",
+		"rpc_client_breaker_half_opens_total",
+		"rpc_client_breaker_closes_total",
+		"rpc_client_failovers_total",
+		"rpc_client_fallback_calls_total",
+	} {
+		if snap1.Counters[want] == 0 {
+			t.Errorf("%s = 0, want > 0", want)
+		}
+	}
+	if open := snap1.Gauges["rpc_client_breaker_open"]; open != 0 {
+		t.Errorf("%d breaker(s) still open at end of run, want 0", open)
+	}
+
+	snap2, rep2, err2 := failoverOutage(t, seed)
+	if err2 != nil {
+		t.Fatalf("second run write: %v", err2)
+	}
+	if !rep2.OK() {
+		t.Fatalf("second run: %s", rep2.String())
+	}
+	if same, diff := faultsim.SameSnapshot(snap1, snap2); !same {
+		t.Fatalf("same-seed failover runs diverged: %s", diff)
+	}
+}

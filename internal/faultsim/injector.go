@@ -8,6 +8,7 @@ import (
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
+	"rpcoib/internal/perfmodel"
 )
 
 // Stats counts what the injector actually did during a run. Because the
@@ -198,12 +199,23 @@ func (inj *Injector) poolNodes(ev Event) []int {
 	return nodes
 }
 
-// setLinks applies one link state flip to the event's link set, across every
-// fabric (a flapped cable takes all rails riding it down together, matching
-// PartitionNode's semantics).
+// setLinks applies one link state flip to the event's link set. With no
+// Fabric it hits every rail together (a flapped cable takes everything riding
+// it down, matching PartitionNode's semantics); a named Fabric scopes the
+// flip to that one rail — the hook circuit-breaker failover tests hang off,
+// since an IB-only outage leaves the IPoIB fallback reachable.
 func (inj *Injector) setLinks(ev Event, down bool) {
+	fabrics := inj.cl.Fabrics()
+	if ev.Fabric != "" {
+		fabrics = fabrics[:0:0]
+		for _, kind := range []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB} {
+			if kind.String() == ev.Fabric {
+				fabrics = append(fabrics, inj.cl.Fabric(kind))
+			}
+		}
+	}
 	apply := func(a, b int) {
-		for _, f := range inj.cl.Fabrics() {
+		for _, f := range fabrics {
 			f.SetLinkDown(a, b, down)
 		}
 		if down {

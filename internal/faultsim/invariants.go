@@ -50,12 +50,46 @@ func (r *Report) CheckClient(name string, c *core.Client) {
 	}
 }
 
+// CheckBreakers asserts the circuit-breaker bookkeeping identities on one
+// client at quiescence. Every open (first or re-open) either is the current
+// state or was resolved by exactly one half-open probe, and every half-open
+// either is the current state or resolved to exactly one close or re-open:
+//
+//	opens + reopens - halfOpens  ∈ {0, 1}   (1 iff the breaker ended open)
+//	halfOpens - closes - reopens ∈ {0, 1}   (1 iff it ended half-open)
+func (r *Report) CheckBreakers(name string, c *core.Client) {
+	if c == nil {
+		return
+	}
+	for _, b := range core.Breakers(c) {
+		openDebt := b.Opens + b.Reopens - b.HalfOpens
+		wantOpen := int64(0)
+		if b.State == "open" {
+			wantOpen = 1
+		}
+		if openDebt != wantOpen {
+			r.Addf("%s: breaker %s (%s): opens %d + reopens %d - half-opens %d = %d, want %d",
+				name, b.Addr, b.State, b.Opens, b.Reopens, b.HalfOpens, openDebt, wantOpen)
+		}
+		probeDebt := b.HalfOpens - b.Closes - b.Reopens
+		wantProbe := int64(0)
+		if b.State == "half-open" {
+			wantProbe = 1
+		}
+		if probeDebt != wantProbe {
+			r.Addf("%s: breaker %s (%s): half-opens %d - closes %d - reopens %d = %d, want %d",
+				name, b.Addr, b.State, b.HalfOpens, b.Closes, b.Reopens, probeDebt, wantProbe)
+		}
+	}
+}
+
 // CheckRuntime runs CheckClient over every client cached in a runtime.
 // Capture rt.Clients() before closing the runtime if Close happens first —
 // Close empties the cache.
 func (r *Report) CheckRuntime(name string, rt *core.Runtime) {
 	for i, c := range rt.Clients() {
 		r.CheckClient(fmt.Sprintf("%s/client%d", name, i), c)
+		r.CheckBreakers(fmt.Sprintf("%s/client%d", name, i), c)
 	}
 }
 

@@ -51,6 +51,11 @@ type Event struct {
 	Peer int `json:"peer,omitempty"`
 	// AllLinks applies a link event to every node pair.
 	AllLinks bool `json:"all_links,omitempty"`
+	// Fabric scopes a link event to one interconnect rail by name ("1GigE",
+	// "10GigE", "IPoIB", "IB"); empty means every rail, matching a physical
+	// cable pull. An IB-only outage exercises circuit-breaker failover: verbs
+	// traffic dies while the IPoIB fallback stays reachable.
+	Fabric string `json:"fabric,omitempty"`
 	// DurMS is the flap/stall/outage length (see each kind).
 	DurMS int64 `json:"dur_ms,omitempty"`
 	// Bytes is the pool-limit registered-memory cap.
@@ -103,12 +108,18 @@ func (p Plan) Validate() error {
 			if !ev.AllLinks && ev.Node == ev.Peer {
 				return fmt.Errorf("faultsim: event %d: %s needs distinct node/peer or all_links", i, ev.Kind)
 			}
+			if err := validFabric(ev.Fabric); err != nil {
+				return fmt.Errorf("faultsim: event %d: %w", i, err)
+			}
 		case KindLinkFlap:
 			if ev.DurMS <= 0 {
 				return fmt.Errorf("faultsim: event %d: link-flap needs dur_ms > 0", i)
 			}
 			if !ev.AllLinks && ev.Node == ev.Peer {
 				return fmt.Errorf("faultsim: event %d: link-flap needs distinct node/peer or all_links", i)
+			}
+			if err := validFabric(ev.Fabric); err != nil {
+				return fmt.Errorf("faultsim: event %d: %w", i, err)
 			}
 		case KindNodeCrash, KindNodeRestart:
 			if ev.Node < 0 {
@@ -125,6 +136,13 @@ func (p Plan) Validate() error {
 		default:
 			return fmt.Errorf("faultsim: event %d: unknown kind %q", i, ev.Kind)
 		}
+		switch ev.Kind {
+		case KindLinkDown, KindLinkUp, KindLinkFlap:
+		default:
+			if ev.Fabric != "" {
+				return fmt.Errorf("faultsim: event %d: fabric only applies to link events", i)
+			}
+		}
 	}
 	for _, r := range []struct {
 		name string
@@ -136,6 +154,17 @@ func (p Plan) Validate() error {
 	}
 	if p.Profile.DelayRate > 0 && p.Profile.DelayMaxMS <= 0 {
 		return fmt.Errorf("faultsim: profile delay_rate needs delay_max_ms > 0")
+	}
+	return nil
+}
+
+// fabricNames are the recognized Event.Fabric values (perfmodel.LinkKind
+// names).
+var fabricNames = map[string]bool{"1GigE": true, "10GigE": true, "IPoIB": true, "IB": true}
+
+func validFabric(name string) error {
+	if name != "" && !fabricNames[name] {
+		return fmt.Errorf("unknown fabric %q (want 1GigE, 10GigE, IPoIB, or IB)", name)
 	}
 	return nil
 }

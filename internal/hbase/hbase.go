@@ -60,6 +60,15 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Metrics, when non-nil, instruments the region-server RPC endpoints.
 	Metrics *metrics.Registry
+	// RPCPolicy is applied to every client RPC (retries, deadlines); the zero
+	// value keeps single-attempt calls.
+	RPCPolicy core.CallPolicy
+	// RPCFailover arms the clients' circuit breakers (verbs → IPoIB socket
+	// failover under HBaseRDMA).
+	RPCFailover bool
+	// RPCCallTimeout overrides the per-attempt call timeout
+	// (core.DefaultCallTimeout if 0).
+	RPCCallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +127,10 @@ func (h *HBase) rpcClient(node int) *core.Client {
 	return h.rt.Client(node, "hbase-rpc", func() *core.Client {
 		return core.NewClient(h.net(node), core.Options{
 			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
-			Metrics: h.cfg.Metrics,
+			Metrics:     h.cfg.Metrics,
+			Policy:      h.cfg.RPCPolicy,
+			CallTimeout: h.cfg.RPCCallTimeout,
+			Failover:    h.cfg.RPCFailover,
 		})
 	})
 }

@@ -81,6 +81,18 @@ type Config struct {
 	// Metrics, when non-nil, instruments all RPC endpoints and the block
 	// data pipeline (per-stage packet/byte counters).
 	Metrics *metrics.Registry
+	// RPCPolicy is applied to every control-plane client call (retries with
+	// backoff, optional per-call deadline propagated to the NameNode). The
+	// zero value keeps single-attempt calls.
+	RPCPolicy core.CallPolicy
+	// RPCFailover arms the control-plane clients' circuit breakers: under
+	// RPCoIB, verbs-path failures re-route NameNode calls over IPoIB sockets
+	// until the fabric heals. No effect on baseline socket RPC.
+	RPCFailover bool
+	// RPCCallTimeout overrides the control-plane per-attempt call timeout
+	// (core.DefaultCallTimeout if 0). Short timeouts make breaker failover
+	// react within an outage instead of after it.
+	RPCCallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -214,7 +226,10 @@ func (h *HDFS) newRPCClient(node int) *core.Client {
 	return h.rt.Client(node, "hdfs-rpc", func() *core.Client {
 		return core.NewClient(h.rpcNet(node), core.Options{
 			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
-			Metrics: h.cfg.Metrics,
+			Metrics:     h.cfg.Metrics,
+			Policy:      h.cfg.RPCPolicy,
+			CallTimeout: h.cfg.RPCCallTimeout,
+			Failover:    h.cfg.RPCFailover,
 		})
 	})
 }
@@ -228,6 +243,7 @@ func (h *HDFS) heartbeatClient(node int) *core.Client {
 			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
 			Metrics:     h.cfg.Metrics,
 			CallTimeout: 2*h.cfg.HeartbeatInterval + time.Second,
+			Failover:    h.cfg.RPCFailover,
 		})
 	})
 }

@@ -295,7 +295,7 @@ func (n *Network) Dial(p *sim.Proc, srcNode int, addr string) (*EndPoint, error)
 			done.TryPutUnbounded(struct{}{})
 		})
 	})
-	_, ok, timedOut := done.GetTimeout(p, netsim.ConnectTimeout)
+	_, ok, timedOut := done.GetTimeout(p, d.fabric.ConnectTimeout())
 	if timedOut {
 		// A handshake frame was lost (partition or injected fault): fail the
 		// dial rather than wedging the caller forever.

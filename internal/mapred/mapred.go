@@ -46,6 +46,15 @@ type Config struct {
 	// Metrics, when non-nil, instruments the JobTracker, TaskTracker, and
 	// umbilical RPC endpoints.
 	Metrics *metrics.Registry
+	// RPCPolicy is applied to every client RPC (retries, deadlines); the zero
+	// value keeps single-attempt calls.
+	RPCPolicy core.CallPolicy
+	// RPCFailover arms the clients' circuit breakers (RPCoIB verbs → IPoIB
+	// socket failover).
+	RPCFailover bool
+	// RPCCallTimeout overrides the per-attempt call timeout
+	// (core.DefaultCallTimeout if 0).
+	RPCCallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -159,7 +168,10 @@ func (mr *MapReduce) newRPCClient(node int) *core.Client {
 	return mr.rt.Client(node, "mr-rpc", func() *core.Client {
 		return core.NewClient(mr.rpcNet(node), core.Options{
 			Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
-			Metrics: mr.cfg.Metrics,
+			Metrics:     mr.cfg.Metrics,
+			Policy:      mr.cfg.RPCPolicy,
+			CallTimeout: mr.cfg.RPCCallTimeout,
+			Failover:    mr.cfg.RPCFailover,
 		})
 	})
 }

@@ -34,6 +34,7 @@ type Fabric struct {
 	linkDown  map[linkKey]bool
 	held      map[linkKey][]heldXfer
 	hook      FaultHook
+	connTO    time.Duration
 
 	// Delivered counts messages and bytes that completed transfer.
 	Delivered      int64
@@ -249,6 +250,19 @@ func (f *Fabric) LinkDown(a, b int) bool { return f.linkDown[linkOf(a, b)] }
 // SetFaultHook installs (nil clears) the fault-injection hook consulted on
 // every inter-node transfer.
 func (f *Fabric) SetFaultHook(h FaultHook) { f.hook = h }
+
+// SetConnectTimeout overrides how long a connect handshake may block before
+// Dial fails (0 restores the package default). The verbs bootstrap on the
+// same fabric honors it too.
+func (f *Fabric) SetConnectTimeout(d time.Duration) { f.connTO = d }
+
+// ConnectTimeout returns the fabric's effective connect timeout.
+func (f *Fabric) ConnectTimeout() time.Duration {
+	if f.connTO > 0 {
+		return f.connTO
+	}
+	return ConnectTimeout
+}
 
 // Addr formats a node/port pair as a dialable address.
 func Addr(node, port int) string { return fmt.Sprintf("node%d:%d", node, port) }

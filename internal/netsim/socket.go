@@ -22,7 +22,9 @@ const handshakeBytes = 64
 // caller forever (the analog of Hadoop's ipc 20 s connect timeout). Without
 // it, a client whose re-dial raced a partition held its connection lock until
 // the end of the simulation, silently dropping every later call to that
-// server.
+// server. It is the fabric default; SetConnectTimeout overrides it per
+// fabric (simulated clusters default much lower so fault tests don't burn
+// wall-clock-scale virtual time waiting out dead dials).
 const ConnectTimeout = 20 * time.Second
 
 // ErrConnTimeout reports a connect handshake that never completed.
@@ -111,7 +113,7 @@ func (f *Fabric) Dial(p *sim.Proc, srcNode int, addr string) (*SocketConn, error
 			done.TryPutUnbounded(struct{}{})
 		})
 	})
-	_, ok, timedOut := done.GetTimeout(p, ConnectTimeout)
+	_, ok, timedOut := done.GetTimeout(p, f.ConnectTimeout())
 	if timedOut {
 		return nil, fmt.Errorf("%w: %s", ErrConnTimeout, addr)
 	}

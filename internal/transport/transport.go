@@ -55,6 +55,15 @@ type Network interface {
 	Kind() string
 }
 
+// FallbackDialer is implemented by networks that can reach the same peer
+// over a secondary transport — the RPCoIB network falls back to the IPoIB
+// sockets rail the paper keeps as its baseline. The client's circuit breaker
+// uses it to keep making progress while the primary (verbs) path is broken,
+// and to probe the primary again once the cooldown elapses.
+type FallbackDialer interface {
+	DialFallback(e exec.Env, addr string) (Conn, error)
+}
+
 // SizedSender is implemented by simulated transports that can bill wire
 // time for a virtual payload larger than the real bytes carried — how the
 // bulk data paths (HDFS blocks, shuffle segments) move gigabytes without
