@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race lint lint-write-golden staticcheck govulncheck
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static analysis (DESIGN.md S20): the project's own analyzer suite
+# (determinism, poolpair, metricnames, lockcall, statusexhaustive). Fails on
+# any finding; fix the code or add a justified //lint:wallclock marker.
+lint:
+	$(GO) run ./cmd/rpcoiblint ./...
+
+# Regenerate internal/faultsim/testdata/metric_names.golden from the static
+# view after deliberately adding or removing a metric family.
+lint-write-golden:
+	$(GO) run ./cmd/rpcoiblint -write-metric-golden ./...
+
+# Optional third-party analyzers: run when installed, skip otherwise (offline
+# build environments cannot `go install` new tools).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi

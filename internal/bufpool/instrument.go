@@ -2,6 +2,32 @@ package bufpool
 
 import "rpcoib/internal/metrics"
 
+// Metric family suffixes appended to the caller-chosen prefix (e.g.
+// "rpc_server_pool" + sufGets = rpc_server_pool_gets_total). Package-level
+// consts so the rpcoiblint metricnames analyzer can expand every concrete
+// family statically against metric_names.golden.
+const (
+	sufGets        = "_gets_total"
+	sufHits        = "_hits_total"
+	sufMisses      = "_misses_total"
+	sufOversize    = "_oversize_total"
+	sufPuts        = "_puts_total"
+	sufDoubleFrees = "_double_frees_total"
+	sufDenied      = "_denied_total"
+	sufBytes       = "_bytes_registered"
+	sufPeak        = "_peak_bytes_registered"
+
+	sufAcquires = "_acquires_total"
+	sufFirstFit = "_first_fit_total"
+	sufRegets   = "_regets_total"
+	sufShrinks  = "_shrinks_total"
+	sufGrows    = "_grows_total"
+	sufNewKeys  = "_new_keys_total"
+	sufKeys     = "_history_keys"
+
+	sufNative = "_native"
+)
+
 // nativeInstruments mirrors Stats into a metrics.Registry. The zero value is
 // inert (nil instruments no-op), so uninstrumented pools pay nothing.
 type nativeInstruments struct {
@@ -29,15 +55,15 @@ func (p *NativePool) Instrument(r *metrics.Registry, prefix string) {
 	defer p.mu.Unlock()
 	seed := p.m.gets == nil
 	p.m = nativeInstruments{
-		gets:        r.Counter(prefix + "_gets_total"),
-		hits:        r.Counter(prefix + "_hits_total"),
-		misses:      r.Counter(prefix + "_misses_total"),
-		oversize:    r.Counter(prefix + "_oversize_total"),
-		puts:        r.Counter(prefix + "_puts_total"),
-		doubleFrees: r.Counter(prefix + "_double_frees_total"),
-		denied:      r.Counter(prefix + "_denied_total"),
-		bytes:       r.Gauge(prefix + "_bytes_registered"),
-		peak:        r.Gauge(prefix + "_peak_bytes_registered"),
+		gets:        r.Counter(prefix + sufGets),
+		hits:        r.Counter(prefix + sufHits),
+		misses:      r.Counter(prefix + sufMisses),
+		oversize:    r.Counter(prefix + sufOversize),
+		puts:        r.Counter(prefix + sufPuts),
+		doubleFrees: r.Counter(prefix + sufDoubleFrees),
+		denied:      r.Counter(prefix + sufDenied),
+		bytes:       r.Gauge(prefix + sufBytes),
+		peak:        r.Gauge(prefix + sufPeak),
 	}
 	if seed {
 		p.m.gets.Add(p.stats.Gets)
@@ -75,13 +101,13 @@ func (s *ShadowPool) Instrument(r *metrics.Registry, prefix string) {
 	s.mu.Lock()
 	seed := s.m.acquires == nil
 	s.m = shadowInstruments{
-		acquires: r.Counter(prefix + "_acquires_total"),
-		firstFit: r.Counter(prefix + "_first_fit_total"),
-		regets:   r.Counter(prefix + "_regets_total"),
-		shrinks:  r.Counter(prefix + "_shrinks_total"),
-		grows:    r.Counter(prefix + "_grows_total"),
-		newKeys:  r.Counter(prefix + "_new_keys_total"),
-		keys:     r.Gauge(prefix + "_history_keys"),
+		acquires: r.Counter(prefix + sufAcquires),
+		firstFit: r.Counter(prefix + sufFirstFit),
+		regets:   r.Counter(prefix + sufRegets),
+		shrinks:  r.Counter(prefix + sufShrinks),
+		grows:    r.Counter(prefix + sufGrows),
+		newKeys:  r.Counter(prefix + sufNewKeys),
+		keys:     r.Gauge(prefix + sufKeys),
 	}
 	if seed {
 		s.m.acquires.Add(s.stats.Acquires)
@@ -93,5 +119,5 @@ func (s *ShadowPool) Instrument(r *metrics.Registry, prefix string) {
 	}
 	s.m.keys.Set(int64(len(s.history)))
 	s.mu.Unlock()
-	s.native.Instrument(r, prefix+"_native")
+	s.native.Instrument(r, prefix+sufNative)
 }

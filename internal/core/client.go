@@ -95,7 +95,7 @@ type connKey struct {
 func NewClient(net transport.Network, opts Options) *Client {
 	opts = opts.withDefaults()
 	if opts.Pool != nil {
-		opts.Pool.Instrument(opts.Metrics, "rpc_client_pool")
+		opts.Pool.Instrument(opts.Metrics, mClientPoolPrefix)
 	}
 	return &Client{
 		engine:  engine{opts: opts},
@@ -533,8 +533,12 @@ func (conn *Connection) receiveLoop(e exec.Env) {
 				f.outErr = &TooBusyError{Backoff: time.Duration(in.ReadVLong())}
 			case statusExpired:
 				f.outErr = ErrDeadlineExceeded
-			default:
+			case statusError:
 				f.outErr = &RemoteError{Msg: in.ReadText()}
+			default:
+				// Unknown status byte from a newer peer: surface it rather
+				// than silently decoding garbage as an error text.
+				f.outErr = &RemoteError{Msg: "unknown response status"}
 			}
 		}
 		c.work(e, cost.Serialize(in.Ops())+cost.Copy(n))

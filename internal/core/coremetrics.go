@@ -18,6 +18,47 @@ const (
 	stageRespond   = "respond"
 )
 
+// Metric family names. Kept as package-level consts so the static analyzer
+// (rpcoiblint metricnames) can enumerate them against metric_names.golden;
+// never build a family name with fmt.Sprintf or an inline literal.
+const (
+	mServerCallQueueDepth   = "rpc_server_call_queue_depth"
+	mServerResponderBacklog = "rpc_server_responder_backlog"
+	mServerHandlersBusy     = "rpc_server_handlers_busy"
+	mServerConnections      = "rpc_server_connections"
+	mServerCallsReceived    = "rpc_server_calls_received_total"
+	mServerCallsHandled     = "rpc_server_calls_handled_total"
+	mServerCallErrors       = "rpc_server_call_errors_total"
+	mServerCallsShed        = "rpc_server_calls_shed_total"
+	mServerCallsExpired     = "rpc_server_calls_expired_total"
+	mServerBytesIn          = "rpc_server_bytes_in_total"
+	mServerBytesOut         = "rpc_server_bytes_out_total"
+	mServerStageNS          = "rpc_server_stage_ns"
+	mServerPoolPrefix       = "rpc_server_pool"
+
+	mClientConnections      = "rpc_client_connections"
+	mClientOutstanding      = "rpc_client_outstanding_calls"
+	mClientCalls            = "rpc_client_calls_total"
+	mClientErrors           = "rpc_client_errors_total"
+	mClientTimeouts         = "rpc_client_timeouts_total"
+	mClientReconnects       = "rpc_client_reconnects_total"
+	mClientRetries          = "rpc_client_retries_total"
+	mClientBytesOut         = "rpc_client_bytes_out_total"
+	mClientDeadlineExceeded = "rpc_client_deadline_exceeded_total"
+	mClientBusy             = "rpc_client_busy_total"
+	mClientBreakerOpens     = "rpc_client_breaker_opens_total"
+	mClientBreakerHalfOpens = "rpc_client_breaker_half_opens_total"
+	mClientBreakerCloses    = "rpc_client_breaker_closes_total"
+	mClientBreakerReopens   = "rpc_client_breaker_reopens_total"
+	mClientBreakerOpen      = "rpc_client_breaker_open"
+	mClientFailovers        = "rpc_client_failovers_total"
+	mClientFallbackCalls    = "rpc_client_fallback_calls_total"
+	mClientCallNS           = "rpc_client_call_ns"
+	mClientIssued           = "rpc_client_issued_total"
+	mClientFailed           = "rpc_client_failed_total"
+	mClientPoolPrefix       = "rpc_client_pool"
+)
+
 // serverMetrics holds the server's pre-resolved instruments. The zero value
 // (nil fields) is inert, so an uninstrumented server pays only nil checks.
 type serverMetrics struct {
@@ -41,17 +82,17 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 	}
 	return serverMetrics{
 		reg:              r,
-		callQueueDepth:   r.Gauge("rpc_server_call_queue_depth"),
-		responderBacklog: r.Gauge("rpc_server_responder_backlog"),
-		handlersBusy:     r.Gauge("rpc_server_handlers_busy"),
-		connections:      r.Gauge("rpc_server_connections"),
-		callsReceived:    r.Counter("rpc_server_calls_received_total"),
-		callsHandled:     r.Counter("rpc_server_calls_handled_total"),
-		callErrors:       r.Counter("rpc_server_call_errors_total"),
-		callsShed:        r.Counter("rpc_server_calls_shed_total"),
-		callsExpired:     r.Counter("rpc_server_calls_expired_total"),
-		bytesIn:          r.Counter("rpc_server_bytes_in_total"),
-		bytesOut:         r.Counter("rpc_server_bytes_out_total"),
+		callQueueDepth:   r.Gauge(mServerCallQueueDepth),
+		responderBacklog: r.Gauge(mServerResponderBacklog),
+		handlersBusy:     r.Gauge(mServerHandlersBusy),
+		connections:      r.Gauge(mServerConnections),
+		callsReceived:    r.Counter(mServerCallsReceived),
+		callsHandled:     r.Counter(mServerCallsHandled),
+		callErrors:       r.Counter(mServerCallErrors),
+		callsShed:        r.Counter(mServerCallsShed),
+		callsExpired:     r.Counter(mServerCallsExpired),
+		bytesIn:          r.Counter(mServerBytesIn),
+		bytesOut:         r.Counter(mServerBytesOut),
 	}
 }
 
@@ -62,7 +103,7 @@ func (m *serverMetrics) stage(protocol, method, stage string) *metrics.Histogram
 	if m.reg == nil {
 		return nil
 	}
-	return m.reg.Histogram(metrics.Labels("rpc_server_stage_ns",
+	return m.reg.Histogram(metrics.Labels(mServerStageNS,
 		"protocol", protocol, "method", method, "stage", stage), nil)
 }
 
@@ -94,23 +135,23 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 	}
 	return clientMetrics{
 		reg:              r,
-		connections:      r.Gauge("rpc_client_connections"),
-		outstanding:      r.Gauge("rpc_client_outstanding_calls"),
-		calls:            r.Counter("rpc_client_calls_total"),
-		errors:           r.Counter("rpc_client_errors_total"),
-		timeouts:         r.Counter("rpc_client_timeouts_total"),
-		retries:          r.Counter("rpc_client_reconnects_total"),
-		policyRetries:    r.Counter("rpc_client_retries_total"),
-		bytesOut:         r.Counter("rpc_client_bytes_out_total"),
-		deadlineExceeded: r.Counter("rpc_client_deadline_exceeded_total"),
-		busyRejections:   r.Counter("rpc_client_busy_total"),
-		breakerOpens:     r.Counter("rpc_client_breaker_opens_total"),
-		breakerHalfOpens: r.Counter("rpc_client_breaker_half_opens_total"),
-		breakerCloses:    r.Counter("rpc_client_breaker_closes_total"),
-		breakerReopens:   r.Counter("rpc_client_breaker_reopens_total"),
-		breakerOpenGauge: r.Gauge("rpc_client_breaker_open"),
-		failovers:        r.Counter("rpc_client_failovers_total"),
-		fallbackCalls:    r.Counter("rpc_client_fallback_calls_total"),
+		connections:      r.Gauge(mClientConnections),
+		outstanding:      r.Gauge(mClientOutstanding),
+		calls:            r.Counter(mClientCalls),
+		errors:           r.Counter(mClientErrors),
+		timeouts:         r.Counter(mClientTimeouts),
+		retries:          r.Counter(mClientReconnects),
+		policyRetries:    r.Counter(mClientRetries),
+		bytesOut:         r.Counter(mClientBytesOut),
+		deadlineExceeded: r.Counter(mClientDeadlineExceeded),
+		busyRejections:   r.Counter(mClientBusy),
+		breakerOpens:     r.Counter(mClientBreakerOpens),
+		breakerHalfOpens: r.Counter(mClientBreakerHalfOpens),
+		breakerCloses:    r.Counter(mClientBreakerCloses),
+		breakerReopens:   r.Counter(mClientBreakerReopens),
+		breakerOpenGauge: r.Gauge(mClientBreakerOpen),
+		failovers:        r.Counter(mClientFailovers),
+		fallbackCalls:    r.Counter(mClientFallbackCalls),
 	}
 }
 
@@ -119,7 +160,7 @@ func (m *clientMetrics) rtt(protocol, method string) *metrics.Histogram {
 	if m.reg == nil {
 		return nil
 	}
-	return m.reg.Histogram(metrics.Labels("rpc_client_call_ns",
+	return m.reg.Histogram(metrics.Labels(mClientCallNS,
 		"protocol", protocol, "method", method), nil)
 }
 
@@ -130,7 +171,7 @@ func (m *clientMetrics) issued(protocol, method string) *metrics.Counter {
 	if m.reg == nil {
 		return nil
 	}
-	return m.reg.Counter(metrics.Labels("rpc_client_issued_total",
+	return m.reg.Counter(metrics.Labels(mClientIssued,
 		"protocol", protocol, "method", method))
 }
 
@@ -141,7 +182,7 @@ func (m *clientMetrics) failed(protocol, method string) *metrics.Counter {
 	if m.reg == nil {
 		return nil
 	}
-	return m.reg.Counter(metrics.Labels("rpc_client_failed_total",
+	return m.reg.Counter(metrics.Labels(mClientFailed,
 		"protocol", protocol, "method", method))
 }
 

@@ -64,7 +64,7 @@ type Server struct {
 func NewServer(net transport.Network, opts Options) *Server {
 	opts = opts.withDefaults()
 	if opts.Pool != nil {
-		opts.Pool.Instrument(opts.Metrics, "rpc_server_pool")
+		opts.Pool.Instrument(opts.Metrics, mServerPoolPrefix)
 	}
 	return &Server{
 		engine:    engine{opts: opts},

@@ -18,13 +18,18 @@ type RealEnv struct {
 
 // NewRealEnv returns an Env backed by goroutines and wall-clock time.
 func NewRealEnv(seed int64) *RealEnv {
+	//lint:wallclock real-mode epoch: RealEnv.Now is defined relative to creation time
 	return &RealEnv{start: time.Now(), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns wall-clock time elapsed since creation.
+//
+//lint:wallclock real-mode Env: wall time IS this environment's clock
 func (e *RealEnv) Now() time.Duration { return time.Since(e.start) }
 
 // Sleep pauses the calling goroutine.
+//
+//lint:wallclock real-mode Env: Sleep is implemented by actually sleeping
 func (e *RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
 
 // Work is a no-op in real mode.
@@ -103,14 +108,17 @@ func (q *realQueue) TryGet() (any, bool) {
 }
 
 func (q *realQueue) GetTimeout(_ Env, d time.Duration) (any, bool, bool) {
+	//lint:wallclock real-mode queue: the timeout deadline is a wall-clock instant
 	deadline := time.Now().Add(d)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.items.Len() == 0 && !q.closed {
+		//lint:wallclock real-mode queue: remaining wait is measured against the wall clock
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return nil, false, true
 		}
+		//lint:wallclock real-mode queue: timer wakes the cond.Wait when the deadline passes
 		t := time.AfterFunc(remaining, func() {
 			q.mu.Lock()
 			q.notEmpty.Broadcast()

@@ -48,6 +48,17 @@ type injMetrics struct {
 	crashes, restarts   *metrics.Counter
 }
 
+// Metric family names, as package-level consts for the rpcoiblint
+// metricnames analyzer's golden-file enumeration.
+const (
+	mFaultDrops      = "fault_drops_total"
+	mFaultDups       = "fault_dups_total"
+	mFaultDelays     = "fault_delays_total"
+	mFaultLinkEvents = "fault_link_events_total"
+	mFaultCrashes    = "fault_crashes_total"
+	mFaultRestarts   = "fault_restarts_total"
+)
+
 // Apply validates plan, arms the probabilistic profile on every fabric, and
 // schedules the scripted events on the cluster's simulator. It must be called
 // before the simulation runs (or at least before the first event time).
@@ -84,12 +95,12 @@ func (inj *Injector) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
-	inj.m.drops = reg.Counter("fault_drops_total")
-	inj.m.dups = reg.Counter("fault_dups_total")
-	inj.m.delays = reg.Counter("fault_delays_total")
-	inj.m.linkEvents = reg.Counter("fault_link_events_total")
-	inj.m.crashes = reg.Counter("fault_crashes_total")
-	inj.m.restarts = reg.Counter("fault_restarts_total")
+	inj.m.drops = reg.Counter(mFaultDrops)
+	inj.m.dups = reg.Counter(mFaultDups)
+	inj.m.delays = reg.Counter(mFaultDelays)
+	inj.m.linkEvents = reg.Counter(mFaultLinkEvents)
+	inj.m.crashes = reg.Counter(mFaultCrashes)
+	inj.m.restarts = reg.Counter(mFaultRestarts)
 }
 
 // OnTransfer implements netsim.FaultHook: one fixed-order PRNG consultation

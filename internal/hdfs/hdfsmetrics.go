@@ -2,6 +2,13 @@ package hdfs
 
 import "rpcoib/internal/metrics"
 
+// Metric family names, as package-level consts for the rpcoiblint
+// metricnames analyzer's golden-file enumeration.
+const (
+	mPipelinePackets = "hdfs_pipeline_packets_total"
+	mPipelineBytes   = "hdfs_pipeline_bytes_total"
+)
+
 // pipeStage counts data-pipeline traffic through one stage. The zero value
 // is inert (nil-safe instruments), so uninstrumented deployments pay nothing.
 type pipeStage struct {
@@ -35,8 +42,8 @@ func newHDFSMetrics(r *metrics.Registry) hdfsMetrics {
 	}
 	stage := func(name string) pipeStage {
 		return pipeStage{
-			packets: r.Counter(metrics.Labels("hdfs_pipeline_packets_total", "stage", name)),
-			bytes:   r.Counter(metrics.Labels("hdfs_pipeline_bytes_total", "stage", name)),
+			packets: r.Counter(metrics.Labels(mPipelinePackets, "stage", name)),
+			bytes:   r.Counter(metrics.Labels(mPipelineBytes, "stage", name)),
 		}
 	}
 	return hdfsMetrics{

@@ -2,6 +2,19 @@ package ibverbs
 
 import "rpcoib/internal/metrics"
 
+// Metric family names, as package-level consts for the rpcoiblint
+// metricnames analyzer's golden-file enumeration.
+const (
+	mEagerSends     = "ib_eager_sends_total"
+	mRDMASends      = "ib_rdma_sends_total"
+	mInlineSends    = "ib_inline_sends_total"
+	mEagerBytes     = "ib_eager_bytes_total"
+	mRDMABytes      = "ib_rdma_bytes_total"
+	mUnregisteredTx = "ib_unregistered_tx_total"
+	mCQPolls        = "ib_cq_polls_total"
+	mPostedRecvs    = "ib_posted_recvs_in_flight"
+)
+
 // netInstruments mirrors verbs traffic into a metrics.Registry. One set is
 // shared by every device on the network (fabric-wide totals); the zero value
 // is inert, so uninstrumented networks pay only nil checks inside the
@@ -28,14 +41,14 @@ func (n *Network) Instrument(r *metrics.Registry) {
 	}
 	seed := n.m.eagerSends == nil
 	m := netInstruments{
-		eagerSends:     r.Counter("ib_eager_sends_total"),
-		rdmaSends:      r.Counter("ib_rdma_sends_total"),
-		inlineSends:    r.Counter("ib_inline_sends_total"),
-		eagerBytes:     r.Counter("ib_eager_bytes_total"),
-		rdmaBytes:      r.Counter("ib_rdma_bytes_total"),
-		unregisteredTx: r.Counter("ib_unregistered_tx_total"),
-		cqPolls:        r.Counter("ib_cq_polls_total"),
-		postedRecvs:    r.Gauge("ib_posted_recvs_in_flight"),
+		eagerSends:     r.Counter(mEagerSends),
+		rdmaSends:      r.Counter(mRDMASends),
+		inlineSends:    r.Counter(mInlineSends),
+		eagerBytes:     r.Counter(mEagerBytes),
+		rdmaBytes:      r.Counter(mRDMABytes),
+		unregisteredTx: r.Counter(mUnregisteredTx),
+		cqPolls:        r.Counter(mCQPolls),
+		postedRecvs:    r.Gauge(mPostedRecvs),
 	}
 	if seed {
 		var s Stats

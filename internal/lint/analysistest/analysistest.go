@@ -1,0 +1,143 @@
+// Package analysistest runs a lint analyzer over fixture packages and checks
+// its diagnostics against `// want` comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract: a comment of the form
+//
+//	x := time.Now() // want `wall clock`
+//
+// asserts that the analyzer reports a diagnostic on that line matching the
+// quoted regular expression (several patterns may follow one want). Every
+// diagnostic must be wanted and every want must be matched.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rpcoib/internal/lint/analysis"
+	"rpcoib/internal/lint/loader"
+)
+
+// expectation is one want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies a to each fixture package under <testdata>/src and reports
+// mismatches between diagnostics and want comments through t. The analyzer's
+// per-package results are returned in pkg order for drivers that aggregate
+// facts (a test of the metricnames expansion uses this).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []any {
+	t.Helper()
+	ld := loader.NewFixtureLoader(filepath.Join(testdata, "src"))
+	var results []any
+	for _, pkgPath := range pkgs {
+		pkg, err := ld.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("%s: load %s: %v", a.Name, pkgPath, err)
+		}
+
+		var wants []*expectation
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range splitPatterns(strings.TrimPrefix(text, "want ")) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", posStr(pos), raw, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: run on %s: %v", a.Name, pkgPath, err)
+		}
+		results = append(results, res)
+
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			ok := false
+			for _, w := range wants {
+				if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: unexpected diagnostic: %s", posStr(pos), d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+			}
+		}
+	}
+	return results
+}
+
+// splitPatterns parses a want payload: one or more Go-quoted or backquoted
+// regexps separated by spaces.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if q, err := strconv.Unquote(s[:i+1]); err == nil {
+				out = append(out, q)
+			}
+			s = strings.TrimSpace(s[min(i+1, len(s)):])
+		case '`':
+			i := strings.IndexByte(s[1:], '`')
+			if i < 0 {
+				out = append(out, s[1:])
+				return out
+			}
+			out = append(out, s[1:1+i])
+			s = strings.TrimSpace(s[i+2:])
+		default:
+			// Unquoted single token.
+			i := strings.IndexByte(s, ' ')
+			if i < 0 {
+				out = append(out, s)
+				return out
+			}
+			out = append(out, s[:i])
+			s = strings.TrimSpace(s[i:])
+		}
+	}
+	return out
+}
+
+func posStr(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "determinismtest")
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint"
+)
+
+// TestSelfLint runs the full suite over the module itself — the same
+// invocation as `make lint` / `go run ./cmd/rpcoiblint ./...` — and demands
+// zero findings. Every real violation must either be fixed or carry a
+// justified //lint:wallclock marker, and metric_names.golden must match the
+// statically enumerable family set both ways.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint shells out to go list -export over the whole module")
+	}
+	findings, err := lint.Run([]string{"rpcoib/..."}, lint.Options{})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

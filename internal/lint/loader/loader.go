@@ -1,0 +1,213 @@
+// Package loader type-checks Go packages for the lint suite without
+// depending on golang.org/x/tools/go/packages.
+//
+// Module mode (LoadModule) shells out to `go list -export -deps -json`: the
+// go tool selects build-tagged files and produces gc export data for every
+// dependency, so only the module's own packages are parsed and type-checked
+// from source — dependencies are imported from compiled export data exactly
+// the way `go vet` does it. Fixture mode (LoadFixture) type-checks a plain
+// directory tree (analysistest testdata), resolving sibling fixture packages
+// from the same tree and the standard library from source.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadModule loads the module packages matched by patterns (plus type
+// information for everything they import) from the enclosing Go module.
+// Only packages belonging to the main module are returned: dependencies are
+// consumed as export data, never re-analyzed.
+func LoadModule(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	exports := map[string]string{} // import path -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	fset := token.NewFileSet()
+	ours := map[string]*types.Package{}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := importFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if tp, ok := ours[path]; ok {
+			return tp, nil
+		}
+		return gc.Import(path)
+	})
+
+	var loaded []*Package
+	// `go list -deps` emits packages in dependency order, so by the time a
+	// module package is reached every module package it imports is in ours.
+	for _, p := range pkgs {
+		if p.Module == nil || len(p.GoFiles) == 0 {
+			continue // dependency (stdlib): imported via export data on demand
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %v", p.ImportPath, err)
+		}
+		ours[p.ImportPath] = tp
+		loaded = append(loaded, &Package{PkgPath: p.ImportPath, Fset: fset, Files: files, Types: tp, Info: info})
+	}
+	return loaded, nil
+}
+
+type importFunc func(path string) (*types.Package, error)
+
+func (f importFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// FixtureLoader type-checks packages rooted at a testdata/src directory.
+// An import path resolves to <root>/<path> when that directory exists;
+// anything else falls back to the standard library, type-checked from
+// $GOROOT source (fixtures only import small stdlib packages, so this stays
+// fast).
+type FixtureLoader struct {
+	Root  string
+	Fset  *token.FileSet
+	cache map[string]*Package
+	src   types.Importer
+}
+
+// NewFixtureLoader creates a loader over root (a testdata/src directory).
+func NewFixtureLoader(root string) *FixtureLoader {
+	fset := token.NewFileSet()
+	return &FixtureLoader{
+		Root:  root,
+		Fset:  fset,
+		cache: map[string]*Package{},
+		src:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Load type-checks the fixture package at import path path.
+func (l *FixtureLoader) Load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importFunc(func(ipath string) (*types.Package, error) {
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if st, err := os.Stat(filepath.Join(l.Root, filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+			p, err := l.Load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.src.Import(ipath)
+	})}
+	tp, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check fixture %s: %v", path, err)
+	}
+	p := &Package{PkgPath: path, Fset: l.Fset, Files: files, Types: tp, Info: info}
+	l.cache[path] = p
+	return p, nil
+}

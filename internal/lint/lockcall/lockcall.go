@@ -1,0 +1,199 @@
+// Package lockcall flags blocking engine operations performed while holding
+// a sync.Mutex or sync.RWMutex — the S18 reconnect wedge, as a class.
+//
+// The codebase convention is that every operation that can suspend the
+// caller takes the caller's exec.Env (or *sim.Proc) as its first parameter:
+// RPC issue (Call/CallAsync/CallWith/Do), transport dial/send/receive,
+// queue Put/Get/GetTimeout, emutex lock, Env.Sleep/Work. Holding a plain
+// sync mutex across any of these wedges the cooperative scheduler: the
+// blocked thread parks inside the simulator while every other thread that
+// touches the mutex spins forever (the S18 bug held the client connection
+// mutex across a dial racing a partition). The queue-backed emutex exists
+// precisely because it may be held across blocking operations; sync mutexes
+// may not.
+//
+// The analyzer walks each function linearly, tracking mutexes locked via
+// X.Lock()/X.RLock() (released by the matching Unlock, or held to function
+// end when the unlock is deferred) and reports any blocking call made while
+// one is held. Blocking calls are recognized by name (Call, CallAsync,
+// CallWith, Do, Dial, DialFallback, Send, SendSized, SendPooled, Recv, Put,
+// Get, GetTimeout, Wait, lock, acquire, Sleep, Work) combined with the
+// Env-first-parameter convention, so bufpool.NativePool.Get (no Env
+// parameter; a plain mutex-guarded free list) is not confused with
+// exec.Queue.Get (blocking).
+package lockcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rpcoib/internal/lint/analysis"
+)
+
+// Analyzer is the mutex-held blocking-call check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcall",
+	Doc:  "no RPC call, fabric send, or other blocking operation while holding a sync mutex",
+	Run:  run,
+}
+
+// blockingNames lists candidate blocking operations; a call must both match
+// a name and follow the Env-first-parameter convention (or be a method on
+// Env/Proc itself) to count.
+var blockingNames = map[string]bool{
+	"Call": true, "CallAsync": true, "CallWith": true, "Do": true,
+	"Dial": true, "DialFallback": true,
+	"Send": true, "SendSized": true, "SendPooled": true, "Recv": true,
+	"Put": true, "Get": true, "GetTimeout": true, "Wait": true,
+	"lock": true, "acquire": true,
+	"Sleep": true, "Work": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody scans one function body in source order. Mutex hold windows are
+// tracked by the textual spelling of the lock receiver ("c.mu", "conn.mu"):
+// an approximation that matches how the codebase writes lock/unlock pairs.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]ast.Expr{} // receiver spelling -> Lock call site
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // walked independently by run
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the mutex stays held for the rest of the
+			// function; leave it in held.
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				if fn := calleeOf(pass, n); fn != nil && isBlocking(pass, fn, n) {
+					reportHeld(pass, n, fn, held)
+				}
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil {
+				return true
+			}
+			if isSyncMutexMethod(fn) {
+				key := types.ExprString(sel.X)
+				switch fn.Name() {
+				case "Lock", "RLock":
+					held[key] = n
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return true
+			}
+			if isBlocking(pass, fn, n) {
+				reportHeld(pass, n, fn, held)
+			}
+		}
+		return true
+	})
+}
+
+func reportHeld(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, held map[string]ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	key := ""
+	for k := range held {
+		if key == "" || k < key {
+			key = k // smallest spelling, for deterministic output
+		}
+	}
+	pass.Reportf(call.Pos(), "blocking call %s while holding mutex %s: a suspended holder wedges the cooperative scheduler (use the queue-backed emutex, or release first)", fn.Name(), key)
+}
+
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isSyncMutexMethod reports whether fn is sync.Mutex/RWMutex Lock family.
+func isSyncMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+// isBlocking applies the name + Env-convention test.
+func isBlocking(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr) bool {
+	if !blockingNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	// Methods on the execution environment itself (Env.Sleep, Env.Work,
+	// Proc.Sleep) block by definition.
+	if recv := sig.Recv(); recv != nil && isEnvLike(recv.Type()) {
+		switch fn.Name() {
+		case "Sleep", "Work":
+			return true
+		}
+	}
+	// Everything else blocks iff it takes the caller's Env/Proc first.
+	return sig.Params().Len() > 0 && isEnvLike(sig.Params().At(0).Type())
+}
+
+// isEnvLike recognizes the execution-environment handle types: the exec.Env
+// interface and the simulator's process type (named Env or Proc in an exec/
+// sim package).
+func isEnvLike(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Env" || name == "Proc"
+}

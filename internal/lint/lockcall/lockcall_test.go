@@ -1,0 +1,12 @@
+package lockcall_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/lockcall"
+)
+
+func TestLockCall(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockcall.Analyzer, "lockcalltest")
+}

@@ -1,0 +1,370 @@
+// Package metricnames enforces the metric-namespace discipline behind the
+// S16 golden guard: every metric family registered through
+// metrics.Registry.Counter/Gauge/Histogram (or named via metrics.Labels)
+// must be statically enumerable, so the static view and the runtime golden
+// file (internal/faultsim/testdata/metric_names.golden) can never disagree.
+//
+// Per registration site the name expression must be one of:
+//
+//   - a package-level string constant (possibly a constant concatenation) —
+//     never an inline string literal or a fmt.Sprintf result;
+//   - metrics.Labels(base, ...) where base follows the same rules (labels
+//     are runtime values; the golden guard tracks families, not series);
+//   - prefix + const, where prefix is a string parameter literally named
+//     "prefix" of the enclosing function (the bufpool Instrument pattern:
+//     one instrument body serves rpc_client_pool and rpc_server_pool).
+//
+// Calls that pass a value to a parameter named "prefix" are edges of a tiny
+// interprocedural constant propagation: the driver resolves every concrete
+// prefix that reaches each Instrument-style function (Expand) and so
+// recovers the full family set, which it then compares both ways against
+// the golden file. A prefix argument must itself be const-resolvable (a
+// constant, or the caller's own prefix parameter plus a constant).
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rpcoib/internal/lint/analysis"
+)
+
+// Analyzer is the metric-name discipline check. Its per-package result is a
+// *Facts value the driver aggregates.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names must be package-level consts enumerable against metric_names.golden",
+	Run:  run,
+}
+
+// Family is one statically resolved metric family registration.
+type Family struct {
+	Name string
+	Pos  token.Pos
+}
+
+// Deferred is a registration whose name is prefix+Suffix for the enclosing
+// function's prefix parameter; the concrete families appear once Expand has
+// propagated prefixes to Fn.
+type Deferred struct {
+	Fn     string // types.Func.FullName of the enclosing function
+	Suffix string
+	Pos    token.Pos
+}
+
+// PrefixEdge is a call passing a prefix argument to Callee's prefix
+// parameter: either a constant Value, or the caller's own prefix parameter
+// plus Suffix (ViaParam).
+type PrefixEdge struct {
+	CallerFn string
+	Callee   string
+	Value    string
+	Suffix   string
+	ViaParam bool
+	Pos      token.Pos
+}
+
+// Facts is the per-package analyzer result.
+type Facts struct {
+	Families []Family
+	Deferred []Deferred
+	Edges    []PrefixEdge
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := &Facts{}
+	for _, f := range pass.Files {
+		var fnStack []*types.Func
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+				fnStack = append(fnStack, fn)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, facts, n, current(fnStack))
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return facts, nil
+}
+
+func current(stack []*types.Func) *types.Func {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkCall inspects one call: a registry registration, a Labels call, or a
+// prefix-parameter edge.
+func checkCall(pass *analysis.Pass, facts *Facts, call *ast.CallExpr, enclosing *types.Func) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if isRegistryCall(fn) || isLabelsCall(fn) {
+		if len(call.Args) == 0 {
+			return
+		}
+		resolveName(pass, facts, call.Args[0], enclosing, fn.Name())
+		return
+	}
+	// Prefix edge: the callee has a string parameter named "prefix".
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() != "prefix" || !isString(p.Type()) || i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[i]
+		if val, ok := constName(pass, arg); ok {
+			if lit := literalIn(arg); lit != nil {
+				pass.Reportf(lit.Pos(), "metric prefix passed to %s must be a package-level const, not an inline literal", fn.Name())
+			}
+			facts.Edges = append(facts.Edges, PrefixEdge{CallerFn: fullName(enclosing), Callee: fn.FullName(), Value: val, Pos: arg.Pos()})
+		} else if suffix, ok := prefixPlusConst(pass, facts, arg, enclosing, fn.Name()); ok {
+			facts.Edges = append(facts.Edges, PrefixEdge{CallerFn: fullName(enclosing), Callee: fn.FullName(), Suffix: suffix, ViaParam: true, Pos: arg.Pos()})
+		} else {
+			pass.Reportf(arg.Pos(), "metric prefix passed to %s must be a package-level const or prefix+const", fn.Name())
+		}
+	}
+}
+
+// resolveName validates a metric-name expression and records the family it
+// denotes (directly or deferred).
+func resolveName(pass *analysis.Pass, facts *Facts, arg ast.Expr, enclosing *types.Func, site string) {
+	arg = ast.Unparen(arg)
+
+	// metrics.Labels(base, kv...): the family is the base.
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if lf := calleeFunc(pass.TypesInfo, inner); lf != nil && isLabelsCall(lf) {
+			// Labels calls are checked at their own site; nothing more here.
+			return
+		}
+	}
+
+	if val, ok := constName(pass, arg); ok {
+		if lit := literalIn(arg); lit != nil {
+			pass.Reportf(lit.Pos(), "metric name in %s must be a package-level const, not an inline literal", site)
+			return
+		}
+		facts.Families = append(facts.Families, Family{Name: val, Pos: arg.Pos()})
+		return
+	}
+	if suffix, ok := prefixPlusConst(pass, facts, arg, enclosing, site); ok {
+		facts.Deferred = append(facts.Deferred, Deferred{Fn: fullName(enclosing), Suffix: suffix, Pos: arg.Pos()})
+		return
+	}
+	pass.Reportf(arg.Pos(), "metric name in %s must be a package-level const (or prefix+const); dynamic names defeat the golden guard", site)
+}
+
+// constName reports the constant string value of e if the whole expression
+// is compile-time constant.
+func constName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// literalIn returns an inline string literal appearing anywhere in a
+// constant name expression (which the discipline forbids), or nil.
+func literalIn(e ast.Expr) *ast.BasicLit {
+	var found *ast.BasicLit
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING && found == nil {
+			found = lit
+		}
+		return found == nil
+	})
+	return found
+}
+
+// prefixPlusConst matches `prefix` or `prefix + <const>` where prefix is a
+// string parameter named "prefix" of the enclosing function; it returns the
+// constant suffix.
+func prefixPlusConst(pass *analysis.Pass, facts *Facts, e ast.Expr, enclosing *types.Func, site string) (string, bool) {
+	e = ast.Unparen(e)
+	if isPrefixParam(pass, e, enclosing) {
+		return "", true
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD || !isPrefixParam(pass, bin.X, enclosing) {
+		return "", false
+	}
+	val, ok := constName(pass, bin.Y)
+	if !ok {
+		return "", false
+	}
+	if lit := literalIn(bin.Y); lit != nil {
+		pass.Reportf(lit.Pos(), "metric name suffix in %s must be a package-level const, not an inline literal", site)
+	}
+	return val, true
+}
+
+func isPrefixParam(pass *analysis.Pass, e ast.Expr, enclosing *types.Func) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "prefix" || enclosing == nil {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !isString(v.Type()) {
+		return false
+	}
+	sig, ok := enclosing.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isRegistryCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || !isMetricsPkg(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}
+
+func isLabelsCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || !isMetricsPkg(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && fn.Name() == "Labels"
+}
+
+func isMetricsPkg(path string) bool {
+	return path == "metrics" || strings.HasSuffix(path, "/metrics")
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return "<package scope>"
+	}
+	return fn.FullName()
+}
+
+// Problem is an expansion failure the driver reports without a position in
+// user code (e.g. a prefix parameter no constant ever reaches).
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Expand aggregates per-package Facts into the full statically-known family
+// set by propagating constant prefixes along Instrument-style call edges to
+// a fixed point.
+func Expand(all []*Facts) (families map[string][]token.Pos, problems []Problem) {
+	prefixes := map[string]map[string]bool{} // fn full name -> concrete prefixes
+	add := func(fn, val string) bool {
+		m := prefixes[fn]
+		if m == nil {
+			m = map[string]bool{}
+			prefixes[fn] = m
+		}
+		if m[val] {
+			return false
+		}
+		m[val] = true
+		return true
+	}
+	var edges []PrefixEdge
+	for _, f := range all {
+		edges = append(edges, f.Edges...)
+	}
+	changed := true
+	for iter := 0; changed && iter <= len(edges)+1; iter++ {
+		changed = false
+		for _, e := range edges {
+			if e.ViaParam {
+				for p := range prefixes[e.CallerFn] {
+					if add(e.Callee, p+e.Suffix) {
+						changed = true
+					}
+				}
+			} else if add(e.Callee, e.Value) {
+				changed = true
+			}
+		}
+	}
+
+	families = map[string][]token.Pos{}
+	for _, f := range all {
+		for _, fam := range f.Families {
+			families[fam.Name] = append(families[fam.Name], fam.Pos)
+		}
+		for _, d := range f.Deferred {
+			ps := prefixes[d.Fn]
+			if len(ps) == 0 {
+				problems = append(problems, Problem{Pos: d.Pos, Message: "no constant metric prefix ever reaches " + d.Fn + "; the family " + d.Suffix + " cannot be enumerated"})
+				continue
+			}
+			names := make([]string, 0, len(ps))
+			for p := range ps {
+				names = append(names, p+d.Suffix)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				families[n] = append(families[n], d.Pos)
+			}
+		}
+	}
+	return families, problems
+}

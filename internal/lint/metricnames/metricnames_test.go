@@ -1,0 +1,70 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	results := analysistest.Run(t, "../testdata", metricnames.Analyzer, "metricnamestest")
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	facts, ok := results[0].(*metricnames.Facts)
+	if !ok || facts == nil {
+		t.Fatalf("analyzer result is %T, want *metricnames.Facts", results[0])
+	}
+	families, _ := metricnames.Expand([]*metricnames.Facts{facts})
+	// The fixture's instrument/instrumentNative chain must expand through the
+	// prefix edges: fix_pool directly, and fix_pool_native via the recursive
+	// call — the same shape as ShadowPool.Instrument -> NativePool.Instrument.
+	for _, want := range []string{
+		"fix_calls_total", "fix_depth", "fix_latency_ns",
+		"fix_pool_gets_total", "fix_pool_hits_total",
+		"fix_pool_native_gets_total", "fix_pool_native_hits_total",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("expanded families missing %q (got %d families)", want, len(families))
+		}
+	}
+}
+
+func TestExpandFixpoint(t *testing.T) {
+	facts := &metricnames.Facts{
+		Families: []metricnames.Family{{Name: "rpc_calls_total"}},
+		Deferred: []metricnames.Deferred{
+			{Fn: "shadow.Instrument", Suffix: "_acquires_total"},
+			{Fn: "native.Instrument", Suffix: "_gets_total"},
+		},
+		Edges: []metricnames.PrefixEdge{
+			{CallerFn: "core.NewClient", Callee: "shadow.Instrument", Value: "rpc_client_pool"},
+			{CallerFn: "core.NewServer", Callee: "shadow.Instrument", Value: "rpc_server_pool"},
+			{CallerFn: "shadow.Instrument", Callee: "native.Instrument", Suffix: "_native", ViaParam: true},
+		},
+	}
+	families, problems := metricnames.Expand([]*metricnames.Facts{facts})
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	for _, want := range []string{
+		"rpc_calls_total",
+		"rpc_client_pool_acquires_total",
+		"rpc_server_pool_acquires_total",
+		"rpc_client_pool_native_gets_total",
+		"rpc_server_pool_native_gets_total",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("families missing %q", want)
+		}
+	}
+	if len(families) != 5 {
+		t.Errorf("got %d families, want 5: %v", len(families), families)
+	}
+
+	orphan := &metricnames.Facts{Deferred: []metricnames.Deferred{{Fn: "x.Instrument", Suffix: "_y_total"}}}
+	if _, problems := metricnames.Expand([]*metricnames.Facts{orphan}); len(problems) != 1 {
+		t.Errorf("orphan deferred family: got %d problems, want 1", len(problems))
+	}
+}

@@ -1,0 +1,697 @@
+// Package poolpair checks that registered buffers acquired from the bufpool
+// package are released exactly once on every intra-function path.
+//
+// The paper's buffer pool (Design idea 2/3) hands out pre-registered native
+// buffers; a Get/Acquire without a matching Put/Release leaks registered
+// memory (the ledger invariant Gets==Puts that faultsim.Report asserts at
+// runtime), and a double Put would hand one buffer to two callers. This
+// analyzer moves the common cases of both from "found by seed 13" to
+// "rejected before merge": it tracks each local variable bound to the result
+// of a Get/Acquire/Grow call on a bufpool type and walks the function's
+// statement tree path-sensitively:
+//
+//   - at every return (and fall-off-the-end), a tracked buffer that is still
+//     held — or held on some branch — is reported, pointing at both the exit
+//     and the acquisition;
+//   - a second Put/Release of an already-released buffer is reported;
+//   - an acquisition whose result is discarded outright is reported.
+//
+// The check is deliberately conservative about escapes: a buffer that is
+// returned, stored into a struct, map, slice, or channel, captured whole by
+// a closure, or passed to any non-pool call transfers its release
+// obligation elsewhere and stops being tracked. Selector uses (b.Data,
+// b.Cap()) and nil comparisons do not escape. Grow(b, n) releases b and the
+// assigned result starts a new obligation, mirroring ShadowPool.Grow's
+// put-and-reget contract.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rpcoib/internal/lint/analysis"
+)
+
+// Analyzer is the pool Get/Put pairing check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every bufpool acquisition must reach exactly one Put/Release on all intra-function paths",
+	Run:  run,
+}
+
+// status is the tracking state of one acquired buffer variable.
+type status uint8
+
+const (
+	held      status = iota // acquired, release still owed
+	maybeHeld               // released on some branches only
+	released                // released on all branches so far
+	escaped                 // obligation transferred; no longer tracked
+)
+
+// track is one acquisition obligation.
+type track struct {
+	v          *types.Var
+	acquiredAt token.Pos
+	st         status
+}
+
+// state maps buffer variables to their obligation, copied at branch points.
+type state map[*types.Var]*track
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		cv := *v
+		c[k] = &cv
+	}
+	return c
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Body)
+				}
+				return false // nested func literals are walked by checkFunc
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	st := state{}
+	terminated := c.walkStmt(body, st)
+	if !terminated {
+		c.checkExit(st, body.End())
+	}
+	// Func literals declared inside get their own independent walk (their
+	// captured-variable effects were already treated as escapes/releases at
+	// the capture site).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkExit reports every obligation still (maybe) held when a path leaves
+// the function at pos.
+func (c *checker) checkExit(s state, pos token.Pos) {
+	for _, t := range s {
+		switch t.st {
+		case held:
+			c.pass.Reportf(pos, "pool buffer %q (acquired at %s) is not released on this path", t.v.Name(), c.pos(t.acquiredAt))
+		case maybeHeld:
+			c.pass.Reportf(pos, "pool buffer %q (acquired at %s) is released on some paths but not this one", t.v.Name(), c.pos(t.acquiredAt))
+		}
+	}
+}
+
+func (c *checker) pos(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
+	return pos.Filename[strings.LastIndexByte(pos.Filename, '/')+1:] + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// walkStmt interprets one statement, mutating s; it reports whether the
+// statement always terminates the enclosing path (return / branch).
+func (c *checker) walkStmt(stmt ast.Stmt, s state) bool {
+	switch n := stmt.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, st := range n.List {
+			if c.walkStmt(st, s) {
+				return true
+			}
+		}
+		return false
+
+	case *ast.AssignStmt:
+		c.walkAssign(n, s)
+		return false
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							c.bindValue(name, vs.Values[i], s)
+						}
+					}
+				}
+			}
+		}
+		return false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if c.isAcquire(call) != "" {
+				c.pass.Reportf(call.Pos(), "result of %s discarded: the acquired buffer can never be released", c.callName(call))
+				c.scanExpr(call, s, false)
+				return false
+			}
+		}
+		c.scanExpr(n.X, s, false)
+		return false
+
+	case *ast.DeferStmt:
+		// Releases inside a defer satisfy the obligation at every exit;
+		// other captured uses are ignored (they run at exit, after the
+		// obligation question is settled).
+		c.applyReleases(n.Call, s)
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					c.applyReleases(call, s)
+				}
+				return true
+			})
+		}
+		return false
+
+	case *ast.GoStmt:
+		// A goroutine may release asynchronously; treat releases as
+		// satisfied and anything else captured as escaped.
+		c.applyReleases(n.Call, s)
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					c.applyReleases(call, s)
+				}
+				return true
+			})
+		}
+		c.scanExpr(n.Call, s, true)
+		return false
+
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.scanExpr(r, s, false)
+		}
+		c.checkExit(s, n.Pos())
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: stop the linear walk of this branch without
+		// an exit check (lenient: the release may happen after the loop).
+		return true
+
+	case *ast.IfStmt:
+		c.walkStmt(n.Init, s)
+		c.scanExpr(n.Cond, s, false)
+		thenState := s.clone()
+		thenTerm := c.walkStmt(n.Body, thenState)
+		elseState := s.clone()
+		elseTerm := false
+		if n.Else != nil {
+			elseTerm = c.walkStmt(n.Else, elseState)
+		}
+		merge(s, thenState, thenTerm, elseState, elseTerm)
+		return thenTerm && elseTerm
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranches(n, s)
+
+	case *ast.ForStmt:
+		c.walkStmt(n.Init, s)
+		c.scanExpr(n.Cond, s, false)
+		bodyState := s.clone()
+		c.walkStmt(n.Body, bodyState)
+		c.walkStmt(n.Post, bodyState)
+		c.loopMerge(s, bodyState, n.Body)
+		return false
+
+	case *ast.RangeStmt:
+		c.scanExpr(n.X, s, false)
+		bodyState := s.clone()
+		c.walkStmt(n.Body, bodyState)
+		c.loopMerge(s, bodyState, n.Body)
+		return false
+
+	case *ast.LabeledStmt:
+		return c.walkStmt(n.Stmt, s)
+
+	case *ast.SendStmt:
+		c.scanExpr(n.Chan, s, false)
+		c.scanExpr(n.Value, s, false)
+		return false
+
+	case *ast.IncDecStmt:
+		c.scanExpr(n.X, s, false)
+		return false
+
+	default:
+		return false
+	}
+}
+
+// walkBranches handles switch/select: each clause runs on a cloned state.
+// With a default clause (or any select, which always executes some clause)
+// exactly one clause runs, so s becomes the merge of the non-terminating
+// clause states; without one, the no-match path keeps s and the clause
+// states merge into it. Reports whether every path through the statement
+// terminates.
+func (c *checker) walkBranches(stmt ast.Stmt, s state) bool {
+	var body *ast.BlockStmt
+	exhaustive := false
+	switch n := stmt.(type) {
+	case *ast.SwitchStmt:
+		c.walkStmt(n.Init, s)
+		c.scanExpr(n.Tag, s, false)
+		body = n.Body
+	case *ast.TypeSwitchStmt:
+		c.walkStmt(n.Init, s)
+		body = n.Body
+	case *ast.SelectStmt:
+		body = n.Body
+		exhaustive = true
+	}
+	var nonTerm []state
+	for _, cl := range body.List {
+		cs := s.clone()
+		term := false
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				exhaustive = true // default clause
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, cs, false)
+			}
+			term = c.walkStmts(cl.Body, cs)
+		case *ast.CommClause:
+			c.walkStmt(cl.Comm, cs)
+			term = c.walkStmts(cl.Body, cs)
+		}
+		if !term {
+			nonTerm = append(nonTerm, cs)
+		}
+	}
+	if exhaustive {
+		if len(nonTerm) == 0 {
+			return len(body.List) > 0
+		}
+		replace(s, nonTerm[0])
+		for _, cs := range nonTerm[1:] {
+			mergeInto(s, cs)
+		}
+		return false
+	}
+	for _, cs := range nonTerm {
+		mergeInto(s, cs)
+	}
+	return false
+}
+
+func (c *checker) walkStmts(list []ast.Stmt, s state) bool {
+	for _, st := range list {
+		if c.walkStmt(st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopMerge folds a loop body's effects into the outer state leniently:
+// releases in the body count (the loop is assumed to run), and obligations
+// acquired inside the body that are still held at its end are reported there
+// (they would leak once per iteration).
+func (c *checker) loopMerge(outer, body state, at *ast.BlockStmt) {
+	for v, t := range body {
+		if o, ok := outer[v]; ok {
+			o.st = t.st
+			continue
+		}
+		switch t.st {
+		case held:
+			c.pass.Reportf(at.End(), "pool buffer %q (acquired at %s) leaks every loop iteration", t.v.Name(), c.pos(t.acquiredAt))
+		case maybeHeld:
+			c.pass.Reportf(at.End(), "pool buffer %q (acquired at %s) leaks on some path of every loop iteration", t.v.Name(), c.pos(t.acquiredAt))
+		}
+	}
+}
+
+// merge combines the two arms of an if into s.
+func merge(s, a state, aTerm bool, b state, bTerm bool) {
+	switch {
+	case aTerm && bTerm:
+		// Unreachable after the if; leave s as-is (callers return true).
+	case aTerm:
+		replace(s, b)
+	case bTerm:
+		replace(s, a)
+	default:
+		replace(s, a)
+		mergeInto(s, b)
+	}
+}
+
+func replace(dst, src state) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// mergeInto merges src's statuses into dst: agreement keeps the status,
+// disagreement between held and released becomes maybeHeld, escape wins.
+func mergeInto(dst, src state) {
+	for v, t := range src {
+		d, ok := dst[v]
+		if !ok {
+			dst[v] = t
+			continue
+		}
+		if d.st == t.st {
+			continue
+		}
+		if d.st == escaped || t.st == escaped {
+			d.st = escaped
+			continue
+		}
+		d.st = maybeHeld
+	}
+}
+
+// walkAssign handles acquisitions (b := pool.Get(n)), aliasing, and escapes
+// through assignment.
+func (c *checker) walkAssign(n *ast.AssignStmt, s state) {
+	// Pairwise assignment: acquisition RHS binds a new obligation to an
+	// identifier LHS; anything else is scanned for uses.
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			c.bindValue(n.Lhs[i], n.Rhs[i], s)
+		}
+		return
+	}
+	for _, r := range n.Rhs {
+		c.scanExpr(r, s, false)
+	}
+	for _, l := range n.Lhs {
+		c.scanExpr(l, s, false)
+	}
+}
+
+// bindValue processes one lhs = rhs pair.
+func (c *checker) bindValue(lhs, rhs ast.Expr, s state) {
+	call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+	if isCall && c.isAcquire(call) != "" {
+		// Grow releases its buffer argument before handing out the new one.
+		c.applyReleases(call, s)
+		// Scan the non-buffer arguments for stray uses.
+		id, _ := ast.Unparen(lhs).(*ast.Ident)
+		if id == nil {
+			// s.buf = pool.Grow(...): stored straight into a field/element;
+			// the obligation escapes with it.
+			c.scanExpr(lhs, s, false)
+			return
+		}
+		if id.Name == "_" {
+			c.pass.Reportf(call.Pos(), "result of %s discarded: the acquired buffer can never be released", c.callName(call))
+			return
+		}
+		v := asVar(c.pass.TypesInfo, id)
+		if v == nil {
+			return
+		}
+		if old, ok := s[v]; ok && (old.st == held || old.st == maybeHeld) {
+			c.pass.Reportf(call.Pos(), "pool buffer %q (acquired at %s) is overwritten before being released", v.Name(), c.pos(old.acquiredAt))
+		}
+		s[v] = &track{v: v, acquiredAt: call.Pos(), st: held}
+		return
+	}
+	// Aliasing: c := b keeps both names tracked as one obligation? The
+	// conservative choice is to transfer: the old name escapes into the new
+	// one, and the new name carries the obligation.
+	if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+		if rv := asVar(c.pass.TypesInfo, rid); rv != nil {
+			if t, ok := s[rv]; ok && t.st != escaped {
+				if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if lv := asVar(c.pass.TypesInfo, lid); lv != nil {
+						s[lv] = &track{v: lv, acquiredAt: t.acquiredAt, st: t.st}
+						t.st = escaped
+						return
+					}
+				}
+				t.st = escaped
+			}
+		}
+	}
+	c.scanExpr(rhs, s, false)
+	// Assigning INTO a tracked variable (plain overwrite with nil etc.)
+	// drops the old obligation only if it was already settled.
+	if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if lv := asVar(c.pass.TypesInfo, lid); lv != nil {
+			if t, ok := s[lv]; ok && (t.st == held || t.st == maybeHeld) {
+				c.pass.Reportf(lhs.Pos(), "pool buffer %q (acquired at %s) is overwritten before being released", lv.Name(), c.pos(t.acquiredAt))
+				delete(s, lv)
+			}
+		}
+		return
+	}
+	c.scanExpr(lhs, s, false)
+}
+
+// applyReleases marks tracked variables passed to a pool Put/Release/Grow as
+// released, reporting double releases.
+func (c *checker) applyReleases(call *ast.CallExpr, s state) {
+	if !c.isRelease(call) {
+		return
+	}
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := asVar(c.pass.TypesInfo, id)
+		if v == nil {
+			continue
+		}
+		t, ok := s[v]
+		if !ok {
+			continue
+		}
+		switch t.st {
+		case released:
+			c.pass.Reportf(call.Pos(), "pool buffer %q (acquired at %s) is released twice", v.Name(), c.pos(t.acquiredAt))
+		case held, maybeHeld:
+			t.st = released
+		}
+	}
+}
+
+// scanExpr walks an expression looking for uses of tracked variables.
+// Protected positions (selector base, nil comparison, pool release argument)
+// leave the obligation alone; any other whole-value use escapes it.
+// inCall marks that the expression is already a call argument context.
+func (c *checker) scanExpr(e ast.Expr, s state, inCall bool) {
+	if e == nil {
+		return
+	}
+	switch n := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := asVar(c.pass.TypesInfo, n); v != nil {
+			if t, ok := s[v]; ok && t.st != escaped && t.st != released {
+				t.st = escaped
+			}
+		}
+	case *ast.SelectorExpr:
+		// b.Data / b.Cap(): reading through the variable is fine.
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if v := asVar(c.pass.TypesInfo, id); v != nil {
+				if _, tracked := s[v]; tracked {
+					return
+				}
+			}
+		}
+		c.scanExpr(n.X, s, inCall)
+	case *ast.BinaryExpr:
+		// b == nil / b != nil comparisons don't escape.
+		if n.Op == token.EQL || n.Op == token.NEQ {
+			if isNil(c.pass.TypesInfo, n.X) || isNil(c.pass.TypesInfo, n.Y) {
+				return
+			}
+		}
+		c.scanExpr(n.X, s, inCall)
+		c.scanExpr(n.Y, s, inCall)
+	case *ast.CallExpr:
+		if c.isRelease(n) {
+			c.applyReleases(n, s)
+			// Non-identifier arguments may still contain uses.
+			for _, a := range n.Args {
+				if _, ok := ast.Unparen(a).(*ast.Ident); !ok {
+					c.scanExpr(a, s, true)
+				}
+			}
+			return
+		}
+		c.scanExpr(n.Fun, s, true)
+		for _, a := range n.Args {
+			c.scanExpr(a, s, true)
+		}
+	case *ast.FuncLit:
+		// Whole-closure capture: releases inside count, other uses escape.
+		ast.Inspect(n.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				c.applyReleases(call, s)
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				if v := asVar(c.pass.TypesInfo, id); v != nil {
+					if t, ok := s[v]; ok && t.st == held {
+						t.st = escaped
+					}
+				}
+			}
+			return true
+		})
+	case *ast.UnaryExpr:
+		c.scanExpr(n.X, s, inCall)
+	case *ast.StarExpr:
+		c.scanExpr(n.X, s, inCall)
+	case *ast.IndexExpr:
+		c.scanExpr(n.X, s, inCall)
+		c.scanExpr(n.Index, s, inCall)
+	case *ast.SliceExpr:
+		c.scanExpr(n.X, s, inCall)
+		c.scanExpr(n.Low, s, inCall)
+		c.scanExpr(n.High, s, inCall)
+		c.scanExpr(n.Max, s, inCall)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			c.scanExpr(el, s, inCall)
+		}
+	case *ast.KeyValueExpr:
+		c.scanExpr(n.Value, s, inCall)
+	case *ast.TypeAssertExpr:
+		c.scanExpr(n.X, s, inCall)
+	}
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func asVar(info *types.Info, id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	if v == nil || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAcquire reports the method name if call acquires a pool buffer: a
+// Get/Acquire/Grow method defined in a bufpool package returning *Buffer.
+func (c *checker) isAcquire(call *ast.CallExpr) string {
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !isBufpoolPkg(fn.Pkg().Path()) {
+		return ""
+	}
+	switch fn.Name() {
+	case "Get", "Acquire", "Grow":
+	default:
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return ""
+	}
+	if !isBufferPtr(sig.Results().At(0).Type()) {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isRelease reports whether call returns a buffer to a pool: Put/Release/
+// Grow methods on bufpool types (Grow both releases its argument and
+// acquires; the acquisition half is handled at the binding site).
+func (c *checker) isRelease(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !isBufpoolPkg(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Put", "Release", "Grow":
+		return true
+	}
+	return false
+}
+
+func (c *checker) callName(call *ast.CallExpr) string {
+	if fn := calleeFunc(c.pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "acquisition"
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+func isBufpoolPkg(path string) bool {
+	return path == "bufpool" || strings.HasSuffix(path, "/bufpool")
+}
+
+func isBufferPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Buffer" && named.Obj().Pkg() != nil && isBufpoolPkg(named.Obj().Pkg().Path())
+}

@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/poolpair"
+)
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolpair.Analyzer, "poolpairtest")
+}

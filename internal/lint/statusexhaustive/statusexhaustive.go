@@ -1,0 +1,94 @@
+// Package statusexhaustive checks that switches over wire status codes
+// cover every status constant.
+//
+// The RPC wire format resolves each response with a status byte
+// (statusSuccess/statusError/statusBusy/statusExpired in internal/core).
+// When a new code is added — statusBusy and statusExpired both arrived in
+// S19 — every switch that dispatches on the status must be revisited: a
+// forgotten case silently lumps the new code into the default branch, which
+// for a retriable condition like statusBusy would turn back-pressure into a
+// hard failure. The analyzer collects the package-level integer constants
+// named status* (statusSuccess, statusExpired, ...) and requires any switch
+// mentioning one of them in a case to list all of them explicitly; a
+// default clause may additionally catch unknown bytes from newer peers, but
+// does not substitute for the named codes.
+package statusexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rpcoib/internal/lint/analysis"
+)
+
+// Analyzer is the status-switch exhaustiveness check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statusexhaustive",
+	Doc:  "switches over wire status codes must cover every status* constant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	group := map[types.Object]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "status") || len(name) == len("status") {
+			continue
+		}
+		r := name[len("status")]
+		if r < 'A' || r > 'Z' {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.Int {
+			continue
+		}
+		group[c] = true
+	}
+	if len(group) == 0 {
+		return nil, nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			present := map[types.Object]bool{}
+			uses := false
+			for _, cl := range sw.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && group[obj] {
+							present[obj] = true
+							uses = true
+						}
+					}
+				}
+			}
+			if !uses {
+				return true
+			}
+			var missing []string
+			for obj := range group {
+				if !present[obj] {
+					missing = append(missing, obj.Name())
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(), "switch over status codes is missing cases for %s: every status* constant must be handled explicitly (a default may catch unknown bytes but does not cover named codes)", strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

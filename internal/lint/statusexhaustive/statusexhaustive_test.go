@@ -1,0 +1,12 @@
+package statusexhaustive_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/statusexhaustive"
+)
+
+func TestStatusExhaustive(t *testing.T) {
+	analysistest.Run(t, "../testdata", statusexhaustive.Analyzer, "statusexhaustivetest")
+}

@@ -1,0 +1,45 @@
+// Package determinismtest seeds one violation of each determinism class the
+// analyzer must catch, plus the allowed patterns it must stay quiet on.
+package determinismtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+type queue struct{}
+
+func (q *queue) Put(v any) {}
+
+func clocks() time.Duration {
+	t0 := time.Now()             // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(t0)        // want `time\.Since reads the wall clock`
+}
+
+func allowed() time.Duration {
+	//lint:wallclock fixture real-mode env: wall time is this clock
+	return time.Since(time.Time{})
+}
+
+func unjustified() {
+	//lint:wallclock
+	time.Sleep(1) // want `marker needs a justification`
+}
+
+func prng() int {
+	r := rand.New(rand.NewSource(7)) // explicitly seeded: deterministic, allowed
+	_ = r.Intn(4)
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global PRNG`
+}
+
+func fanout(q *queue, m map[string]int) {
+	for k := range m {
+		q.Put(k) // want `Put inside a range over a map`
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collecting keys to sort is the approved shape
+	}
+	_ = keys
+}

@@ -1,0 +1,60 @@
+// Package lockcalltest seeds blocking-call-under-mutex violations the
+// lockcall analyzer must catch, plus the emutex and try-op shapes it must
+// stay quiet on.
+package lockcalltest
+
+import "sync"
+
+type Env interface {
+	Sleep(d int)
+	Work(d int)
+}
+
+type queue struct{}
+
+func (q *queue) Put(e Env, v any) bool { return true }
+
+func (q *queue) TryPut(v any) bool { return true }
+
+func (q *queue) Get(e Env) (any, bool) { return nil, false }
+
+type emutex struct{ q *queue }
+
+func (m *emutex) lock(e Env) { m.q.Put(e, struct{}{}) }
+
+func (m *emutex) unlock(e Env) { m.q.Get(e) }
+
+type conn struct {
+	mu     sync.Mutex
+	sendMu emutex
+	q      *queue
+}
+
+func bad(c *conn, e Env) {
+	c.mu.Lock()
+	c.q.Put(e, 1) // want `blocking call Put while holding mutex c\.mu`
+	c.mu.Unlock()
+}
+
+func badDefer(c *conn, e Env) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.Sleep(5) // want `blocking call Sleep while holding mutex c\.mu`
+}
+
+func badEmutexAcquire(c *conn, e Env) {
+	c.mu.Lock()
+	c.sendMu.lock(e) // want `blocking call lock while holding mutex c\.mu`
+	c.mu.Unlock()
+}
+
+func good(c *conn, e Env) {
+	c.mu.Lock()
+	c.q.TryPut(1) // non-blocking: fine under a sync mutex
+	c.mu.Unlock()
+	c.q.Put(e, 2) // mutex released: fine
+
+	c.sendMu.lock(e) // the emutex exists to be held across blocking ops
+	c.q.Put(e, 3)
+	c.sendMu.unlock(e)
+}

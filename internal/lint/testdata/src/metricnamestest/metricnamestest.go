@@ -1,0 +1,48 @@
+// Package metricnamestest seeds metric-name discipline violations the
+// metricnames analyzer must catch, plus the const and prefix+const shapes it
+// must accept.
+package metricnamestest
+
+import (
+	"fmt"
+	"metrics"
+)
+
+const (
+	cCalls  = "fix_calls_total"
+	cDepth  = "fix_depth"
+	cLatNS  = "fix_latency_ns"
+	cPrefix = "fix_pool"
+	cGets   = "_gets_total"
+	cHits   = "_hits_total"
+	cNative = "_native"
+)
+
+func direct(r *metrics.Registry) {
+	r.Counter(cCalls)
+	r.Gauge(cDepth)
+	r.Histogram(metrics.Labels(cLatNS, "proto", "x"), nil)
+	r.Histogram(metrics.Labels("fix_inline_ns", "k", "v"), nil) // want `metric name in Labels must be a package-level const`
+	r.Counter("fix_inline_total")                               // want `metric name in Counter must be a package-level const, not an inline literal`
+	r.Counter(fmt.Sprintf("fix_%d_total", 3))                   // want `must be a package-level const \(or prefix\+const\)`
+}
+
+func instrument(r *metrics.Registry, prefix string) {
+	r.Counter(prefix + cGets)
+	r.Counter(prefix + cHits)
+	r.Counter(prefix + "_bad_total") // want `metric name suffix in Counter must be a package-level const`
+}
+
+func instrumentNative(r *metrics.Registry, prefix string) {
+	instrument(r, prefix+cNative)
+}
+
+func register(r *metrics.Registry) {
+	instrument(r, cPrefix)
+	instrumentNative(r, cPrefix)
+	instrument(r, "fix_inline_pool") // want `metric prefix passed to instrument must be a package-level const, not an inline literal`
+}
+
+func dynamic(r *metrics.Registry, name string) {
+	instrument(r, name) // want `metric prefix passed to instrument must be a package-level const or prefix\+const`
+}

@@ -1,0 +1,21 @@
+// Package metrics is a fixture stub mirroring the shape of
+// rpcoib/internal/metrics that the metricnames analyzer matches on (a
+// Registry with Counter/Gauge/Histogram methods and a package-level Labels
+// function, identified by package-path suffix).
+package metrics
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, buckets []int) *Histogram { return &Histogram{} }
+
+func Labels(name string, kv ...string) string { return name }

@@ -1,0 +1,89 @@
+// Package poolpairtest seeds leaks, double releases, and discards the
+// poolpair analyzer must catch, plus the escape and Grow shapes it must stay
+// quiet on.
+package poolpairtest
+
+import "bufpool"
+
+type stream struct {
+	buf  *bufpool.Buffer
+	pool *bufpool.ShadowPool
+}
+
+func leak(p *bufpool.NativePool) {
+	b := p.Get(64)
+	_ = b.Data
+	return // want `pool buffer "b" \(acquired at .*\) is not released on this path`
+}
+
+func ok(p *bufpool.NativePool) {
+	b := p.Get(64)
+	copy(b.Data, b.Data)
+	p.Put(b)
+}
+
+func branchLeak(p *bufpool.NativePool, flag bool) {
+	b := p.Get(64)
+	if flag {
+		p.Put(b)
+	}
+	return // want `released on some paths but not this one`
+}
+
+func errPathOK(p *bufpool.NativePool, flag bool) error {
+	b := p.Get(64)
+	if flag {
+		p.Put(b)
+		return nil
+	}
+	p.Put(b)
+	return nil
+}
+
+func doubleFree(p *bufpool.NativePool) {
+	b := p.Get(64)
+	p.Put(b)
+	p.Put(b) // want `released twice`
+}
+
+func discarded(p *bufpool.NativePool) {
+	p.Get(64)     // want `result of Get discarded`
+	_ = p.Get(64) // want `result of Get discarded`
+}
+
+func escapes(p *bufpool.NativePool, sink chan *bufpool.Buffer) *bufpool.Buffer {
+	a := p.Get(1)
+	sink <- a // whole-value use: the obligation transfers to the receiver
+	b := p.Get(2)
+	return b // returned: the caller owns the release
+}
+
+func fieldStore(s *stream, key int) {
+	s.buf = s.pool.Acquire(key)     // stored into a field: escapes with it
+	s.buf = s.pool.Grow(s.buf, 128) // Grow releases the old buffer; the result escapes into the field
+}
+
+func deferred(p *bufpool.ShadowPool, key int) {
+	b := p.Acquire(key)
+	defer p.Release(b)
+	b.Data[0] = 1
+}
+
+func loopLeak(p *bufpool.NativePool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get(8)
+		_ = b.Data
+	} // want `leaks every loop iteration`
+}
+
+func overwrite(p *bufpool.NativePool) {
+	b := p.Get(8)
+	b = p.Get(16) // want `overwritten before being released`
+	p.Put(b)
+}
+
+func grow(p *bufpool.ShadowPool, key int) {
+	b := p.Acquire(key)
+	b = p.Grow(b, 256) // Grow releases b and hands back a fresh obligation
+	p.Release(b)
+}

@@ -1,0 +1,42 @@
+// Package statusexhaustivetest seeds a non-exhaustive status switch the
+// statusexhaustive analyzer must catch, plus the complete and unrelated
+// switches it must stay quiet on.
+package statusexhaustivetest
+
+const (
+	statusSuccess = iota
+	statusError
+	statusBusy
+)
+
+// Not part of the status-code group: not an integer constant.
+const statusLine = "----"
+
+func good(s int) int {
+	switch s {
+	case statusSuccess:
+		return 0
+	case statusError:
+		return 1
+	case statusBusy:
+		return 2
+	}
+	return -1
+}
+
+func bad(s int) int {
+	switch s { // want `missing cases for statusBusy, statusError`
+	case statusSuccess:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func unrelated(kind int) {
+	switch kind {
+	case 1, 2:
+	default:
+	}
+	_ = statusLine
+}
