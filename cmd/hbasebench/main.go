@@ -20,9 +20,16 @@ func main() {
 		"comma-separated record counts")
 	ops := flag.Int("ops", 640_000, "total operation count (paper: 640K)")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
+	tracePath := flag.String("trace", "", "stream a JSONL distributed trace to this path (analyze with rpctrace)")
+	traceSample := flag.Int("trace-sample", 0, "with -trace: keep 1 trace in N (0 or 1 keeps all)")
+	traceTailMS := flag.Int("trace-tail-ms", 0, "with -trace: keep only traces whose root span took >= this many ms")
 	flag.Parse()
 	if *metricsPath != "" {
 		bench.EnableMetrics()
+	}
+	if err := bench.EnableTracingFromFlags(*tracePath, *traceSample, *traceTailMS); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
 	}
 
 	var recordCounts []int
@@ -58,6 +65,10 @@ func main() {
 	}
 	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.CloseTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -21,9 +21,16 @@ func main() {
 	iters := flag.Int("iters", 20, "calls per Figure 1 payload point")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
+	tracePath := flag.String("trace", "", "stream a JSONL distributed trace to this path (analyze with rpctrace)")
+	traceSample := flag.Int("trace-sample", 0, "with -trace: keep 1 trace in N (0 or 1 keeps all)")
+	traceTailMS := flag.Int("trace-tail-ms", 0, "with -trace: keep only traces whose root span took >= this many ms")
 	flag.Parse()
 	if *metricsPath != "" {
 		bench.EnableMetrics()
+	}
+	if err := bench.EnableTracingFromFlags(*tracePath, *traceSample, *traceTailMS); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
 	}
 	if *faultsPath != "" {
 		plan, err := faultsim.LoadPlan(*faultsPath)
@@ -70,6 +77,10 @@ func main() {
 	}
 	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.CloseTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
 		os.Exit(1)
 	}
 }

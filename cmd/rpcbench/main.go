@@ -20,9 +20,17 @@ func main() {
 	iters := flag.Int("iters", 200, "calls per measurement")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
 	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
+	tracePath := flag.String("trace", "", "stream a JSONL distributed trace to this path (analyze with rpctrace)")
+	traceSample := flag.Int("trace-sample", 0, "with -trace: keep 1 trace in N (0 or 1 keeps all)")
+	traceTailMS := flag.Int("trace-tail-ms", 0, "with -trace: keep only traces whose root span took >= this many ms")
+	benchJSON := flag.String("bench-json", "", "write a perf-trajectory JSON (host wall clock + allocs per experiment) to this path")
 	flag.Parse()
 	if *metricsPath != "" {
 		bench.EnableMetrics()
+	}
+	if err := bench.EnableTracingFromFlags(*tracePath, *traceSample, *traceTailMS); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
 	}
 	if *faultsPath != "" {
 		plan, err := faultsim.LoadPlan(*faultsPath)
@@ -38,27 +46,45 @@ func main() {
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	any := false
 	if run("latency") {
-		bench.Fig5aLatency(os.Stdout, nil, *iters)
+		bench.MeasurePerf("fig5a_latency", func() int64 {
+			rows := bench.Fig5aLatency(os.Stdout, nil, *iters)
+			return int64(len(rows)) * 3 * int64(*iters)
+		})
 		fmt.Println()
 		any = true
 	}
 	if run("throughput") {
-		bench.Fig5bThroughput(os.Stdout, nil, *iters)
+		bench.MeasurePerf("fig5b_throughput", func() int64 {
+			var ops int64
+			for _, row := range bench.Fig5bThroughput(os.Stdout, nil, *iters) {
+				ops += 3 * int64(row.Clients) * int64(*iters)
+			}
+			return ops
+		})
 		fmt.Println()
 		any = true
 	}
 	if run("threshold") {
-		bench.AblationRDMAThreshold(os.Stdout, 64<<10, nil, *iters)
+		bench.MeasurePerf("ablation_rdma_threshold", func() int64 {
+			rows := bench.AblationRDMAThreshold(os.Stdout, 64<<10, nil, *iters)
+			return int64(len(rows)) * int64(*iters)
+		})
 		fmt.Println()
 		any = true
 	}
 	if run("pool") {
-		bench.AblationPoolPolicy(os.Stdout, 512, *iters)
+		bench.MeasurePerf("ablation_pool_policy", func() int64 {
+			rows := bench.AblationPoolPolicy(os.Stdout, 512, *iters)
+			return int64(len(rows)) * int64(*iters)
+		})
 		fmt.Println()
 		any = true
 	}
 	if run("readers") {
-		bench.AblationReaders(os.Stdout, nil, 32, *iters)
+		bench.MeasurePerf("ablation_readers", func() int64 {
+			rows := bench.AblationReaders(os.Stdout, nil, 32, *iters)
+			return int64(len(rows)) * 32 * int64(*iters)
+		})
 		fmt.Println()
 		any = true
 	}
@@ -68,6 +94,14 @@ func main() {
 	}
 	if err := bench.WriteMetricsReport(*metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.WritePerfTrajectory(*benchJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "write bench json: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.CloseTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,109 @@
+// Command rpctrace analyzes the JSONL trace files the engine's distributed
+// tracer emits (see internal/tracing): it validates span invariants,
+// reconstructs call trees, recomputes the paper's Figure 4 per-stage latency
+// breakdown from causal spans, attributes critical paths, and diffs two runs
+// stage by stage.
+//
+// Usage:
+//
+//	rpctrace [-check] [-breakdown] [-trees N] [-critical] [-diff other.jsonl] trace.jsonl
+//
+// With no mode flags it prints the breakdown plus a summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rpcoib/internal/tracing"
+)
+
+func main() {
+	check := flag.Bool("check", false,
+		"validate span invariants (well-formed spans, no orphan parents, queue-wait >= 0); exit 1 on violations")
+	breakdown := flag.Bool("breakdown", false, "print the per-stage latency percentile breakdown (Fig 4 style)")
+	trees := flag.Int("trees", 0, "print the N slowest call trees as indented timelines")
+	critical := flag.Bool("critical", false, "print the critical path of the slowest trace")
+	diff := flag.String("diff", "", "diff the per-stage breakdown against this second trace file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rpctrace [-check] [-breakdown] [-trees N] [-critical] [-diff other.jsonl] trace.jsonl")
+		os.Exit(2)
+	}
+	spans := load(flag.Arg(0))
+
+	if *check {
+		problems := tracing.CheckSpans(spans)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "violation:", p)
+		}
+		if len(problems) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d invariant violations in %d spans\n", flag.Arg(0), len(problems), len(spans))
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d spans OK\n", flag.Arg(0), len(spans))
+	}
+
+	if *diff != "" {
+		other := load(*diff)
+		fmt.Printf("stage diff: A=%s B=%s\n", flag.Arg(0), *diff)
+		fmt.Print(tracing.FormatDiff(tracing.StageBreakdown(spans), tracing.StageBreakdown(other)))
+		return
+	}
+
+	all, events := tracing.BuildTrees(spans)
+	// Slowest-first ordering for the tree/critical-path views.
+	byDur := append([]*tracing.Tree(nil), all...)
+	sort.Slice(byDur, func(i, j int) bool {
+		if byDur[i].Root.DurNS != byDur[j].Root.DurNS {
+			return byDur[i].Root.DurNS > byDur[j].Root.DurNS
+		}
+		return byDur[i].Trace < byDur[j].Trace
+	})
+
+	defaultView := !*check && !*breakdown && *trees == 0 && !*critical
+	if *breakdown || defaultView {
+		fmt.Printf("%d spans, %d traces, %d events\n\n", len(spans), len(all), len(events))
+		fmt.Print(tracing.FormatBreakdown(tracing.StageBreakdown(spans)))
+	}
+	if *trees > 0 {
+		n := *trees
+		if n > len(byDur) {
+			n = len(byDur)
+		}
+		for _, t := range byDur[:n] {
+			fmt.Println()
+			fmt.Print(tracing.FormatTree(t, events))
+		}
+	}
+	if *critical && len(byDur) > 0 {
+		t := byDur[0]
+		fmt.Printf("\ncritical path of trace %d (%s):\n", t.Trace, time.Duration(t.Root.DurNS))
+		for _, step := range tracing.CriticalPath(t) {
+			fmt.Printf("  %-24s %12s total %12s exclusive\n", step.Name, step.Dur, step.Exclusive)
+		}
+	}
+}
+
+// load reads one trace file (or stdin for "-"), exiting on errors.
+func load(path string) []tracing.Span {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+	}
+	spans, err := tracing.ReadSpans(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return spans
+}

@@ -48,7 +48,7 @@ func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
 	serverPool := bufpool.NewShadowPool(bufpool.NewNativePool(0), policy)
 	cl.SpawnOn(0, "server", func(e exec.Env) {
 		srv := core.NewServer(cl.RPCoIBNet(0), core.Options{
-			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: serverPool, Metrics: benchReg,
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: serverPool, Metrics: benchReg, Trace: benchTrace,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
@@ -61,7 +61,7 @@ func poolPolicyOnce(policy bufpool.Policy, payload, iters int) PolicyRow {
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
 		client := core.NewClient(cl.RPCoIBNet(1), core.Options{
-			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: clientPool, Metrics: benchReg,
+			Mode: core.ModeRPCoIB, Costs: cl.Costs, Pool: clientPool, Metrics: benchReg, Trace: benchTrace,
 		})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
@@ -118,7 +118,7 @@ func thresholdOnce(threshold, payload, iters int) ThresholdRow {
 	cl := newCluster(cc)
 	cl.SpawnOn(0, "server", func(e exec.Env) {
 		srv := core.NewServer(cl.RPCoIBNet(0),
-			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg})
+			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
 			func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
@@ -130,7 +130,7 @@ func thresholdOnce(threshold, payload, iters int) ThresholdRow {
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
 		client := core.NewClient(cl.RPCoIBNet(1),
-			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg})
+			core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
 		for i := 0; i < 3; i++ {
@@ -184,7 +184,7 @@ func readersOnce(readers, clients, callsPerClient int) float64 {
 	cl.SpawnOn(0, "server", func(e exec.Env) {
 		srv := core.NewServer(cl.SocketNet(perfmodel.IPoIB, 0), core.Options{
 			Mode: core.ModeBaseline, Costs: cl.Costs, Handlers: 8, Readers: readers,
-			Metrics: benchReg,
+			Metrics: benchReg, Trace: benchTrace,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },
@@ -200,7 +200,7 @@ func readersOnce(readers, clients, callsPerClient int) float64 {
 		cl.SpawnOn(node, "client", func(e exec.Env) {
 			e.Sleep(time.Millisecond)
 			client := core.NewClient(cl.SocketNet(perfmodel.IPoIB, node),
-				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg})
+				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 			param := &wire.BytesWritable{Value: make([]byte, 512)}
 			var reply wire.BytesWritable
 			for j := 0; j < callsPerClient; j++ {

@@ -56,13 +56,13 @@ func NewHadoopCluster(cfg HadoopConfig) *HadoopCluster {
 		NameNode: 0, DataNodes: nodes,
 		BlockSize: cfg.BlockSize, Replication: 3,
 		RPCMode: cfg.Mode, RPCKind: perfmodel.IPoIB, DataKind: perfmodel.IPoIB,
-		Tracer: cfg.Tracer, Metrics: benchReg,
+		Tracer: cfg.Tracer, Metrics: benchReg, Trace: benchTrace,
 	})
 	mr := mapred.Deploy(cl, mapred.Config{
 		JobTracker: 0, TaskTrackers: nodes,
 		MapSlots: 8, ReduceSlots: 4,
 		RPCMode: cfg.Mode, RPCKind: perfmodel.IPoIB, ShuffleKind: perfmodel.IPoIB,
-		Tracer: cfg.Tracer, Metrics: benchReg,
+		Tracer: cfg.Tracer, Metrics: benchReg, Trace: benchTrace,
 	}, fs)
 	return &HadoopCluster{CL: cl, FS: fs, MR: mr, Slaves: cfg.Slaves, Tracer: cfg.Tracer}
 }
@@ -91,7 +91,7 @@ func startPingPongServer(cl *cluster.Cluster, mode core.Mode, kind perfmodel.Lin
 	cl.SpawnOn(0, "rpc-server", func(e exec.Env) {
 		srv := core.NewServer(netFor(cl, mode, kind, 0), core.Options{
 			Mode: mode, Costs: cl.Costs, Handlers: handlers, Tracer: tracer,
-			Metrics: benchReg,
+			Metrics: benchReg, Trace: benchTrace,
 		})
 		srv.Register("bench.PingPongProtocol", "pingpong",
 			func() wire.Writable { return &wire.BytesWritable{} },

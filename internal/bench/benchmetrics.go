@@ -68,12 +68,14 @@ func SetFaultPlan(p *faultsim.Plan) error {
 func newCluster(cc cluster.Config) *cluster.Cluster {
 	cl := cluster.New(cc)
 	cl.IBNet().Instrument(benchReg)
+	cl.IBNet().TraceEvents(benchTrace)
 	if benchFaults != nil {
 		inj, err := faultsim.Apply(cl, *benchFaults)
 		if err != nil {
 			panic(fmt.Sprintf("bench: applying fault plan: %v", err))
 		}
 		inj.Instrument(benchReg)
+		inj.TraceEvents(benchTrace)
 	}
 	return cl
 }

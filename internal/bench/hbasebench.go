@@ -82,7 +82,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 	fs := hdfs.Deploy(cl, hdfs.Config{
 		NameNode: 0, DataNodes: rsNodes, Replication: 3,
 		RPCMode: cfg.RPCMode, RPCKind: cfg.RPCKind, DataKind: cfg.DataKind,
-		Metrics: benchReg,
+		Metrics: benchReg, Trace: benchTrace,
 	})
 	missRatio := 0.03
 	if mix.UpdateProportion > 0 && mix.ReadProportion > 0 {
@@ -92,7 +92,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 	hb := hbase.Deploy(cl, hbase.Config{
 		Master: 0, RegionServers: rsNodes,
 		HBaseRDMA: cfg.HBaseRDMA, HBaseKind: cfg.HBaseKind,
-		CacheMissRatio: missRatio, Metrics: benchReg,
+		CacheMissRatio: missRatio, Metrics: benchReg, Trace: benchTrace,
 	}, fs)
 	w := ycsb.Workload{RecordCount: recordCount, OpCount: opCount, RecordSize: 1024, Mix: mix, Zipfian: true}
 
@@ -116,7 +116,7 @@ func hbaseRunOnce(cfg HBaseConfigName, mix ycsb.Mix, recordCount, opCount int) f
 				loadDone = e.Now()
 				startQ.Close() // release everyone
 			} else {
-				se := e.(*cluster.SimEnv)
+				se := cluster.SimEnvOf(e)
 				startQ.Get(se.Proc())
 			}
 			res, err := ycsb.Run(e, c, w, opCount/clients, rand.New(rand.NewSource(int64(1000+i))))

@@ -83,7 +83,7 @@ func hdfsWriteOnce(cfg HDFSConfigName, dataNodes int, size int64) time.Duration 
 		NameNode: 0, DataNodes: nodes, Replication: 3,
 		RPCMode: cfg.RPCMode, RPCKind: cfg.RPCKind,
 		DataRDMA: cfg.DataRDMA, DataKind: cfg.DataKind,
-		Metrics: benchReg,
+		Metrics: benchReg, Trace: benchTrace,
 	})
 	var took time.Duration
 	client := dataNodes + 1

@@ -29,7 +29,7 @@ func pingPongLatency(mode core.Mode, kind perfmodel.LinkKind, payload, iters int
 	cl.SpawnOn(1, "client", func(e exec.Env) {
 		e.Sleep(time.Millisecond)
 		client := core.NewClient(netFor(cl, mode, kind, 1),
-			core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg})
+			core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 		param := &wire.BytesWritable{Value: make([]byte, payload)}
 		var reply wire.BytesWritable
 		for i := 0; i < 3; i++ { // warm-up: connection + pool history
@@ -97,7 +97,7 @@ func throughput(mode core.Mode, kind perfmodel.LinkKind, clients, callsPerClient
 		cl.SpawnOn(node, fmt.Sprintf("client%d", i), func(e exec.Env) {
 			e.Sleep(time.Millisecond)
 			client := core.NewClient(netFor(cl, mode, kind, node),
-				core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg})
+				core.Options{Mode: mode, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 			param := &wire.BytesWritable{Value: make([]byte, 512)}
 			var reply wire.BytesWritable
 			for j := 0; j < callsPerClient; j++ {
@@ -165,7 +165,7 @@ func Fig1AllocRatio(w io.Writer, payloads []int, iters int) []AllocRatioRow {
 		cl.SpawnOn(1, "client", func(e exec.Env) {
 			e.Sleep(time.Millisecond)
 			client := core.NewClient(netFor(cl, core.ModeBaseline, kind, 1),
-				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg})
+				core.Options{Mode: core.ModeBaseline, Costs: cl.Costs, Metrics: benchReg, Trace: benchTrace})
 			param := &wire.BytesWritable{Value: make([]byte, payload)}
 			var reply wire.BytesWritable
 			for i := 0; i < iters; i++ {

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// PerfPoint is one perf-trajectory sample: the host-side cost of reproducing
+// one figure. Unlike every other number the harness emits, these are real
+// wall-clock and allocator measurements of the simulator itself — the file
+// they land in (BENCH_rpcbench.json) tracks whether the engine is getting
+// faster or slower to run as the codebase grows.
+type PerfPoint struct {
+	// Name identifies the experiment (e.g. "fig5a_latency").
+	Name string `json:"name"`
+	// WallMS is the host wall-clock time the run took, in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Ops is the logical operation count the run performed (simulated RPCs).
+	Ops int64 `json:"ops"`
+	// OpsPerSec is Ops normalized by host wall time.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp and BytesPerOp are host allocator costs per logical op.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// perfPoints accumulates MeasurePerf samples for WritePerfTrajectory.
+var perfPoints []PerfPoint
+
+// perfJSONPrefix is the line prefix for the indented trajectory JSON (a
+// const so the metricnames analyzer's prefix-parameter probe resolves it).
+const perfJSONPrefix = ""
+
+// MeasurePerf runs fn and appends a perf-trajectory point: fn returns the
+// logical operation count it performed, and MeasurePerf brackets it with
+// wall-clock and allocator readings. The wall clock here is intentional —
+// the measurement subject is the simulator process, not the simulation.
+func MeasurePerf(name string, fn func() int64) PerfPoint {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	//lint:wallclock perf trajectory measures the host process, not simulated time
+	start := time.Now()
+	ops := fn()
+	//lint:wallclock perf trajectory measures the host process, not simulated time
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	p := PerfPoint{Name: name, WallMS: float64(wall) / float64(time.Millisecond), Ops: ops}
+	if ops > 0 {
+		p.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		p.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		p.OpsPerSec = float64(ops) / secs
+	}
+	perfPoints = append(perfPoints, p)
+	return p
+}
+
+// WritePerfTrajectory writes the accumulated perf points as indented JSON to
+// path (no-op when path is empty or nothing was measured).
+func WritePerfTrajectory(path string) error {
+	if path == "" || len(perfPoints) == 0 {
+		return nil
+	}
+	data, err := json.MarshalIndent(perfPoints, perfJSONPrefix, "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

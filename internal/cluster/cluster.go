@@ -278,13 +278,24 @@ func (e *SimEnv) Rand() *rand.Rand { return e.c.Sim.Rand() }
 // simQueue adapts sim.Queue to exec.Queue by unwrapping the caller's env.
 type simQueue struct{ q *sim.Queue }
 
-func procOf(e exec.Env) *sim.Proc {
-	se, ok := e.(*SimEnv)
-	if !ok {
-		panic("cluster: exec.Env is not a SimEnv; queues must be used from simulated processes")
+// SimEnvOf recovers the concrete SimEnv beneath e, unwrapping decorator envs
+// (deadline- or trace-carrying wrappers) via their BaseEnv method. It panics
+// when e does not bottom out at a SimEnv: simulator resources (queues, disks)
+// can only be used from simulated processes.
+func SimEnvOf(e exec.Env) *SimEnv {
+	for {
+		switch v := e.(type) {
+		case *SimEnv:
+			return v
+		case interface{ BaseEnv() exec.Env }:
+			e = v.BaseEnv()
+		default:
+			panic("cluster: exec.Env is not a SimEnv; queues must be used from simulated processes")
+		}
 	}
-	return se.p
 }
+
+func procOf(e exec.Env) *sim.Proc { return SimEnvOf(e).p }
 
 func (s simQueue) Put(e exec.Env, v any) bool { return s.q.Put(procOf(e), v) }
 func (s simQueue) TryPut(v any) bool          { return s.q.TryPut(v) }

@@ -4,12 +4,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rpcoib/internal/exec"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -333,9 +335,19 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	c.m.calls.Inc()
 	c.m.issued(protocol, method).Inc()
 	callStart := e.Now()
+	tr := c.opts.Trace
+	span := tr.Start("client.call", "client", tracing.ContextOf(e), callStart)
+	if span != nil {
+		span.SetAttr("protocol", protocol)
+		span.SetAttr("method", method)
+		span.SetAttr("peer", addr)
+	}
 	conn, err := c.connection(e, addr)
 	if err != nil {
-		return c.failedFuture(protocol, method, err)
+		return c.failedFutureSpan(e, span, protocol, method, err)
+	}
+	if span != nil && conn.fallback {
+		span.SetAttr("transport", "fallback")
 	}
 	conn.touch(callStart)
 	id := c.idSeq.Add(1)
@@ -343,7 +355,7 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 		c: c, conn: conn, id: id,
 		protocol: protocol, method: method,
 		start: callStart, timeout: timeout, deadline: deadline,
-		reply: reply, replyQ: e.NewQueue(1),
+		reply: reply, replyQ: e.NewQueue(1), span: span,
 	}
 	conn.addCall(id, f)
 
@@ -351,20 +363,29 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	if conn.closed {
 		conn.sendMu.unlock()
 		conn.takeCall(id)
-		return c.failedFuture(protocol, method, ErrClosed)
+		return c.failedFutureSpan(e, span, protocol, method, ErrClosed)
 	}
 	var sample trace.SendSample
 	sample.Key = trace.Key{Protocol: protocol, Method: method}
+	sendStart := e.Now()
+	tw := traceWireOf(span)
 	if c.opts.Mode == ModeRPCoIB {
-		err = c.sendRPCoIB(e, conn, id, deadline, protocol, method, param, &sample)
+		err = c.sendRPCoIB(e, conn, id, deadline, tw, protocol, method, param, &sample)
 	} else {
-		err = c.sendBaseline(e, conn, id, deadline, protocol, method, param, &sample)
+		err = c.sendBaseline(e, conn, id, deadline, tw, protocol, method, param, &sample)
 	}
 	conn.sendMu.unlock()
 	if err != nil {
 		conn.takeCall(id)
 		conn.organicFail(e.Now(), err)
-		return c.failedFuture(protocol, method, err)
+		return c.failedFutureSpan(e, span, protocol, method, err)
+	}
+	if span != nil {
+		// The serialize and send windows are exactly the profiler's
+		// SendSample stage timings, re-emitted as causal child spans.
+		tr.Child(span, "client.serialize", "client", sendStart, sample.Serialize)
+		tr.Child(span, "client.send", "client", sendStart+sample.Serialize, sample.Send,
+			"bytes", strconv.Itoa(sample.MsgBytes))
 	}
 	c.Stats.BytesOut.Add(int64(sample.MsgBytes))
 	c.m.bytesOut.Add(int64(sample.MsgBytes))
@@ -375,12 +396,12 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 // sendBaseline is the paper's Listing 1: serialize into a fresh 32-byte
 // DataOutputBuffer (Algorithm 1 growth), copy onto the connection's stream
 // buffer behind a 4-byte length, copy heap-to-native, syscall, send.
-func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, deadline time.Duration, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+func (c *Client) sendBaseline(e exec.Env, conn *Connection, id int32, deadline time.Duration, tw traceWire, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
 	cost := c.cost()
 	t0 := e.Now()
 	d := wire.NewDataOutputBuffer()
 	out := wire.NewDataOutput(d)
-	encodeRequestHeader(out, id, deadline, protocol, method)
+	encodeRequestHeader(out, id, deadline, tw, protocol, method)
 	if param != nil {
 		param.Write(out)
 	}
@@ -445,13 +466,13 @@ func (kc *keyCache) get(protocol, method, suffix string) string {
 
 // sendRPCoIB serializes straight into a history-sized registered buffer and
 // hands it to the verbs transport with zero copies.
-func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, deadline time.Duration, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
+func (c *Client) sendRPCoIB(e exec.Env, conn *Connection, id int32, deadline time.Duration, tw traceWire, protocol, method string, param wire.Writable, sample *trace.SendSample) error {
 	cost := c.cost()
 	t0 := e.Now()
 	s := NewRDMAOutputStream(c.opts.Pool, c.keys.get(protocol, method, ""))
 	c.work(e, cost.PoolGet)
 	out := wire.NewDataOutput(s)
-	encodeRequestHeader(out, id, deadline, protocol, method)
+	encodeRequestHeader(out, id, deadline, tw, protocol, method)
 	if param != nil {
 		param.Write(out)
 	}

@@ -33,6 +33,7 @@ import (
 	"rpcoib/internal/metrics"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/wire"
 )
 
@@ -89,6 +90,11 @@ type Options struct {
 	Pool *bufpool.ShadowPool
 	// Tracer, when non-nil, records per-call profiling samples.
 	Tracer *trace.Tracer
+	// Trace, when non-nil, emits per-call distributed spans (client attempt,
+	// serialize, send; server call, queue, recv, handler, reply) causally
+	// linked through the wire header's trace triple. Nil-safe end to end:
+	// untraced engines pay one nil check per call.
+	Trace *tracing.Tracer
 	// Metrics, when non-nil, receives engine-wide instrumentation: queue
 	// depths, handler occupancy, connection counts, and per-
 	// <protocol,method> stage latency histograms. Recording never perturbs
@@ -212,7 +218,8 @@ var zeroCosts perfmodel.CPUCosts
 // ---- wire format ----
 //
 // Request:  [frame len int32 (baseline only)] [call id int32]
-//           [deadline vlong (absolute ns; 0 = none)]
+//           [deadline vlong (absolute ns; 0 = none; traced calls encode
+//            -(deadline+1) and append: trace vlong, span vlong, parent vlong]
 //           [protocol UTF] [method UTF] [param fields...]
 // Response: [frame len int32 (baseline only)] [call id int32]
 //           [status byte] [value fields... | error Text | busy backoff vlong]
@@ -222,6 +229,15 @@ var zeroCosts perfmodel.CPUCosts
 // process's in real mode), so the server can judge expiry at dispatch time
 // even when the request sat behind a stalled completion queue — a relative
 // budget anchored at read time could never expire there.
+//
+// The trace triple carries the client attempt span's identity (trace ID,
+// span ID, and that span's own parent) so the server's spans causally link
+// onto the client's across retries, failover, and substrate fan-out. IDs are
+// 63-bit, so they round-trip through vlong exactly. Presence rides the
+// deadline field's unused sign: deadlines are non-negative, so a traced call
+// writes -(deadline+1) and appends the triple, while an untraced call's
+// header stays byte-for-byte what it was before tracing existed — enabling
+// tracing changes simulated message sizes only for sampled calls.
 
 const (
 	statusSuccess = 0
@@ -235,16 +251,44 @@ const (
 	statusExpired = 3
 )
 
-func encodeRequestHeader(out *wire.DataOutput, id int32, deadline time.Duration, protocol, method string) {
+// traceWire is the request header's trace triple: the client attempt span's
+// context plus its parent, all zero for untraced calls.
+type traceWire struct {
+	trace, span, parent uint64
+}
+
+// traceWireOf extracts the wire triple from a live client attempt span.
+func traceWireOf(sp *tracing.Span) traceWire {
+	if sp == nil {
+		return traceWire{}
+	}
+	return traceWire{trace: sp.Trace, span: sp.ID, parent: sp.Parent}
+}
+
+func encodeRequestHeader(out *wire.DataOutput, id int32, deadline time.Duration, tw traceWire, protocol, method string) {
 	out.WriteInt32(id)
-	out.WriteVLong(int64(deadline))
+	if tw.trace == 0 {
+		out.WriteVLong(int64(deadline))
+	} else {
+		out.WriteVLong(-int64(deadline) - 1)
+		out.WriteVLong(int64(tw.trace))
+		out.WriteVLong(int64(tw.span))
+		out.WriteVLong(int64(tw.parent))
+	}
 	out.WriteUTF(protocol)
 	out.WriteUTF(method)
 }
 
-func decodeRequestHeader(in *wire.DataInput) (id int32, deadline time.Duration, protocol, method string) {
+func decodeRequestHeader(in *wire.DataInput) (id int32, deadline time.Duration, tw traceWire, protocol, method string) {
 	id = in.ReadInt32()
-	deadline = time.Duration(in.ReadVLong())
+	v := in.ReadVLong()
+	if v < 0 {
+		v = -v - 1
+		tw.trace = uint64(in.ReadVLong())
+		tw.span = uint64(in.ReadVLong())
+		tw.parent = uint64(in.ReadVLong())
+	}
+	deadline = time.Duration(v)
 	protocol = in.ReadUTF()
 	method = in.ReadUTF()
 	return

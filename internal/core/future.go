@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rpcoib/internal/exec"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/wire"
 )
 
@@ -42,6 +43,11 @@ type Future struct {
 	reply  wire.Writable
 	outErr error
 	outAt  time.Duration
+
+	// span is this attempt's client.call span (nil when untraced or sampled
+	// out). resolve ends it with the outcome; CallWith parents the next
+	// attempt onto it so a retry chain reads as nested attempts in one trace.
+	span *tracing.Span
 
 	mu   sync.Mutex
 	done bool
@@ -133,6 +139,23 @@ func (f *Future) resolve(ok, timedOut bool) error {
 	f.done, f.err = true, err
 	f.mu.Unlock()
 	c.Stats.Resolved.Add(1)
+	if f.span != nil {
+		// Span end timestamps come from stored completion state: resolve has
+		// no Env (TryWait may run on any thread), so the receiver-stamped
+		// outAt — or the timeout's absolute expiry — is the end of record.
+		end := f.outAt
+		switch {
+		case timedOut:
+			end = f.start + f.timeout
+			f.span.SetAttr("outcome", "timeout")
+		case err != nil:
+			if end == 0 {
+				end = f.start
+			}
+			f.span.SetAttr("outcome", "error")
+		}
+		f.span.EndAt(end)
+	}
 	if err != nil {
 		c.Stats.Errors.Add(1)
 		c.m.errors.Inc()
@@ -146,7 +169,10 @@ func (f *Future) resolve(ok, timedOut bool) error {
 			}
 		}
 		if h := c.m.rtt(f.protocol, f.method); h != nil {
-			h.ObserveDuration(f.outAt - f.start)
+			// The exemplar links this latency bucket to the trace that
+			// produced it, so an rpc_client_call_ns outlier bucket points
+			// straight at a followable trace ID.
+			h.ObserveExemplar(int64(f.outAt-f.start), f.span.TraceID())
 		}
 	}
 	return err
@@ -160,6 +186,19 @@ func (c *Client) failedFuture(protocol, method string, err error) *Future {
 	c.m.errors.Inc()
 	c.m.failed(protocol, method).Inc()
 	return &Future{c: c, protocol: protocol, method: method, done: true, err: err}
+}
+
+// failedFutureSpan is failedFuture for a traced attempt: the span ends here
+// with the error outcome, and rides the resolved future so CallWith can
+// still parent the retry onto the failed attempt.
+func (c *Client) failedFutureSpan(e exec.Env, span *tracing.Span, protocol, method string, err error) *Future {
+	if span != nil {
+		span.SetAttr("outcome", "error")
+		span.EndAt(e.Now())
+	}
+	f := c.failedFuture(protocol, method, err)
+	f.span = span
+	return f
 }
 
 // CallPolicy drives retries at the client layer: how many attempts, the
@@ -298,6 +337,11 @@ func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method strin
 	start := e.Now()
 	var err error
 	busyStreak := 0
+	// ce is the Env each attempt is issued under. After a failed traced
+	// attempt it carries that attempt's span context, so the retry's
+	// client.call span parents onto the attempt it is retrying — the retry
+	// chain reads as nested attempts inside one trace.
+	ce := e
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.m.policyRetries.Inc()
@@ -333,9 +377,13 @@ func (c *Client) CallWith(e exec.Env, p CallPolicy, addr, protocol, method strin
 				timeout = rem
 			}
 		}
-		err = c.issue(e, addr, protocol, method, param, reply, timeout, deadline).Wait(e)
+		f := c.issue(ce, addr, protocol, method, param, reply, timeout, deadline)
+		err = f.Wait(e)
 		if err == nil || !retry(err) {
 			return err
+		}
+		if sc := f.span.Context(); sc.Trace != 0 {
+			ce = tracing.WithSpan(e, sc)
 		}
 		if errors.Is(err, ErrServerTooBusy) {
 			busyStreak++

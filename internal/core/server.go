@@ -3,12 +3,14 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rpcoib/internal/exec"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -155,6 +157,12 @@ type serverCall struct {
 	fn       MethodFunc
 	errStr   string // pre-invoke failure (unknown method, bad payload)
 	conn     transport.Conn
+
+	// span is the server.call span joined onto the client's wire-propagated
+	// trace context (nil for untraced calls); enqueuedAt stamps call-queue
+	// admission so the handler can emit the server.queue wait span.
+	span       *tracing.Span
+	enqueuedAt time.Duration
 }
 
 // response is one outbound result for the Responder.
@@ -164,6 +172,7 @@ type response struct {
 	stream   *RDMAOutputStream // RPCoIB: registered buffer to send + release
 	protocol string
 	method   string
+	span     *tracing.Span // server.call span to close after the send
 }
 
 func (s *Server) listenLoop(e exec.Env) {
@@ -222,8 +231,20 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		if baseline {
 			in.ReadInt32() // frame length prefix
 		}
-		id, deadline, protocol, method := decodeRequestHeader(in)
+		id, deadline, tw, protocol, method := decodeRequestHeader(in)
 		call := &serverCall{id: id, protocol: protocol, method: method, deadline: deadline, conn: conn}
+		if tw.trace != 0 {
+			// Join the client's trace: the server.call span parents onto the
+			// client attempt span carried in the header. Untraced calls
+			// (trace 0) create no server-side spans, so the client's sampling
+			// decision propagates.
+			call.span = s.opts.Trace.Start("server.call", "server",
+				tracing.SpanContext{Trace: tw.trace, Span: tw.span}, t0)
+			if call.span != nil {
+				call.span.SetAttr("protocol", protocol)
+				call.span.SetAttr("method", method)
+			}
+		}
 		if md, ok := s.lookup(protocol, method); ok {
 			call.fn = md.fn
 			call.param = md.newParam()
@@ -237,11 +258,13 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		s.work(e, cost.Serialize(in.Ops())+cost.Copy(n))
 		release()
 		total := e.Now() - t0
+		procDur := total
+		var wireDur time.Duration
 		s.m.stage(protocol, method, stageSerialize).ObserveDuration(total)
 		if wt, ok := conn.(transport.WireTimer); ok {
 			// Figure 1's measurement spans the channelReadFully loop, which
 			// drains the message at wire speed before processing begins.
-			wireDur := wt.WireTime(n)
+			wireDur = wt.WireTime(n)
 			total += wireDur
 			s.m.stage(protocol, method, stageTransport).ObserveDuration(wireDur)
 		}
@@ -251,6 +274,15 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 			Alloc:    allocDur,
 			Total:    total,
 		})
+		if call.span != nil {
+			// The paper's alloc+deserialize stage: the Reader's processing
+			// window, with the Figure-1 allocation share and the inbound wire
+			// occupancy as annotations.
+			s.opts.Trace.Child(call.span, "server.recv", "server", t0, procDur,
+				"alloc_ns", strconv.FormatInt(int64(allocDur), 10),
+				"wire_ns", strconv.FormatInt(int64(wireDur), 10),
+				"bytes", strconv.Itoa(n))
+		}
 		s.work(e, cost.ThreadHandoff)
 		if call.deadline > 0 && e.Now() >= call.deadline {
 			// The call's propagated deadline already passed (it may have sat
@@ -258,6 +290,7 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 			// slot burns on an answer the client stopped waiting for.
 			s.Stats.CallsExpired.Add(1)
 			s.m.callsExpired.Inc()
+			call.span.SetAttr("status", "expired")
 			ok := s.sendControl(e, call, statusExpired)
 			if s.readerSem != nil {
 				s.readerSem.release()
@@ -267,6 +300,9 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 			}
 			continue
 		}
+		if call.span != nil {
+			call.enqueuedAt = e.Now()
+		}
 		var ok bool
 		if s.opts.ShedOverload {
 			if ok = s.callQ.TryPut(call); !ok {
@@ -275,6 +311,7 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 				// server's suggested backoff instead of blocking the reader.
 				s.Stats.CallsShed.Add(1)
 				s.m.callsShed.Inc()
+				call.span.SetAttr("status", "busy")
 				ok = s.sendControl(e, call, statusBusy)
 				if s.readerSem != nil {
 					s.readerSem.release()
@@ -301,7 +338,7 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 // hands it to the Responder. It reports false when the server is stopping.
 func (s *Server) sendControl(e exec.Env, call *serverCall, status byte) bool {
 	cost := s.cost()
-	resp := &response{conn: call.conn, protocol: call.protocol, method: call.method}
+	resp := &response{conn: call.conn, protocol: call.protocol, method: call.method, span: call.span}
 	if s.opts.Mode == ModeRPCoIB {
 		st := NewRDMAOutputStream(s.opts.Pool, s.respKeys.get(call.protocol, call.method, "#r"))
 		s.work(e, cost.PoolGet)
@@ -354,10 +391,17 @@ func (s *Server) handlerLoop(e exec.Env) {
 		}
 		call := v.(*serverCall)
 		s.m.callQueueDepth.Dec()
+		if call.span != nil {
+			// Admission-queue wait: enqueue by the Reader to dequeue by this
+			// handler — the paper's queueing stage.
+			s.opts.Trace.Child(call.span, "server.queue", "server",
+				call.enqueuedAt, e.Now()-call.enqueuedAt)
+		}
 		if call.deadline > 0 && e.Now() >= call.deadline {
 			// Expired while queued: skip the handler entirely.
 			s.Stats.CallsExpired.Add(1)
 			s.m.callsExpired.Inc()
+			call.span.SetAttr("status", "expired")
 			if !s.sendControl(e, call, statusExpired) {
 				return
 			}
@@ -380,7 +424,7 @@ func (s *Server) handlerLoop(e exec.Env) {
 			s.m.callErrors.Inc()
 		}
 
-		resp := &response{conn: call.conn, protocol: call.protocol, method: call.method}
+		resp := &response{conn: call.conn, protocol: call.protocol, method: call.method, span: call.span}
 		if s.opts.Mode == ModeRPCoIB {
 			st := NewRDMAOutputStream(s.opts.Pool, s.respKeys.get(call.protocol, call.method, "#r"))
 			s.work(e, cost.PoolGet)
@@ -398,6 +442,15 @@ func (s *Server) handlerLoop(e exec.Env) {
 			resp.data = d.Data()
 		}
 		observeSince(s.m.stage(call.protocol, call.method, stageHandle), e, handleStart)
+		if call.span != nil {
+			if callErr != nil {
+				call.span.SetAttr("status", "error")
+			}
+			// Handler execution plus response serialization — the same
+			// window the stageHandle histogram observes.
+			s.opts.Trace.Child(call.span, "server.handler", "server",
+				handleStart, e.Now()-handleStart)
+		}
 		s.m.handlersBusy.Dec()
 		s.work(e, cost.ThreadHandoff)
 		if !s.respQ.Put(e, resp) {
@@ -418,25 +471,40 @@ func (s *Server) invoke(e exec.Env, call *serverCall) (value wire.Writable, call
 		}
 	}()
 	he := e
-	if call.deadline > 0 {
-		he = handlerEnv{Env: e, deadline: call.deadline}
+	if call.deadline > 0 || call.span != nil {
+		henv := handlerEnv{Env: e, deadline: call.deadline}
+		if call.span != nil {
+			henv.sc = call.span.Context()
+		}
+		he = henv
 	}
 	return call.fn(he, call.param)
 }
 
-// handlerEnv wraps the handler's Env with the call's absolute deadline so
-// method implementations can read their remaining budget.
+// handlerEnv wraps the handler's Env with the call's absolute deadline and
+// trace context, so method implementations can read their remaining budget
+// and any RPCs they issue downstream (DataNode pipeline hops, region-server
+// fan-out) parent onto the inbound server.call span.
 type handlerEnv struct {
 	exec.Env
 	deadline time.Duration
+	sc       tracing.SpanContext
 }
+
+// TraceContext exposes the inbound call's span as the ambient trace context
+// (tracing.ContextOf reads it through the interface).
+func (he handlerEnv) TraceContext() tracing.SpanContext { return he.sc }
+
+// BaseEnv exposes the wrapped Env so simulator glue (cluster.SimEnvOf) can
+// recover the concrete SimEnv beneath decorator envs.
+func (he handlerEnv) BaseEnv() exec.Env { return he.Env }
 
 // RemainingBudget reports how much of the propagated call deadline is left
 // for the handler running under e. ok is false when the call carried no
 // deadline (or e is not a handler env); a non-positive duration with ok true
 // means the budget is already exhausted.
 func RemainingBudget(e exec.Env) (time.Duration, bool) {
-	if he, ok := e.(handlerEnv); ok {
+	if he, ok := e.(handlerEnv); ok && he.deadline > 0 {
 		return he.deadline - e.Now(), true
 	}
 	return 0, false
@@ -485,6 +553,7 @@ func (s *Server) responderLoop(e exec.Env) {
 			s.Stats.BytesOut.Add(int64(n))
 			s.m.bytesOut.Add(int64(n))
 			observeSince(s.m.stage(r.protocol, r.method, stageRespond), e, respondStart)
+			s.closeCallSpan(e, r, respondStart)
 			continue
 		}
 		n := len(r.data)
@@ -496,5 +565,17 @@ func (s *Server) responderLoop(e exec.Env) {
 		s.Stats.BytesOut.Add(int64(n))
 		s.m.bytesOut.Add(int64(n))
 		observeSince(s.m.stage(r.protocol, r.method, stageRespond), e, respondStart)
+		s.closeCallSpan(e, r, respondStart)
 	}
+}
+
+// closeCallSpan emits the server.reply stage (the Responder's send window)
+// and ends the server.call span — the response has left the server.
+func (s *Server) closeCallSpan(e exec.Env, r *response, respondStart time.Duration) {
+	if r.span == nil {
+		return
+	}
+	end := e.Now()
+	s.opts.Trace.Child(r.span, "server.reply", "server", respondStart, end-respondStart)
+	r.span.EndAt(end)
 }

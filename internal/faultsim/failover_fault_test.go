@@ -13,6 +13,7 @@ import (
 	"rpcoib/internal/faultsim"
 	"rpcoib/internal/hdfs"
 	"rpcoib/internal/metrics"
+	"rpcoib/internal/tracing"
 )
 
 // ChaosSeedEnv overrides the failover scenario's simulation seed, letting CI
@@ -48,10 +49,17 @@ func failoverOutage(t *testing.T, seed int64) (metrics.Snapshot, *faultsim.Repor
 		outageEnd   = 500 * time.Millisecond
 	)
 	reg := metrics.New()
+	// Tracing rides along into an in-memory sink: the scenario then also
+	// covers the rpc_trace_* metric families in the runtime golden, and
+	// proves span emission does not perturb the replay determinism the
+	// chaos battery asserts.
+	tr := tracing.New(seed, tracing.NewSink(nil, tracing.SinkOptions{MaxBuffered: 1 << 16}), tracing.Sampler{})
+	tr.Instrument(reg)
 	cl := cluster.New(cluster.Config{Nodes: 6, Seed: seed, DiskReadBW: 110e6,
 		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond,
 		ConnectTimeout: time.Second})
 	cl.IBNet().Instrument(reg)
+	cl.IBNet().TraceEvents(tr)
 	inj, err := faultsim.Apply(cl, faultsim.Plan{
 		Seed: seed,
 		Events: []faultsim.Event{
@@ -64,6 +72,7 @@ func failoverOutage(t *testing.T, seed int64) (metrics.Snapshot, *faultsim.Repor
 		t.Fatal(err)
 	}
 	inj.Instrument(reg)
+	inj.TraceEvents(tr)
 
 	fs := hdfs.Deploy(cl, hdfs.Config{
 		NameNode: 0, DataNodes: []int{1, 2, 3, 4}, Replication: 2,
@@ -72,6 +81,7 @@ func failoverOutage(t *testing.T, seed int64) (metrics.Snapshot, *faultsim.Repor
 		// heartbeat breakers never trip — only the writing client's does.
 		HeartbeatInterval: 500 * time.Millisecond,
 		Metrics:           reg,
+		Trace:             tr,
 		RPCFailover:       true,
 		RPCCallTimeout:    80 * time.Millisecond,
 		RPCPolicy: core.CallPolicy{

@@ -3,12 +3,14 @@ package faultsim
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/tracing"
 )
 
 // Stats counts what the injector actually did during a run. Because the
@@ -39,6 +41,7 @@ type Injector struct {
 	rng     *rand.Rand
 	stats   Stats
 	m       injMetrics
+	tr      *tracing.Tracer
 	started bool
 }
 
@@ -103,6 +106,18 @@ func (inj *Injector) Instrument(reg *metrics.Registry) {
 	inj.m.restarts = reg.Counter(mFaultRestarts)
 }
 
+// TraceEvents mirrors scripted fault firings into tr as zero-trace event
+// spans (fault.link_down, fault.node_crash, ...), stamped at virtual fire
+// time. The analyzer overlays them on the RPC spans they interrupt, so a
+// trace of a failover run shows which attempts ran inside the outage.
+// Tracing events is optional and nil-safe, like Instrument.
+func (inj *Injector) TraceEvents(tr *tracing.Tracer) { inj.tr = tr }
+
+// event emits one fault firing into the trace stream (nil-safe).
+func (inj *Injector) event(name string, attrs ...string) {
+	inj.tr.Event(name, inj.cl.Sim.Now(), attrs...)
+}
+
 // OnTransfer implements netsim.FaultHook: one fixed-order PRNG consultation
 // per inter-node transfer, so the outcome schedule is a pure function of the
 // seed and the (deterministic) transfer sequence.
@@ -149,12 +164,14 @@ func (inj *Injector) schedule(ev Event) error {
 		cl.Sim.At(ev.At(), func() {
 			inj.stats.Crashes++
 			inj.m.crashes.Inc()
+			inj.event("fault.node_crash", "node", strconv.Itoa(ev.Node))
 			cl.PartitionNode(ev.Node, true)
 		})
 		if ev.DurMS > 0 {
 			cl.Sim.At(ev.At()+ev.Dur(), func() {
 				inj.stats.Restarts++
 				inj.m.restarts.Inc()
+				inj.event("fault.node_restart", "node", strconv.Itoa(ev.Node))
 				cl.PartitionNode(ev.Node, false)
 			})
 		}
@@ -165,6 +182,7 @@ func (inj *Injector) schedule(ev Event) error {
 		cl.Sim.At(ev.At(), func() {
 			inj.stats.Restarts++
 			inj.m.restarts.Inc()
+			inj.event("fault.node_restart", "node", strconv.Itoa(ev.Node))
 			cl.PartitionNode(ev.Node, false)
 		})
 	case KindCQStall:
@@ -173,6 +191,7 @@ func (inj *Injector) schedule(ev Event) error {
 		}
 		cl.Sim.At(ev.At(), func() {
 			inj.stats.Stalls++
+			inj.event("fault.cq_stall", "node", strconv.Itoa(ev.Node))
 			cl.IBNet().Device(ev.Node).StallCQ(ev.At() + ev.Dur())
 		})
 	case KindPoolLimit:
@@ -181,6 +200,7 @@ func (inj *Injector) schedule(ev Event) error {
 		}
 		cl.Sim.At(ev.At(), func() {
 			inj.stats.PoolLimits++
+			inj.event("fault.pool_limit", "bytes", strconv.FormatInt(ev.Bytes, 10))
 			for _, node := range inj.poolNodes(ev) {
 				cl.IBNet().Device(node).RecvPool().SetRegisteredLimit(ev.Bytes)
 			}
@@ -216,6 +236,19 @@ func (inj *Injector) poolNodes(ev Event) []int {
 // flip to that one rail — the hook circuit-breaker failover tests hang off,
 // since an IB-only outage leaves the IPoIB fallback reachable.
 func (inj *Injector) setLinks(ev Event, down bool) {
+	name := "fault.link_down"
+	if !down {
+		name = "fault.link_up"
+	}
+	scope := "all_links"
+	if !ev.AllLinks {
+		scope = strconv.Itoa(ev.Node) + "-" + strconv.Itoa(ev.Peer)
+	}
+	fabric := ev.Fabric
+	if fabric == "" {
+		fabric = "all"
+	}
+	inj.event(name, "links", scope, "fabric", fabric)
 	fabrics := inj.cl.Fabrics()
 	if ev.Fabric != "" {
 		fabrics = fabrics[:0:0]

@@ -1,0 +1,185 @@
+package faultsim_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/tracing"
+)
+
+// tracedOutageRun drives a small HDFSoIB deployment through an IB-only
+// outage with distributed tracing armed, and returns the raw JSONL span
+// stream. The client's create lands inside the outage with a short
+// per-attempt timeout and a retry-timeouts policy, so its trace must contain
+// a retry chain that fails over to the socket fallback — the scenario the
+// propagation assertions below dissect.
+func tracedOutageRun(t *testing.T, seed int64) []byte {
+	t.Helper()
+	reg := metrics.New()
+	sink := tracing.NewSink(nil, tracing.SinkOptions{MaxBuffered: 1 << 16})
+	tr := tracing.New(seed, sink, tracing.Sampler{})
+	tr.Instrument(reg)
+
+	cl := cluster.New(cluster.Config{Nodes: 3, Seed: seed, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond,
+		ConnectTimeout: time.Second})
+	cl.IBNet().TraceEvents(tr)
+	inj, err := faultsim.Apply(cl, faultsim.Plan{
+		Seed: seed,
+		Events: []faultsim.Event{
+			{AtMS: 50, Kind: faultsim.KindLinkFlap, AllLinks: true, DurMS: 300, Fabric: "IB"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.TraceEvents(tr)
+
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1}, Replication: 1,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		Trace:             tr,
+		RPCFailover:       true,
+		RPCCallTimeout:    40 * time.Millisecond,
+		RPCPolicy: core.CallPolicy{
+			MaxAttempts: 8, Backoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+			// Retry timeouts too: the attempts burned against the dead verbs
+			// path are what the trace's retry chain records.
+			RetryOn: func(err error) bool {
+				var re *core.RemoteError
+				return !errors.As(err, &re)
+			},
+		},
+	})
+	var writeErr error
+	wrote := false
+	cl.SpawnOn(2, "driver", func(e exec.Env) {
+		dfs := fs.NewClient(2)
+		// Warm the verbs connection, then start the write inside the outage.
+		e.Sleep(10 * time.Millisecond)
+		if err := dfs.Mkdirs(e, "/warm"); err != nil {
+			t.Errorf("pre-outage mkdirs: %v", err)
+		}
+		e.Sleep(60*time.Millisecond - e.Now())
+		writeErr = dfs.CreateFile(e, "/fault", 1<<20, 1)
+		wrote = true
+		fs.Stop()
+	})
+	cl.RunUntil(time.Minute)
+	if !wrote {
+		t.Fatal("driver never ran to completion")
+	}
+	if writeErr != nil {
+		t.Fatalf("write across outage: %v", writeErr)
+	}
+	if inj.Stats().LinkDowns == 0 {
+		t.Fatal("fault plan did not execute")
+	}
+	tr.Flush()
+	if sink.Dropped() != 0 {
+		t.Fatalf("sink dropped %d spans; raise MaxBuffered", sink.Dropped())
+	}
+	return sink.Bytes()
+}
+
+// TestTracePropagationAcrossRetryAndFailover is the tracing acceptance
+// scenario: every retry of the create call must stay in ONE trace, each
+// retried attempt must parent onto the attempt it replaces, at least one
+// attempt must record the breaker's socket fallback, server spans must
+// causally link onto client attempts across the wire, and the fault
+// injection must appear as an event span. The whole span stream must replay
+// byte-identically under the same seed.
+func TestTracePropagationAcrossRetryAndFailover(t *testing.T) {
+	seed := chaosSeed(t)
+	raw := tracedOutageRun(t, seed)
+	spans, err := tracing.ReadSpans(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := tracing.CheckSpans(spans); len(problems) != 0 {
+		t.Fatalf("span invariants violated:\n%v", problems)
+	}
+
+	byID := map[uint64]tracing.Span{}
+	for _, sp := range spans {
+		if sp.Trace != 0 {
+			byID[sp.ID] = sp
+		}
+	}
+
+	// The create call: all its attempts share one trace, chained
+	// attempt -> previous attempt -> op root.
+	var creates []tracing.Span
+	for _, sp := range spans {
+		if sp.Name == "client.call" && sp.Attrs["method"] == "create" {
+			creates = append(creates, sp)
+		}
+	}
+	if len(creates) < 2 {
+		t.Fatalf("create ran %d attempts; the outage should force retries", len(creates))
+	}
+	trace := creates[0].Trace
+	chained, fallback := 0, 0
+	for _, sp := range creates {
+		if sp.Trace != trace {
+			t.Fatalf("create attempts span traces %d and %d; retries must share one trace", trace, sp.Trace)
+		}
+		if parent, ok := byID[sp.Parent]; ok && parent.Name == "client.call" {
+			chained++
+		}
+		if sp.Attrs["transport"] == "fallback" {
+			fallback++
+		}
+	}
+	if chained != len(creates)-1 {
+		t.Fatalf("%d of %d retries parent onto the failed attempt", chained, len(creates)-1)
+	}
+	if fallback == 0 {
+		t.Fatal("no create attempt recorded the socket fallback")
+	}
+
+	// The root of the create trace is the client's op span.
+	root, ok := byID[trace]
+	if !ok || root.Name != "op.hdfs.write" {
+		t.Fatalf("create trace root = %+v, want op.hdfs.write", root)
+	}
+
+	// Server spans parent onto client attempts: the wire triple survived.
+	crossWire := 0
+	for _, sp := range spans {
+		if sp.Name == "server.call" {
+			if parent, ok := byID[sp.Parent]; ok && parent.Name == "client.call" {
+				crossWire++
+			}
+		}
+	}
+	if crossWire == 0 {
+		t.Fatal("no server.call span parents onto a client.call span")
+	}
+
+	// The injected outage shows up as zero-trace event spans.
+	faultEvents := 0
+	for _, sp := range spans {
+		if sp.Trace == 0 && sp.Kind == "event" && sp.Name == "fault.link_down" {
+			faultEvents++
+		}
+	}
+	if faultEvents == 0 {
+		t.Fatal("fault injection emitted no event span")
+	}
+
+	// Same seed, same bytes: traces replay exactly.
+	if again := tracedOutageRun(t, seed); !bytes.Equal(raw, again) {
+		t.Fatal("same-seed runs produced different trace streams")
+	}
+}

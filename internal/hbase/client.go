@@ -2,10 +2,12 @@ package hbase
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/wire"
 )
 
@@ -200,6 +202,12 @@ func (c *HClient) Get(e exec.Env, row string, valueSize int) error {
 // the batch completes in roughly the slowest server's time instead of the
 // sum (HTable.get(List) semantics).
 func (c *HClient) MultiGet(e exec.Env, rows []string, valueSize int) error {
+	// The op span roots the batch: each per-region-server multiGet issued
+	// under the wrapped Env becomes a child span, so a trace shows the fan-out
+	// and which server was the straggler.
+	e, opDone := tracing.StartOp(c.h.cfg.Trace, e, "op.hbase.multiGet",
+		"rows", strconv.Itoa(len(rows)))
+	defer opDone()
 	e.Work(time.Duration(len(rows)) * clientGetCPU)
 	byRS := make([][]string, len(c.h.rss))
 	for _, row := range rows {

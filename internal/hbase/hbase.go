@@ -19,6 +19,7 @@ import (
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -58,6 +59,9 @@ type Config struct {
 	WriteBufferSize int64
 	// Tracer profiles HBase RPC traffic when set.
 	Tracer *trace.Tracer
+	// Trace streams distributed spans from the region-server RPC endpoints
+	// and client batch operations when set.
+	Trace *tracing.Tracer
 	// Metrics, when non-nil, instruments the region-server RPC endpoints.
 	Metrics *metrics.Registry
 	// RPCPolicy is applied to every client RPC (retries, deadlines); the zero
@@ -128,6 +132,7 @@ func (h *HBase) rpcClient(node int) *core.Client {
 		return core.NewClient(h.net(node), core.Options{
 			Mode: h.rpcMode(), Costs: h.c.Costs, Tracer: h.cfg.Tracer,
 			Metrics:     h.cfg.Metrics,
+			Trace:       h.cfg.Trace,
 			Policy:      h.cfg.RPCPolicy,
 			CallTimeout: h.cfg.RPCCallTimeout,
 			Failover:    h.cfg.RPCFailover,
@@ -183,7 +188,7 @@ type RegionServer struct {
 func (rs *RegionServer) run(e exec.Env) {
 	srv := core.NewServer(rs.h.net(rs.node), core.Options{
 		Mode: rs.h.rpcMode(), Costs: rs.h.c.Costs, Tracer: rs.h.cfg.Tracer,
-		Metrics: rs.h.cfg.Metrics, Handlers: 10,
+		Metrics: rs.h.cfg.Metrics, Trace: rs.h.cfg.Trace, Handlers: 10,
 	})
 	srv.Register(RegionInterface, "get",
 		func() wire.Writable { return &GetParam{} }, rs.get)
@@ -243,7 +248,7 @@ func (rs *RegionServer) maybeCacheMiss(e exec.Env) error {
 	if _, err := dfs.Locate(e, path); err != nil {
 		return err
 	}
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	rs.h.c.Node(rs.node).Disk.Read(se.Proc(), blockReadKB<<10)
 	return nil
 }
@@ -264,7 +269,7 @@ func (rs *RegionServer) applyPuts(e exec.Env, count, bytes int64) {
 	rs.Puts += count
 	e.Work(walSyncCPU + time.Duration(count)*putCPU)
 	// WAL group commit: one sequential append per batch.
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	rs.h.c.Node(rs.node).Disk.WriteStream(se.Proc(), int64(rs.index)+1<<50, bytes)
 	rs.memstoreBytes += bytes
 	rs.records += count
@@ -291,7 +296,7 @@ func (rs *RegionServer) maybeFlush(e exec.Env) {
 func (rs *RegionServer) flush(e exec.Env, n int, size int64) {
 	rs.Flushes++
 	if rs.h.dfs == nil {
-		se := e.(*cluster.SimEnv)
+		se := cluster.SimEnvOf(e)
 		rs.h.c.Node(rs.node).Disk.WriteStream(se.Proc(), int64(rs.index)+2<<50, size)
 		rs.flushing = false
 		return

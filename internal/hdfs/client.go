@@ -3,10 +3,12 @@ package hdfs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -67,6 +69,12 @@ func (c *DFSClient) RenewLease(e exec.Env) error {
 // CreateFile writes a file of the given logical size through replicated
 // block pipelines and closes it. Replication 0 uses the cluster default.
 func (c *DFSClient) CreateFile(e exec.Env, path string, size int64, replication int) error {
+	// The op span roots the whole write: every NameNode call (create,
+	// addBlock, complete retries) issued under the wrapped Env becomes its
+	// child, so a trace shows the write's full control-plane fan-out.
+	e, opDone := tracing.StartOp(c.h.cfg.Trace, e, "op.hdfs.write",
+		"path", path, "bytes", strconv.FormatInt(size, 10))
+	defer opDone()
 	if err := c.call(e, "create", &CreateParam{
 		Path: path, ClientName: c.name,
 		Replication: int32(replication), BlockSize: c.h.cfg.BlockSize,
@@ -155,12 +163,16 @@ func (c *DFSClient) writeBlock(e exec.Env, lb LocatedBlock, length int64) error 
 	if len(lb.Targets) == 0 {
 		return fmt.Errorf("writeBlock: block %d has no targets", lb.BlockID)
 	}
+	sp := c.h.cfg.Trace.Start("hdfs.writeBlock", "client", tracing.ContextOf(e), e.Now())
+	sp.SetAttr("block", strconv.FormatInt(lb.BlockID, 10))
+	sp.SetAttr("pipeline", strconv.Itoa(len(lb.Targets)))
+	defer func() { sp.EndAt(e.Now()) }()
 	conn, err := c.h.dataNet(c.node).Dial(e, lb.Targets[0])
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if err := conn.Send(e, writeBlockHeader(lb.BlockID, lb.Targets[1:])); err != nil {
+	if err := conn.Send(e, writeBlockHeader(lb.BlockID, lb.Targets[1:], sp.Context())); err != nil {
 		return err
 	}
 	if _, rel, err := conn.Recv(e); err != nil { // pipeline setup ack

@@ -2,11 +2,13 @@ package hdfs
 
 import (
 	"fmt"
+	"strconv"
 
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/core"
 	"rpcoib/internal/exec"
 	"rpcoib/internal/sim"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -96,7 +98,7 @@ func (dn *DataNode) replicateBlock(e exec.Env, blockID int64, target string) {
 		return
 	}
 	defer conn.Close()
-	if err := conn.Send(e, writeBlockHeader(blockID, nil)); err != nil {
+	if err := conn.Send(e, writeBlockHeader(blockID, nil, tracing.SpanContext{})); err != nil {
 		return
 	}
 	if _, rel, err := conn.Recv(e); err != nil { // setup ack
@@ -104,7 +106,7 @@ func (dn *DataNode) replicateBlock(e exec.Env, blockID int64, target string) {
 	} else {
 		rel()
 	}
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	disk := dn.h.c.Node(dn.node).Disk
 	packet := int64(dn.h.cfg.PacketSize)
 	rdma := dn.h.cfg.DataRDMA
@@ -162,6 +164,11 @@ func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 		switch op {
 		case opWriteBlock:
 			blockID := in.ReadInt64()
+			var sc tracing.SpanContext
+			if blockID < 0 {
+				blockID = -blockID - 1
+				sc = tracing.SpanContext{Trace: uint64(in.ReadVLong()), Span: uint64(in.ReadVLong())}
+			}
 			nTargets := int(in.ReadVInt())
 			targets := make([]string, 0, nTargets)
 			for i := 0; i < nTargets; i++ {
@@ -177,7 +184,7 @@ func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 				}
 				pending = nil
 			}
-			fut, err := dn.receiveBlock(e, conn, blockID, targets)
+			fut, err := dn.receiveBlock(e, conn, blockID, targets, sc)
 			if err != nil {
 				return
 			}
@@ -215,7 +222,17 @@ func packetHeader(seq int32, dataLen int32, last bool) []byte {
 // replica both finished; finally report blockReceived to the NameNode —
 // asynchronously, returning the future for the caller to collect once it has
 // other work in hand.
-func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string) (*core.Future, error) {
+func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string, sc tracing.SpanContext) (*core.Future, error) {
+	// Each pipeline hop is one span, parented on the upstream hop's span (the
+	// client's block span for the first DataNode), so a write trace shows the
+	// full replication chain hop by hop.
+	var hop *tracing.Span
+	if sc.Trace != 0 {
+		hop = dn.h.cfg.Trace.Start("dn.writeBlock", "server", sc, e.Now())
+		hop.SetAttr("node", strconv.Itoa(dn.node))
+		hop.SetAttr("block", strconv.FormatInt(blockID, 10))
+		defer func() { hop.EndAt(e.Now()) }()
+	}
 	var downstream transport.Conn
 	if len(targets) > 0 {
 		var err error
@@ -224,7 +241,7 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 			return nil, err
 		}
 		defer downstream.Close()
-		if err := downstream.Send(e, writeBlockHeader(blockID, targets[1:])); err != nil {
+		if err := downstream.Send(e, writeBlockHeader(blockID, targets[1:], hop.Context())); err != nil {
 			return nil, err
 		}
 		if _, rel, err := downstream.Recv(e); err != nil { // setup ack
@@ -241,10 +258,10 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 	// disk. The dirty-bytes budget provides kernel-writeback backpressure
 	// when sustained ingest outruns the spindle.
 	diskQ := e.NewQueue(0)
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	node := dn.h.c.Node(dn.node)
 	e.Spawn("dn-flusher", func(de exec.Env) {
-		dse := de.(*cluster.SimEnv)
+		dse := cluster.SimEnvOf(de)
 		for {
 			v, ok := diskQ.Get(de)
 			if !ok {
@@ -329,7 +346,7 @@ func (dn *DataNode) sendBlock(e exec.Env, conn transport.Conn, blockID int64) er
 	if err := conn.Send(e, []byte{1}); err != nil {
 		return err
 	}
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	disk := dn.h.c.Node(dn.node).Disk
 	packet := int64(dn.h.cfg.PacketSize)
 	rdma := dn.h.cfg.DataRDMA
@@ -352,11 +369,22 @@ func (dn *DataNode) sendBlock(e exec.Env, conn transport.Conn, blockID int64) er
 	return nil
 }
 
-func writeBlockHeader(blockID int64, targets []string) []byte {
+// writeBlockHeader layout: [op u8][block id int64][target count vint]
+// [targets...]. A traced transfer negates the block ID (-id-1; IDs are
+// non-negative) and inserts [trace vlong][span vlong] after it, carrying the
+// sender's span context down the pipeline — untraced headers stay
+// byte-identical to the pre-tracing format.
+func writeBlockHeader(blockID int64, targets []string, sc tracing.SpanContext) []byte {
 	d := wire.NewDataOutputBufferSize(64)
 	out := wire.NewDataOutput(d)
 	out.WriteU8(opWriteBlock)
-	out.WriteInt64(blockID)
+	if sc.Trace == 0 {
+		out.WriteInt64(blockID)
+	} else {
+		out.WriteInt64(-blockID - 1)
+		out.WriteVLong(int64(sc.Trace))
+		out.WriteVLong(int64(sc.Span))
+	}
 	out.WriteVInt(int32(len(targets)))
 	for _, t := range targets {
 		out.WriteText(t)

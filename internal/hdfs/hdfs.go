@@ -12,6 +12,7 @@ import (
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 )
 
@@ -78,6 +79,9 @@ type Config struct {
 	Handlers int
 	// Tracer profiles all RPC traffic when set.
 	Tracer *trace.Tracer
+	// Trace streams distributed spans from every RPC endpoint and DFSClient
+	// operation when set (see internal/tracing).
+	Trace *tracing.Tracer
 	// Metrics, when non-nil, instruments all RPC endpoints and the block
 	// data pipeline (per-stage packet/byte counters).
 	Metrics *metrics.Registry
@@ -145,7 +149,7 @@ func Deploy(c *cluster.Cluster, cfg Config) *HDFS {
 		h.stopQ = e.NewQueue(0)
 		srv := core.NewServer(h.rpcNet(cfg.NameNode), core.Options{
 			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer,
-			Metrics: cfg.Metrics, Handlers: cfg.Handlers,
+			Metrics: cfg.Metrics, Trace: cfg.Trace, Handlers: cfg.Handlers,
 		})
 		h.nn.register(srv)
 		if err := srv.Start(e, nnPort); err != nil {
@@ -227,6 +231,7 @@ func (h *HDFS) newRPCClient(node int) *core.Client {
 		return core.NewClient(h.rpcNet(node), core.Options{
 			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
 			Metrics:     h.cfg.Metrics,
+			Trace:       h.cfg.Trace,
 			Policy:      h.cfg.RPCPolicy,
 			CallTimeout: h.cfg.RPCCallTimeout,
 			Failover:    h.cfg.RPCFailover,
@@ -242,6 +247,7 @@ func (h *HDFS) heartbeatClient(node int) *core.Client {
 		return core.NewClient(h.rpcNet(node), core.Options{
 			Mode: h.cfg.RPCMode, Costs: h.c.Costs, Tracer: h.cfg.Tracer,
 			Metrics:     h.cfg.Metrics,
+			Trace:       h.cfg.Trace,
 			CallTimeout: 2*h.cfg.HeartbeatInterval + time.Second,
 			Failover:    h.cfg.RPCFailover,
 		})

@@ -22,6 +22,7 @@ import (
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/sim"
+	"rpcoib/internal/tracing"
 )
 
 // ErrClosed reports use of a torn-down endpoint.
@@ -58,6 +59,7 @@ type Network struct {
 	devices   map[int]*Device
 	listeners map[string]*EPListener
 	m         netInstruments
+	tr        *tracing.Tracer
 }
 
 // NewNetwork creates a verbs network over fabric. threshold <= 0 selects
@@ -83,7 +85,7 @@ func (n *Network) Device(node int) *Device {
 	d, ok := n.devices[node]
 	if !ok {
 		d = &Device{fabric: n.fabric, node: node, costs: n.costs,
-			threshold: n.threshold, recvPool: bufpool.NewNativePool(0), m: n.m}
+			threshold: n.threshold, recvPool: bufpool.NewNativePool(0), m: n.m, tr: n.tr}
 		n.devices[node] = d
 	}
 	return d
@@ -114,6 +116,7 @@ type Device struct {
 	recvPool   *bufpool.NativePool
 	stats      Stats
 	m          netInstruments
+	tr         *tracing.Tracer
 	stallUntil time.Duration
 }
 
@@ -342,6 +345,9 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 		// Slow path the pool exists to avoid: register on the fly.
 		dev.stats.UnregisteredTx++
 		dev.m.unregisteredTx.Inc()
+		if dev.tr != nil {
+			dev.traceUnregisteredTx(p.Now(), n)
+		}
 		dev.fabric.ChargeCPU(p, dev.node, dev.costs.Register(n))
 	}
 	dev.fabric.ChargeCPU(p, dev.node, dev.costs.VerbsPost)

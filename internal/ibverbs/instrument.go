@@ -1,6 +1,12 @@
 package ibverbs
 
-import "rpcoib/internal/metrics"
+import (
+	"strconv"
+	"time"
+
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/tracing"
+)
 
 // Metric family names, as package-level consts for the rpcoiblint
 // metricnames analyzer's golden-file enumeration.
@@ -73,4 +79,22 @@ func (n *Network) Instrument(r *metrics.Registry) {
 	for _, d := range n.devices {
 		d.m = m
 	}
+}
+
+// TraceEvents mirrors verbs-layer anomalies into tr as zero-trace event
+// spans: today the on-the-fly registration slow path (an unregistered send
+// buffer — exactly what the two-level pool exists to prevent), stamped at
+// virtual send time with the node and size. The analyzer overlays these
+// events on whichever RPC spans they interrupt.
+func (n *Network) TraceEvents(tr *tracing.Tracer) {
+	n.tr = tr
+	for _, d := range n.devices {
+		d.tr = tr
+	}
+}
+
+// traceUnregisteredTx emits the slow-path registration event (nil-safe).
+func (d *Device) traceUnregisteredTx(at time.Duration, bytes int) {
+	d.tr.Event("ib.unregistered_tx", at,
+		"node", strconv.Itoa(d.node), "bytes", strconv.Itoa(bytes))
 }

@@ -16,6 +16,10 @@ const (
 	cGets   = "_gets_total"
 	cHits   = "_hits_total"
 	cNative = "_native"
+
+	cTraceSpans = "fix_trace_spans_total"
+	cTracePool  = "fix_trace"
+	cDropped    = "_dropped_total"
 )
 
 func direct(r *metrics.Registry) {
@@ -45,4 +49,12 @@ func register(r *metrics.Registry) {
 
 func dynamic(r *metrics.Registry, name string) {
 	instrument(r, name) // want `metric prefix passed to instrument must be a package-level const or prefix\+const`
+}
+
+// tracer mirrors tracing.Tracer.Instrument: trace-family consts registered
+// directly and via a trace prefix, with the inline-literal shape rejected.
+func tracer(r *metrics.Registry) {
+	r.Counter(cTraceSpans)
+	r.Counter(cTracePool + cDropped)
+	r.Counter("fix_trace_sampled_out_total") // want `metric name in Counter must be a package-level const, not an inline literal`
 }

@@ -77,7 +77,7 @@ func (c *childTask) run(e exec.Env) {
 // map function cost, spills the partitioned output to local disk, and
 // registers it with the tracker.
 func (c *childTask) runMap(e exec.Env) {
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	disk := c.tt.mr.c.Node(c.tt.node).Disk
 	mr := c.tt.mr
 
@@ -148,7 +148,7 @@ func (c *childTask) runMap(e exec.Env) {
 // runReduce shuffles map segments as completion events arrive, merges, runs
 // the reduce function, writes the HDFS output and commits.
 func (c *childTask) runReduce(e exec.Env) {
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	disk := c.tt.mr.c.Node(c.tt.node).Disk
 	mr := c.tt.mr
 

@@ -12,6 +12,7 @@ import (
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/trace"
+	"rpcoib/internal/tracing"
 	"rpcoib/internal/transport"
 	"rpcoib/internal/wire"
 )
@@ -43,6 +44,8 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Tracer profiles all RPC traffic when set.
 	Tracer *trace.Tracer
+	// Trace streams distributed spans from every RPC endpoint when set.
+	Trace *tracing.Tracer
 	// Metrics, when non-nil, instruments the JobTracker, TaskTracker, and
 	// umbilical RPC endpoints.
 	Metrics *metrics.Registry
@@ -108,7 +111,7 @@ func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *MapReduce {
 		mr.stopQ = e.NewQueue(0)
 		srv := core.NewServer(mr.rpcNet(cfg.JobTracker), core.Options{
 			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer,
-			Metrics: cfg.Metrics, Handlers: 10,
+			Metrics: cfg.Metrics, Trace: cfg.Trace, Handlers: 10,
 		})
 		mr.jt.register(srv)
 		if err := srv.Start(e, jtPort); err != nil {
@@ -169,6 +172,7 @@ func (mr *MapReduce) newRPCClient(node int) *core.Client {
 		return core.NewClient(mr.rpcNet(node), core.Options{
 			Mode: mr.cfg.RPCMode, Costs: mr.c.Costs, Tracer: mr.cfg.Tracer,
 			Metrics:     mr.cfg.Metrics,
+			Trace:       mr.cfg.Trace,
 			Policy:      mr.cfg.RPCPolicy,
 			CallTimeout: mr.cfg.RPCCallTimeout,
 			Failover:    mr.cfg.RPCFailover,

@@ -69,7 +69,7 @@ func newTaskTracker(mr *MapReduce, node int) *TaskTracker {
 func (tt *TaskTracker) run(e exec.Env) {
 	srv := core.NewServer(tt.mr.rpcNet(tt.node), core.Options{
 		Mode: tt.mr.cfg.RPCMode, Costs: tt.mr.c.Costs, Tracer: tt.mr.cfg.Tracer,
-		Metrics: tt.mr.cfg.Metrics, Handlers: 4,
+		Metrics: tt.mr.cfg.Metrics, Trace: tt.mr.cfg.Trace, Handlers: 4,
 	})
 	tt.registerUmbilical(srv)
 	if err := srv.Start(e, umbPort); err != nil {
@@ -261,7 +261,7 @@ func (tt *TaskTracker) serveShuffle(e exec.Env, ln transport.Listener) {
 
 func (tt *TaskTracker) handleShuffleConn(e exec.Env, conn transport.Conn) {
 	defer conn.Close()
-	se := e.(*cluster.SimEnv)
+	se := cluster.SimEnvOf(e)
 	disk := tt.mr.c.Node(tt.node).Disk
 	for {
 		data, release, err := conn.Recv(e)

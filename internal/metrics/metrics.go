@@ -82,13 +82,14 @@ func (g *Gauge) Value() int64 {
 // bucket catches everything above the last bound. Fixed bounds keep
 // snapshots mergeable across registries and diffable across runs.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []int64
-	counts []int64 // len(bounds)+1, last is overflow
-	count  int64
-	sum    int64
-	min    int64
-	max    int64
+	mu        sync.Mutex
+	bounds    []int64
+	counts    []int64 // len(bounds)+1, last is overflow
+	count     int64
+	sum       int64
+	min       int64
+	max       int64
+	exemplars []uint64 // lazily allocated; last trace ID seen per bucket
 }
 
 // Observe records one value.
@@ -98,6 +99,29 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+// ObserveExemplar records one value and, when trace is non-zero, remembers
+// it as the bucket's exemplar — the trace ID of the last call that landed in
+// that latency bucket, linking `rpc_*` histograms back to followable traces.
+func (h *Histogram) ObserveExemplar(v int64, trace uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.observeLocked(v)
+	if trace != 0 {
+		if h.exemplars == nil {
+			h.exemplars = make([]uint64, len(h.counts))
+		}
+		h.exemplars[i] = trace
+	}
+}
+
+// observeLocked records v and returns its bucket index.
+func (h *Histogram) observeLocked(v int64) int {
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
 	h.counts[i]++
 	h.count++
@@ -108,6 +132,7 @@ func (h *Histogram) Observe(v int64) {
 	if v > h.max {
 		h.max = v
 	}
+	return i
 }
 
 // ObserveDuration records a duration in nanoseconds.
@@ -117,7 +142,7 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 func (h *Histogram) snapshot() HistSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistSnapshot{
+	s := HistSnapshot{
 		Bounds: h.bounds,
 		Counts: append([]int64(nil), h.counts...),
 		Count:  h.count,
@@ -125,6 +150,16 @@ func (h *Histogram) snapshot() HistSnapshot {
 		Min:    h.min,
 		Max:    h.max,
 	}
+	for i, tr := range h.exemplars {
+		if tr == 0 {
+			continue
+		}
+		if s.Exemplars == nil {
+			s.Exemplars = map[int]uint64{}
+		}
+		s.Exemplars[i] = tr
+	}
+	return s
 }
 
 // DurationBuckets returns the default latency bounds: powers of two from

@@ -27,6 +27,9 @@ type HistSnapshot struct {
 	Sum    int64   `json:"sum"`
 	Min    int64   `json:"min"`
 	Max    int64   `json:"max"`
+	// Exemplars maps bucket index -> trace ID of the last traced observation
+	// that landed there (absent when the caller never attached exemplars).
+	Exemplars map[int]uint64 `json:"exemplars,omitempty"`
 }
 
 // Mean returns the average observed value (0 when empty).

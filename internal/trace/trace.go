@@ -60,17 +60,20 @@ type RecvAgg struct {
 // Tracer collects RPC profiling data. A nil *Tracer is valid and records
 // nothing, so the engine can call it unconditionally.
 type Tracer struct {
-	mu      sync.Mutex
-	sends   map[Key]*Agg
-	recvs   map[Key]*RecvAgg
-	sizes   map[Key][]int
-	dropped map[Key]int64
+	mu          sync.Mutex
+	sends       map[Key]*Agg
+	recvs       map[Key]*RecvAgg
+	sizes       map[Key][]int
+	dropped     map[Key]int64
+	recvSizes   map[Key][]int
+	recvDropped map[Key]int64
 }
 
 // New returns an empty tracer.
 func New() *Tracer {
 	return &Tracer{sends: map[Key]*Agg{}, recvs: map[Key]*RecvAgg{},
-		sizes: map[Key][]int{}, dropped: map[Key]int64{}}
+		sizes: map[Key][]int{}, dropped: map[Key]int64{},
+		recvSizes: map[Key][]int{}, recvDropped: map[Key]int64{}}
 }
 
 // RecordSend adds a client-side sample.
@@ -114,6 +117,13 @@ func (t *Tracer) RecordRecv(s RecvSample) {
 	a.Alloc += s.Alloc
 	a.Total += s.Total
 	a.Bytes += int64(s.MsgBytes)
+	if seq := t.recvSizes[s.Key]; len(seq) < maxSizesPerKey {
+		t.recvSizes[s.Key] = append(seq, s.MsgBytes)
+	} else {
+		// Mirror the send path: once the sequence is full, count every
+		// further sample so RecvSizes consumers can tell truncation.
+		t.recvDropped[s.Key]++
+	}
 }
 
 // SendRow is one Table I row.
@@ -223,6 +233,28 @@ func (t *Tracer) Dropped(k Key) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped[k]
+}
+
+// RecvSizes returns the recorded server-side message-size sequence for a key.
+func (t *Tracer) RecvSizes(k Key) []int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int(nil), t.recvSizes[k]...)
+}
+
+// RecvDropped returns how many server-side size samples for key were
+// discarded after the per-key retention cap, the recv counterpart of
+// Dropped: non-zero means RecvSizes(k) is a truncated prefix.
+func (t *Tracer) RecvDropped(k Key) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recvDropped[k]
 }
 
 // Keys returns all keys with send samples, sorted.

@@ -16,6 +16,33 @@ func TestNilTracerIsSafe(t *testing.T) {
 	if tr.Dropped(Key{}) != 0 || tr.AllocRatioFor(Key{}) != 0 || tr.RecvKeys() != nil {
 		t.Fatal("nil tracer must return zero values from per-key accessors")
 	}
+	if tr.RecvSizes(Key{}) != nil || tr.RecvDropped(Key{}) != 0 {
+		t.Fatal("nil tracer must return zero values from recv size accessors")
+	}
+}
+
+// TestRecvDroppedCounter: the server-side size sequence must mirror the send
+// path — retained up to the cap, with every overflow sample counted per key.
+func TestRecvDroppedCounter(t *testing.T) {
+	tr := New()
+	k := Key{"p", "m"}
+	const extra = 5
+	for i := 0; i < maxSizesPerKey+extra; i++ {
+		tr.RecordRecv(RecvSample{Key: k, MsgBytes: 256})
+	}
+	if got := len(tr.RecvSizes(k)); got != maxSizesPerKey {
+		t.Fatalf("retained %d recv sizes, want %d", got, maxSizesPerKey)
+	}
+	if got := tr.RecvDropped(k); got != extra {
+		t.Fatalf("RecvDropped=%d, want %d", got, extra)
+	}
+	if tr.RecvDropped(Key{"other", "key"}) != 0 {
+		t.Fatal("unrelated key reported recv drops")
+	}
+	// Aggregates must still see every sample.
+	if got := tr.RecvKeys(); len(got) != 1 {
+		t.Fatalf("RecvKeys=%v", got)
+	}
 }
 
 // TestDroppedCounter: samples past the retention cap must be counted, not

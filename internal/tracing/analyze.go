@@ -1,0 +1,430 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the offline half of the tracer: cmd/rpctrace links it to turn
+// a JSONL span stream back into call trees, per-stage percentile breakdowns
+// (the paper's Figure 4 table recomputed from causal traces instead of
+// aggregate histograms), critical paths, and run-over-run diffs.
+
+// ReadSpans decodes a JSONL span stream. Malformed lines are returned as
+// errors with their line number rather than skipped, since a trace file is
+// machine-written: corruption means a bug worth surfacing.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal([]byte(text), &sp); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// Node is a span plus its resolved children, ordered by start time.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// Tree is one reconstructed trace: a root call and every span causally
+// under it.
+type Tree struct {
+	Trace uint64
+	Root  *Node
+	Spans int
+}
+
+// End returns the span's end timestamp.
+func (s Span) End() int64 { return s.StartNS + s.DurNS }
+
+// BuildTrees groups spans by trace and links parent pointers into trees,
+// sorted by root start time (ties by trace ID). Zero-trace event spans are
+// returned separately. Spans whose parent is missing from the file (e.g.
+// dropped by the sink) become additional roots of their trace; only the
+// earliest-starting root is reported as Tree.Root.
+func BuildTrees(spans []Span) (trees []*Tree, events []Span) {
+	byTrace := map[uint64][]*Node{}
+	for _, sp := range spans {
+		if sp.Trace == 0 {
+			events = append(events, sp)
+			continue
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], &Node{Span: sp})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].StartNS < events[j].StartNS })
+	for trace, nodes := range byTrace {
+		byID := make(map[uint64]*Node, len(nodes))
+		for _, n := range nodes {
+			byID[n.ID] = n
+		}
+		var roots []*Node
+		for _, n := range nodes {
+			if p, ok := byID[n.Parent]; ok && n.Parent != n.ID {
+				p.Children = append(p.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+		}
+		for _, n := range nodes {
+			sort.Slice(n.Children, func(i, j int) bool {
+				if n.Children[i].StartNS != n.Children[j].StartNS {
+					return n.Children[i].StartNS < n.Children[j].StartNS
+				}
+				return n.Children[i].ID < n.Children[j].ID
+			})
+		}
+		sort.Slice(roots, func(i, j int) bool {
+			if roots[i].StartNS != roots[j].StartNS {
+				return roots[i].StartNS < roots[j].StartNS
+			}
+			return roots[i].ID < roots[j].ID
+		})
+		if len(roots) == 0 {
+			continue // parent cycle; CheckSpans reports it
+		}
+		trees = append(trees, &Tree{Trace: trace, Root: roots[0], Spans: len(nodes)})
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].Root.StartNS != trees[j].Root.StartNS {
+			return trees[i].Root.StartNS < trees[j].Root.StartNS
+		}
+		return trees[i].Trace < trees[j].Trace
+	})
+	return trees, events
+}
+
+// CheckSpans validates trace-file invariants: spans are well-formed
+// (nonzero IDs, non-negative durations — queue-wait ≥ 0 falls out of the
+// server.queue span's duration), parent references resolve within their
+// trace, and children don't start before their parent. Returns one message
+// per violation.
+func CheckSpans(spans []Span) []string {
+	var problems []string
+	byTrace := map[uint64]map[uint64]Span{}
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			problems = append(problems, fmt.Sprintf("span %q in trace %d has zero span ID", sp.Name, sp.Trace))
+		}
+		if sp.DurNS < 0 {
+			problems = append(problems, fmt.Sprintf("span %q (trace %d, span %d) has negative duration %dns", sp.Name, sp.Trace, sp.ID, sp.DurNS))
+		}
+		if sp.Trace == 0 {
+			if sp.Kind != "event" {
+				problems = append(problems, fmt.Sprintf("span %q (span %d) has no trace ID but kind %q (want event)", sp.Name, sp.ID, sp.Kind))
+			}
+			continue
+		}
+		m := byTrace[sp.Trace]
+		if m == nil {
+			m = map[uint64]Span{}
+			byTrace[sp.Trace] = m
+		}
+		if _, dup := m[sp.ID]; dup {
+			problems = append(problems, fmt.Sprintf("duplicate span ID %d in trace %d", sp.ID, sp.Trace))
+		}
+		m[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.Trace == 0 || sp.Parent == 0 {
+			continue
+		}
+		parent, ok := byTrace[sp.Trace][sp.Parent]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("span %q (trace %d, span %d) has orphan parent %d", sp.Name, sp.Trace, sp.ID, sp.Parent))
+			continue
+		}
+		if sp.StartNS < parent.StartNS {
+			problems = append(problems, fmt.Sprintf("span %q (trace %d, span %d) starts %dns before its parent %q", sp.Name, sp.Trace, sp.ID, parent.StartNS-sp.StartNS, parent.Name))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// StageStat summarizes one span name's duration distribution.
+type StageStat struct {
+	Name  string
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Total time.Duration
+}
+
+// fig4Stages orders the paper's Figure 4 latency-breakdown stages; other
+// span names follow alphabetically in breakdown output.
+var fig4Stages = []string{
+	"client.serialize", // client-side Writable serialization
+	"client.send",      // post/send on the wire (RDMA post or socket write)
+	"server.queue",     // admission-queue wait before a handler picks it up
+	"server.recv",      // server receive: buffer alloc + deserialize
+	"server.handler",   // handler execution
+	"server.reply",     // response serialize + send
+}
+
+// StageBreakdown computes per-span-name duration percentiles — the Fig 4
+// table, recomputed from causal spans.
+func StageBreakdown(spans []Span) []StageStat {
+	byName := map[string][]int64{}
+	for _, sp := range spans {
+		if sp.Trace == 0 || sp.Attrs["unfinished"] != "" {
+			continue
+		}
+		byName[sp.Name] = append(byName[sp.Name], sp.DurNS)
+	}
+	rank := map[string]int{}
+	for i, name := range fig4Stages {
+		rank[name] = i
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, iOK := rank[names[i]]
+		rj, jOK := rank[names[j]]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	stats := make([]StageStat, 0, len(names))
+	for _, name := range names {
+		durs := byName[name]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var sum int64
+		for _, d := range durs {
+			sum += d
+		}
+		n := len(durs)
+		stats = append(stats, StageStat{
+			Name:  name,
+			Count: n,
+			Avg:   time.Duration(sum / int64(n)),
+			P50:   time.Duration(percentile(durs, 0.50)),
+			P90:   time.Duration(percentile(durs, 0.90)),
+			P99:   time.Duration(percentile(durs, 0.99)),
+			Total: time.Duration(sum),
+		})
+	}
+	return stats
+}
+
+// percentile picks the nearest-rank percentile from sorted values.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// PathStep is one span on a critical path with its exclusive contribution.
+type PathStep struct {
+	Name      string
+	Span      uint64
+	Dur       time.Duration // span's own duration
+	Exclusive time.Duration // duration not covered by any child on the path
+}
+
+// CriticalPath walks the tree from the root always descending into the
+// child that ends last (the one gating the parent's completion), the
+// classic request-path attribution. Each step's Exclusive time is its
+// duration minus the time covered by its own children — where the time
+// actually went.
+func CriticalPath(t *Tree) []PathStep {
+	var path []PathStep
+	for n := t.Root; n != nil; {
+		path = append(path, PathStep{
+			Name: n.Name, Span: n.ID,
+			Dur:       time.Duration(n.DurNS),
+			Exclusive: exclusive(n),
+		})
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.End() > next.End() {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// exclusive returns n's duration minus the union of its children's
+// intervals clipped to n — the time n spent with no child running.
+func exclusive(n *Node) time.Duration {
+	if len(n.Children) == 0 {
+		return time.Duration(n.DurNS)
+	}
+	type iv struct{ a, b int64 }
+	ivs := make([]iv, 0, len(n.Children))
+	for _, c := range n.Children {
+		a, b := c.StartNS, c.End()
+		if a < n.StartNS {
+			a = n.StartNS
+		}
+		if b > n.End() {
+			b = n.End()
+		}
+		if b > a {
+			ivs = append(ivs, iv{a, b})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var covered int64
+	var curA, curB int64
+	for i, v := range ivs {
+		if i == 0 || v.a > curB {
+			covered += curB - curA
+			curA, curB = v.a, v.b
+			continue
+		}
+		if v.b > curB {
+			curB = v.b
+		}
+	}
+	covered += curB - curA
+	return time.Duration(n.DurNS - covered)
+}
+
+// OverlappingEvents returns the zero-trace event spans whose timestamps fall
+// within [start, end] — how fault injections annotate the traces they hit.
+func OverlappingEvents(events []Span, start, end int64) []Span {
+	var out []Span
+	for _, ev := range events {
+		evEnd := ev.End()
+		if ev.StartNS <= end && evEnd >= start {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FormatTree renders a tree as an indented timeline with offsets relative
+// to the root, annotating each span with overlapping fault events.
+func FormatTree(t *Tree, events []Span) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d (%d spans, %s)\n", t.Trace, t.Spans, time.Duration(t.Root.DurNS))
+	base := t.Root.StartNS
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%-*s +%-10s %-10s", strings.Repeat("  ", depth), 24-2*depth, n.Name,
+			time.Duration(n.StartNS-base), time.Duration(n.DurNS))
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+		}
+		for _, ev := range OverlappingEvents(events, n.StartNS, n.End()) {
+			fmt.Fprintf(&b, " ![%s]", ev.Name)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// FormatBreakdown renders the Fig 4-style per-stage table.
+func FormatBreakdown(stats []StageStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %12s %12s %12s\n", "Stage", "Count", "Avg(us)", "P50(us)", "P90(us)", "P99(us)")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-24s %8d %12.1f %12.1f %12.1f %12.1f\n", s.Name, s.Count,
+			us(s.Avg), us(s.P50), us(s.P90), us(s.P99))
+	}
+	return b.String()
+}
+
+// FormatDiff renders a stage-by-stage comparison of two runs.
+func FormatDiff(a, b []StageStat) string {
+	am := map[string]StageStat{}
+	for _, s := range a {
+		am[s.Name] = s
+	}
+	bm := map[string]StageStat{}
+	for _, s := range b {
+		bm[s.Name] = s
+	}
+	names := map[string]bool{}
+	for n := range am {
+		names[n] = true
+	}
+	for n := range bm {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	rank := map[string]int{}
+	for i, name := range fig4Stages {
+		rank[name] = i
+	}
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		ri, iOK := rank[ordered[i]]
+		rj, jOK := rank[ordered[j]]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return ordered[i] < ordered[j]
+		}
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %12s %12s %12s %12s %12s %12s\n", "Stage",
+		"A avg(us)", "B avg(us)", "Δavg(us)", "A p99(us)", "B p99(us)", "Δp99(us)")
+	for _, n := range ordered {
+		sa, sb2 := am[n], bm[n]
+		fmt.Fprintf(&sb, "%-24s %12.1f %12.1f %+12.1f %12.1f %12.1f %+12.1f\n", n,
+			us(sa.Avg), us(sb2.Avg), us(sb2.Avg-sa.Avg),
+			us(sa.P99), us(sb2.P99), us(sb2.P99-sa.P99))
+	}
+	return sb.String()
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

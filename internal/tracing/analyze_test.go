@@ -1,0 +1,188 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// span is a test shorthand for a completed record.
+func span(trace, id, parent uint64, name string, start, dur int64) Span {
+	return Span{Trace: trace, ID: id, Parent: parent, Name: name, StartNS: start, DurNS: dur}
+}
+
+func TestReadSpansRoundTrip(t *testing.T) {
+	sink := NewSink(nil, SinkOptions{})
+	tr := New(3, sink, Sampler{})
+	root := tr.Start("client.call", "client", SpanContext{}, 0)
+	tr.Child(root, "client.send", "client", 0, 5)
+	root.EndAt(100)
+	spans, err := ReadSpans(strings.NewReader(string(sink.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("read %d spans, want 2", len(spans))
+	}
+}
+
+func TestReadSpansRejectsCorruptLine(t *testing.T) {
+	if _, err := ReadSpans(strings.NewReader("{\"trace\":1}\nnot json\n")); err == nil {
+		t.Fatal("corrupt line must error")
+	}
+}
+
+func TestBuildTreesLinksAndSeparatesEvents(t *testing.T) {
+	spans := []Span{
+		span(1, 1, 0, "root", 0, 100),
+		span(1, 2, 1, "child-late", 50, 40),
+		span(1, 3, 1, "child-early", 10, 20),
+		span(2, 4, 0, "other-root", 5, 10),
+		{ID: 9, Name: "fault", Kind: "event", StartNS: 42},
+	}
+	trees, events := BuildTrees(spans)
+	if len(trees) != 2 || len(events) != 1 {
+		t.Fatalf("trees=%d events=%d", len(trees), len(events))
+	}
+	// Trees sort by root start: trace 2 (start 5) after trace 1 (start 0).
+	if trees[0].Trace != 1 || trees[1].Trace != 2 {
+		t.Fatalf("tree order: %d, %d", trees[0].Trace, trees[1].Trace)
+	}
+	root := trees[0].Root
+	if len(root.Children) != 2 || root.Children[0].Name != "child-early" {
+		t.Fatalf("children not linked/sorted: %+v", root.Children)
+	}
+	if trees[0].Spans != 3 {
+		t.Fatalf("Spans=%d, want 3", trees[0].Spans)
+	}
+}
+
+func TestCheckSpansCatchesViolations(t *testing.T) {
+	bad := []Span{
+		span(1, 1, 0, "root", 0, 100),
+		span(1, 2, 7, "orphan", 10, 5),       // parent 7 absent
+		span(1, 3, 1, "early", -5, 5),        // starts before parent
+		span(1, 4, 1, "negative", 10, -1),    // negative duration
+		{Trace: 0, ID: 5, Name: "not-event"}, // zero trace, wrong kind
+		{Trace: 1, ID: 0, Name: "zero-id"},   // zero span ID
+	}
+	problems := CheckSpans(bad)
+	for _, want := range []string{"orphan parent", "starts", "negative duration", "zero span ID", "want event"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentioning %q in %v", want, problems)
+		}
+	}
+	if got := CheckSpans([]Span{span(1, 1, 0, "ok", 0, 10)}); len(got) != 0 {
+		t.Fatalf("clean spans flagged: %v", got)
+	}
+}
+
+func TestStageBreakdownPercentiles(t *testing.T) {
+	var spans []Span
+	for i := int64(1); i <= 100; i++ {
+		spans = append(spans, span(uint64(i), uint64(i), 0, "server.queue", 0, i*1000))
+	}
+	// Unfinished spans must not skew the stats.
+	unf := span(200, 200, 0, "server.queue", 0, 0)
+	unf.Attrs = map[string]string{"unfinished": "1"}
+	spans = append(spans, unf)
+	stats := StageBreakdown(spans)
+	if len(stats) != 1 || stats[0].Name != "server.queue" {
+		t.Fatalf("stats=%+v", stats)
+	}
+	s := stats[0]
+	if s.Count != 100 {
+		t.Fatalf("Count=%d, want 100 (unfinished excluded)", s.Count)
+	}
+	if s.P50 != 50*time.Microsecond || s.P99 != 99*time.Microsecond {
+		t.Fatalf("P50=%v P99=%v", s.P50, s.P99)
+	}
+	if s.Avg != 50500*time.Nanosecond {
+		t.Fatalf("Avg=%v", s.Avg)
+	}
+}
+
+func TestStageBreakdownOrdersFig4StagesFirst(t *testing.T) {
+	spans := []Span{
+		span(1, 1, 0, "aaa.custom", 0, 10),
+		span(1, 2, 1, "server.queue", 0, 10),
+		span(1, 3, 1, "client.serialize", 0, 10),
+	}
+	stats := StageBreakdown(spans)
+	if stats[0].Name != "client.serialize" || stats[1].Name != "server.queue" || stats[2].Name != "aaa.custom" {
+		t.Fatalf("order: %s, %s, %s", stats[0].Name, stats[1].Name, stats[2].Name)
+	}
+}
+
+func TestCriticalPathDescendsIntoLatestChild(t *testing.T) {
+	spans := []Span{
+		span(1, 1, 0, "root", 0, 100),
+		span(1, 2, 1, "fast", 0, 10),
+		span(1, 3, 1, "slow", 20, 70), // ends at 90: gates the root
+		span(1, 4, 3, "inner", 30, 50),
+	}
+	trees, _ := BuildTrees(spans)
+	path := CriticalPath(trees[0])
+	names := make([]string, len(path))
+	for i, s := range path {
+		names[i] = s.Name
+	}
+	if strings.Join(names, ">") != "root>slow>inner" {
+		t.Fatalf("path=%v", names)
+	}
+	// root: 100 total, children cover [0,10] and [20,90] = 80 -> 20 exclusive.
+	if path[0].Exclusive != 20*time.Nanosecond {
+		t.Fatalf("root exclusive=%v", path[0].Exclusive)
+	}
+	// slow: 70 total, inner covers [30,80] = 50 -> 20 exclusive.
+	if path[1].Exclusive != 20*time.Nanosecond {
+		t.Fatalf("slow exclusive=%v", path[1].Exclusive)
+	}
+	if path[2].Exclusive != 50*time.Nanosecond {
+		t.Fatalf("inner exclusive=%v", path[2].Exclusive)
+	}
+}
+
+func TestOverlappingEvents(t *testing.T) {
+	events := []Span{
+		{ID: 1, Name: "before", Kind: "event", StartNS: 5},
+		{ID: 2, Name: "during", Kind: "event", StartNS: 50},
+		{ID: 3, Name: "after", Kind: "event", StartNS: 500},
+	}
+	got := OverlappingEvents(events, 10, 100)
+	if len(got) != 1 || got[0].Name != "during" {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestFormatTreeAndBreakdownRender(t *testing.T) {
+	spans := []Span{
+		span(1, 1, 0, "client.call", 0, 1000),
+		span(1, 2, 1, "server.call", 100, 800),
+	}
+	trees, events := BuildTrees(spans)
+	out := FormatTree(trees[0], events)
+	if !strings.Contains(out, "client.call") || !strings.Contains(out, "server.call") {
+		t.Fatalf("tree render missing spans:\n%s", out)
+	}
+	bd := FormatBreakdown(StageBreakdown(spans))
+	if !strings.Contains(bd, "client.call") || !strings.Contains(bd, "P99") {
+		t.Fatalf("breakdown render:\n%s", bd)
+	}
+}
+
+func TestFormatDiffShowsDelta(t *testing.T) {
+	a := StageBreakdown([]Span{span(1, 1, 0, "server.queue", 0, 1000)})
+	b := StageBreakdown([]Span{span(1, 1, 0, "server.queue", 0, 2000)})
+	out := FormatDiff(a, b)
+	if !strings.Contains(out, "server.queue") {
+		t.Fatalf("diff render:\n%s", out)
+	}
+}
