@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rpcoib/internal/bench"
+	"rpcoib/internal/metrics"
+)
+
+// runHammer executes the S22 scale scenario (-experiment=hammer): a
+// NameNode hammer on the sharded kernel, with snapshot deltas streamed to
+// -metrics-stream in constant memory. The wall-clock/allocation record lands
+// in the perf trajectory (-bench-json) under "scale_hammer".
+func runHammer(shards, nodes, clients int, duration time.Duration, streamPath string) error {
+	var sink *metrics.StreamSink
+	if streamPath != "" {
+		f, err := os.Create(streamPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = metrics.NewStreamSink(f, 0)
+	}
+	cfg := bench.HammerConfig{
+		Nodes: nodes, Clients: clients, Shards: shards,
+		Duration:    duration,
+		MetricsSink: sink,
+	}
+	var res bench.HammerResult
+	start := time.Now()
+	bench.MeasurePerf("scale_hammer", func() int64 {
+		res = bench.RunHammer(cfg)
+		return res.Calls
+	})
+	bench.HammerReport(os.Stdout, cfg, res, time.Since(start))
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("hammer: streamed %d snapshot deltas to %s (dropped %d, flushes %d)\n",
+			sink.Emitted(), streamPath, sink.Dropped(), sink.Flushes())
+	}
+	return nil
+}

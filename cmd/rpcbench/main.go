@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rpcoib/internal/bench"
 	"rpcoib/internal/faultsim"
@@ -16,9 +17,14 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: latency | throughput | threshold | pool | readers | all")
+		"which experiment to run: latency | throughput | threshold | pool | readers | hammer | all")
 	iters := flag.Int("iters", 200, "calls per measurement")
 	metricsPath := flag.String("metrics", "", "write a JSONL metrics event log to this path")
+	shards := flag.Int("shards", 1, "hammer: shard count for the sharded kernel")
+	hammerNodes := flag.Int("hammer-nodes", 1000, "hammer: cluster size incl. the NameNode")
+	hammerClients := flag.Int("hammer-clients", 100000, "hammer: total closed-loop clients")
+	hammerDuration := flag.Duration("hammer-duration", 20*time.Millisecond, "hammer: virtual run length")
+	metricsStream := flag.String("metrics-stream", "", "hammer: stream snapshot-delta JSONL to this path (fold with metrics.FoldStream)")
 	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
 	tracePath := flag.String("trace", "", "stream a JSONL distributed trace to this path (analyze with rpctrace)")
 	traceSample := flag.Int("trace-sample", 0, "with -trace: keep 1 trace in N (0 or 1 keeps all)")
@@ -86,6 +92,15 @@ func main() {
 			return int64(len(rows)) * 32 * int64(*iters)
 		})
 		fmt.Println()
+		any = true
+	}
+	if run("hammer") && *experiment == "hammer" {
+		// The scale scenario runs only when asked for by name: at the default
+		// 1000 nodes / 100K clients it is far heavier than the paper figures.
+		if err := runHammer(*shards, *hammerNodes, *hammerClients, *hammerDuration, *metricsStream); err != nil {
+			fmt.Fprintf(os.Stderr, "hammer: %v\n", err)
+			os.Exit(1)
+		}
 		any = true
 	}
 	if !any {

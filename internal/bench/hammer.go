@@ -1,0 +1,244 @@
+// The NameNode hammer: the S22 scale scenario exercising the sharded kernel
+// (sim.ShardedSim via cluster.ShardedCluster), the sharded fabric
+// (netsim.ShardFabric), streamed constant-memory metrics
+// (metrics.StreamSink), and per-shard trace buffers (tracing.ShardSpans) in
+// one closed loop — the ROADMAP's 1000-node, 100K-client target, far past
+// the paper's 65-node testbed.
+//
+// Shape: node 0 is the NameNode, running a pool of handler processes that
+// drain one shared call queue, charge CPU per request, and reply over the
+// fabric; every other node hosts a slice of event-driven clients (no
+// goroutine stacks — 100K client processes would dominate memory under
+// -race) that send fixed-size requests in a closed loop with think time.
+// All randomness comes from per-node streams and all cross-node traffic
+// rides the fabric, so the run is byte-identical for any shard count and
+// any GOMAXPROCS — asserted by TestHammerReplayAcrossLayouts.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
+	"rpcoib/internal/tracing"
+)
+
+// Metric families the hammer emits.
+const (
+	// HammerCallsMetric counts completed calls, on the client's registry.
+	HammerCallsMetric = "rpc_hammer_calls_total"
+	// HammerBytesMetric counts request+response payload bytes per call.
+	HammerBytesMetric = "rpc_hammer_bytes_total"
+	// HammerLatencyMetric is the client-observed call latency histogram.
+	HammerLatencyMetric = "rpc_hammer_call_ns"
+	// HammerServedMetric counts requests served, on the NameNode's registry.
+	HammerServedMetric = "rpc_hammer_served_total"
+)
+
+// HammerConfig sizes the scenario. Zero values take the defaults noted.
+type HammerConfig struct {
+	Nodes   int           // hosts incl. the NameNode (default 64, min 2)
+	Clients int           // total clients over nodes 1..Nodes-1 (default 4×nodes)
+	Shards  int           // kernel shards (default 1)
+	Seed    int64         // simulation seed (default 1)
+
+	Duration      time.Duration // virtual run length (default 50ms)
+	SnapshotEvery time.Duration // streamed snapshot cadence (default 5ms)
+
+	Handlers    int           // NameNode handler processes (default 64)
+	ReqSize     int           // request payload bytes (default 256)
+	RespSize    int           // response payload bytes (default 128)
+	ThinkTime   time.Duration // mean client think between calls (default 10ms)
+	ServiceTime time.Duration // mean NameNode CPU per call (default 2µs)
+
+	TraceSampleN     uint64 // keep ~1 in N traces (default 64; 1 keeps all)
+	MaxSpansPerShard int    // span buffer backstop (default 1<<20)
+
+	MetricsSink *metrics.StreamSink // optional: streamed snapshot deltas
+	TraceSink   *tracing.Sink       // optional: merged spans after the run
+}
+
+func (cfg *HammerConfig) defaults() {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 64
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4 * cfg.Nodes
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 50 * time.Millisecond
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 5 * time.Millisecond
+	}
+	if cfg.Handlers <= 0 {
+		cfg.Handlers = 64
+	}
+	if cfg.ReqSize <= 0 {
+		cfg.ReqSize = 256
+	}
+	if cfg.RespSize <= 0 {
+		cfg.RespSize = 128
+	}
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = 10 * time.Millisecond
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = 2 * time.Microsecond
+	}
+	if cfg.TraceSampleN == 0 {
+		cfg.TraceSampleN = 64
+	}
+}
+
+// HammerResult summarizes one run.
+type HammerResult struct {
+	End       time.Duration    // virtual time of the last processed event
+	Calls     int64            // completed calls (client side)
+	Served    int64            // requests served (NameNode side)
+	Final     metrics.Snapshot // merged cluster snapshot at Duration
+	Snapshots int64            // streamed snapshot deltas emitted
+	Spans     int              // spans merged into the trace sink
+	SpanDrops int64            // span-buffer overflow (0 in replay-compared runs)
+	Barriers  int64            // kernel synchronization rounds (layout-invariant)
+}
+
+// hammerReq is one in-flight request: where it came from and how to answer.
+// respond is a client-shard closure carried opaquely through the server.
+type hammerReq struct {
+	src     int
+	respond func()
+}
+
+// RunHammer executes the scenario and returns its summary. The caller owns
+// the sinks (Close them after; StreamSink's overflow line is written there).
+func RunHammer(cfg HammerConfig) HammerResult {
+	cfg.defaults()
+
+	cc := cluster.ClusterA(cfg.Nodes)
+	cc.Seed = cfg.Seed
+	cc.Shards = cfg.Shards
+	sc := cluster.NewSharded(cc, perfmodel.Link(perfmodel.NativeIB).Latency)
+	defer sc.Close()
+	fab := sc.NewFabric(perfmodel.NativeIB)
+	spans := tracing.NewShardSpans(sc.Shards(), cfg.MaxSpansPerShard, cfg.TraceSampleN)
+	if cfg.MetricsSink != nil {
+		cfg.MetricsSink.Instrument(sc.Registry(0))
+	}
+
+	// NameNode: one shared unbounded call queue drained by handler processes.
+	// nnq is written once in the first window (t=0) and read by fabric
+	// deliveries that cannot arrive before one link latency — all on shard 0.
+	var nnq exec.Queue
+	sc.SpawnOn(0, "namenode", func(e exec.Env) {
+		nnq = e.NewQueue(0)
+		reg := sc.Registry(0)
+		served := reg.Counter(HammerServedMetric)
+		for h := 0; h < cfg.Handlers; h++ {
+			e.Spawn(fmt.Sprintf("handler-%d", h), func(he exec.Env) {
+				for {
+					v, ok := nnq.Get(he)
+					if !ok {
+						return
+					}
+					req := v.(*hammerReq)
+					// Half fixed, half jitter: a lookup with variable work.
+					he.Work(cfg.ServiceTime/2 + time.Duration(he.Rand().Int63n(int64(cfg.ServiceTime))))
+					served.Inc()
+					fab.Send(0, req.src, cfg.RespSize, req.respond)
+				}
+			})
+		}
+	})
+
+	// Clients: event-driven closed loops, round-robin over nodes 1..N-1.
+	// Trace IDs derive from (seed, client, call) alone, so the sampled set is
+	// identical across layouts.
+	for i := 0; i < cfg.Clients; i++ {
+		clientID := i
+		node := 1 + i%(cfg.Nodes-1)
+		var call func()
+		var seq int64
+		call = func() {
+			start := sc.NowAt(node)
+			if start >= cfg.Duration {
+				return
+			}
+			seq++
+			trace := uint64(sim.SubSeed(sim.SubSeed(cfg.Seed, 1_000_000_000+int64(clientID)), seq))
+			respond := func() {
+				end := sc.NowAt(node)
+				reg := sc.Registry(node)
+				reg.Counter(HammerCallsMetric).Inc()
+				reg.Counter(HammerBytesMetric).Add(int64(cfg.ReqSize + cfg.RespSize))
+				reg.Histogram(HammerLatencyMetric, nil).Observe(int64(end - start))
+				if spans.Sampled(trace) {
+					spans.Emit(sc.ShardOf(node), tracing.Span{
+						Trace: trace, ID: 1, Name: "hammer.call", Kind: "client",
+						StartNS: int64(start), DurNS: int64(end - start),
+					})
+				}
+				think := cfg.ThinkTime/2 + time.Duration(sc.NodeRand(node).Int63n(int64(cfg.ThinkTime)))
+				sc.LocalAt(node, end+think, call)
+			}
+			fab.Send(node, 0, cfg.ReqSize, func() {
+				nnq.TryPut(&hammerReq{src: node, respond: respond})
+			})
+		}
+		// Stagger starts across one think time, drawn from the node stream in
+		// client-ID order (deterministic and layout-invariant).
+		startAt := time.Duration(sc.NodeRand(node).Int63n(int64(cfg.ThinkTime)))
+		sc.LocalAt(node, startAt, call)
+	}
+
+	// Drive in snapshot slices: every horizon is a barrier, where the merged
+	// registry view is consistent and safe to stream.
+	res := HammerResult{}
+	var end time.Duration
+	for t := cfg.SnapshotEvery; ; t += cfg.SnapshotEvery {
+		if t > cfg.Duration {
+			t = cfg.Duration
+		}
+		end = sc.RunUntil(t)
+		if cfg.MetricsSink != nil {
+			if err := cfg.MetricsSink.Emit(sc.Snapshot(t)); err != nil {
+				panic(fmt.Sprintf("bench: hammer metrics stream: %v", err))
+			}
+			res.Snapshots++
+		}
+		if t >= cfg.Duration {
+			break
+		}
+	}
+
+	res.End = end
+	res.Final = sc.Snapshot(cfg.Duration)
+	res.Calls = res.Final.Counters[HammerCallsMetric]
+	res.Served = res.Final.Counters[HammerServedMetric]
+	res.Barriers = sc.Kernel.Barriers()
+	res.SpanDrops = spans.Dropped()
+	if cfg.TraceSink != nil {
+		res.Spans = spans.Merge(cfg.TraceSink)
+	}
+	return res
+}
+
+// HammerReport writes a one-paragraph summary row for the CLI.
+func HammerReport(w io.Writer, cfg HammerConfig, res HammerResult, wall time.Duration) {
+	lat := res.Final.Histograms[HammerLatencyMetric]
+	fmt.Fprintf(w, "hammer: nodes=%d clients=%d shards=%d calls=%d served=%d barriers=%d virt=%v wall=%v p50=%v p99=%v\n",
+		cfg.Nodes, cfg.Clients, cfg.Shards, res.Calls, res.Served, res.Barriers,
+		res.End, wall.Round(time.Millisecond),
+		time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
+}

@@ -60,12 +60,40 @@ func MeasurePerf(name string, fn func() int64) PerfPoint {
 }
 
 // WritePerfTrajectory writes the accumulated perf points as indented JSON to
-// path (no-op when path is empty or nothing was measured).
+// path (no-op when path is empty or nothing was measured). If the file
+// already holds a trajectory, same-name points are replaced in place and new
+// ones appended, so runs that measure disjoint experiments (the latency
+// figures vs. the -experiment=hammer scale scenario) compose into one file
+// instead of clobbering each other's rows.
 func WritePerfTrajectory(path string) error {
 	if path == "" || len(perfPoints) == 0 {
 		return nil
 	}
-	data, err := json.MarshalIndent(perfPoints, perfJSONPrefix, "  ")
+	points := perfPoints
+	if prev, err := os.ReadFile(path); err == nil {
+		var existing []PerfPoint
+		if json.Unmarshal(prev, &existing) == nil && len(existing) > 0 {
+			fresh := map[string]PerfPoint{}
+			for _, p := range perfPoints {
+				fresh[p.Name] = p
+			}
+			merged := make([]PerfPoint, 0, len(existing)+len(perfPoints))
+			for _, p := range existing {
+				if np, ok := fresh[p.Name]; ok {
+					p = np
+					delete(fresh, p.Name)
+				}
+				merged = append(merged, p)
+			}
+			for _, p := range perfPoints {
+				if _, ok := fresh[p.Name]; ok {
+					merged = append(merged, p)
+				}
+			}
+			points = merged
+		}
+	}
+	data, err := json.MarshalIndent(points, perfJSONPrefix, "  ")
 	if err != nil {
 		return err
 	}

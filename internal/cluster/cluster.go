@@ -34,6 +34,9 @@ type Config struct {
 	DiskSeek time.Duration
 	// Seed drives all simulation randomness.
 	Seed int64
+	// Shards is the shard count for the sharded kernel (see NewSharded);
+	// the single-kernel New ignores it. <= 0 means one shard.
+	Shards int
 	// RDMAThreshold is the verbs eager/RDMA crossover (0 = default).
 	RDMAThreshold int
 	// ConnectTimeout bounds connect handshakes on every fabric (socket SYN
@@ -295,7 +298,23 @@ func SimEnvOf(e exec.Env) *SimEnv {
 	}
 }
 
-func procOf(e exec.Env) *sim.Proc { return SimEnvOf(e).p }
+// procOf recovers the sim process beneath any simulator-backed env (SimEnv or
+// the sharded ShardEnv), unwrapping decorators via BaseEnv.
+func procOf(e exec.Env) *sim.Proc {
+	for {
+		switch v := e.(type) {
+		case interface{ Proc() *sim.Proc }:
+			return v.Proc()
+		case interface{ BaseEnv() exec.Env }:
+			e = v.BaseEnv()
+		default:
+			panic("cluster: exec.Env is not simulator-backed; queues must be used from simulated processes")
+		}
+	}
+}
+
+// ProcOf is the exported procOf, for transport glue outside this package.
+func ProcOf(e exec.Env) *sim.Proc { return procOf(e) }
 
 func (s simQueue) Put(e exec.Env, v any) bool { return s.q.Put(procOf(e), v) }
 func (s simQueue) TryPut(v any) bool          { return s.q.TryPut(v) }

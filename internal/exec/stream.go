@@ -1,0 +1,49 @@
+// Stream-seed plumbing for sharded execution (DESIGN.md S22).
+//
+// Under the sharded kernel there is no single cluster-wide PRNG: every node
+// draws from its own deterministic sub-stream so that results do not depend
+// on which shard a node landed in. These helpers expose the sim sub-seed
+// derivation to engine code that only sees exec.Env, and let decorator envs
+// advertise the shard placement of the process they wrap.
+package exec
+
+import (
+	"math/rand"
+
+	"rpcoib/internal/sim"
+)
+
+// StreamSeed derives the deterministic seed of sub-stream `stream` of `seed`
+// (splitmix64 finalizer, see sim.SubSeed). Engine code should use one stream
+// per node (or per logical actor) so randomness is invariant under shard
+// re-assignment.
+func StreamSeed(seed, stream int64) int64 { return sim.SubSeed(seed, stream) }
+
+// StreamRand returns a deterministic PRNG over sub-stream `stream` of `seed`.
+func StreamRand(seed, stream int64) *rand.Rand { return sim.SubRand(seed, stream) }
+
+// ShardInfo is implemented by Envs bound to a shard-placed node (the sharded
+// cluster's ShardEnv). Code that needs placement — e.g. an exporter choosing
+// a per-shard buffer — should type-assert through Unwrap/BaseEnv chains.
+type ShardInfo interface {
+	// NodeID is the simulated host the process runs on.
+	NodeID() int
+	// ShardID is the kernel shard that owns the node's state.
+	ShardID() int
+}
+
+// ShardOf reports the shard placement of e, unwrapping decorator envs via
+// their BaseEnv method. ok is false when e does not bottom out at a
+// shard-placed env (the single-kernel SimEnv, or RealEnv).
+func ShardOf(e Env) (info ShardInfo, ok bool) {
+	for {
+		switch v := e.(type) {
+		case ShardInfo:
+			return v, true
+		case interface{ BaseEnv() Env }:
+			e = v.BaseEnv()
+		default:
+			return nil, false
+		}
+	}
+}

@@ -6,23 +6,40 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
+
+	"rpcoib/internal/bench"
+	"rpcoib/internal/metrics"
 )
 
 // UpdateMetricGoldenEnv, when set, regenerates the metric-name golden file
 // instead of checking against it.
 const UpdateMetricGoldenEnv = "RPCOIB_UPDATE_METRIC_GOLDEN"
 
-// TestMetricNamesGolden guards the metric namespace: the failover acceptance
-// scenario touches every instrumented subsystem (client, server, buffer
-// pools, verbs devices, HDFS pipeline, fault injector, breaker/failover), so
-// its snapshot enumerates every registered series. A new metric that shows up
-// here without a deliberate golden update — or one that silently vanishes —
-// fails the test. Regenerate with RPCOIB_UPDATE_METRIC_GOLDEN=1.
+// TestMetricNamesGolden guards the metric namespace across both acceptance
+// scenarios: the failover outage touches every instrumented RPC subsystem
+// (client, server, buffer pools, verbs devices, HDFS pipeline, fault
+// injector, breaker/failover), and a small S22 hammer run covers the sharded
+// kernel's families (rpc_hammer_* and the streaming sink's
+// rpc_metrics_stream_* accounting). Their union enumerates every registered
+// series; a new metric that shows up without a deliberate golden update — or
+// one that silently vanishes — fails the test. Regenerate with
+// RPCOIB_UPDATE_METRIC_GOLDEN=1.
 func TestMetricNamesGolden(t *testing.T) {
 	// Pinned seed: the golden list must not depend on RPCOIB_CHAOS_SEED.
 	snap, _, err := failoverOutage(t, 1)
 	if err != nil {
 		t.Fatalf("scenario write failed: %v", err)
+	}
+	sink := metrics.NewStreamSink(nil, 0)
+	hammer := bench.RunHammer(bench.HammerConfig{
+		Nodes: 8, Clients: 16, Shards: 2, Seed: 1,
+		Duration: 5 * time.Millisecond, SnapshotEvery: time.Millisecond,
+		Handlers: 4, ThinkTime: time.Millisecond,
+		MetricsSink: sink,
+	})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	names := map[string]bool{}
@@ -33,14 +50,16 @@ func TestMetricNamesGolden(t *testing.T) {
 		}
 		names[n] = true
 	}
-	for n := range snap.Counters {
-		add(n)
-	}
-	for n := range snap.Gauges {
-		add(n)
-	}
-	for n := range snap.Histograms {
-		add(n)
+	for _, s := range []metrics.Snapshot{snap, hammer.Final} {
+		for n := range s.Counters {
+			add(n)
+		}
+		for n := range s.Gauges {
+			add(n)
+		}
+		for n := range s.Histograms {
+			add(n)
+		}
 	}
 	sorted := make([]string, 0, len(names))
 	for n := range names {

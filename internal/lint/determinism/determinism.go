@@ -13,9 +13,14 @@
 //     seeded sources (rand.New(rand.NewSource(seed))) are allowed: they are
 //     deterministic by construction;
 //   - range-over-map loops whose body drives order-sensitive effects (queue
-//     puts, transport sends, process spawns, formatted output): map
-//     iteration order varies between runs, so such loops must iterate a
-//     sorted key slice instead.
+//     puts, transport sends, process spawns, formatted output — and, since
+//     S22, kernel scheduling and cross-shard merge traffic: At/After/Post/
+//     PostAt/LocalAt/Push/Emit): map iteration order varies between runs,
+//     so such loops must iterate a sorted key slice instead;
+//   - select statements with more than one communication case (S22): when
+//     several cases are ready the runtime picks uniformly at random, so
+//     shard-worker hand-offs must use a single-case receive (or the
+//     deterministic mailbox/queue primitives) instead.
 //
 // Real-mode code that legitimately reads the wall clock (internal/exec's
 // RealEnv) carries an allowlist marker with a justification:
@@ -68,6 +73,10 @@ var orderSensitive = map[string]bool{
 	"Put": true, "TryPut": true, "TryPutUnbounded": true,
 	"Send": true, "SendSized": true, "SendPooled": true,
 	"Spawn": true,
+	// S22 sharded-kernel surface: event scheduling and cross-shard merge
+	// traffic observe their issue order (event seq numbers, mailbox keys).
+	"At": true, "After": true, "Post": true, "PostAt": true,
+	"LocalAt": true, "Push": true, "Emit": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -110,6 +119,10 @@ func run(pass *analysis.Pass) (any, error) {
 							report(pos, "%s inside a range over a map: iteration order varies between runs; iterate a sorted key slice instead", name)
 						}
 					}
+				}
+			case *ast.SelectStmt:
+				if n.Body != nil && len(n.Body.List) > 1 {
+					report(n.Select, "select with %d cases resolves ready cases by runtime coin flip; use a single-case receive or a deterministic queue/mailbox hand-off", len(n.Body.List))
 				}
 			}
 			return true

@@ -21,10 +21,18 @@
 // Env-first-parameter convention, so bufpool.NativePool.Get (no Env
 // parameter; a plain mutex-guarded free list) is not confused with
 // exec.Queue.Get (blocking).
+//
+// Since S22 the shard-worker surface is covered too: raw channel operations
+// (send statements and receive expressions — the barrier hand-off shape) and
+// sync.WaitGroup.Wait block unconditionally, so performing either under a
+// held sync mutex is reported without the Env-parameter test. A shard worker
+// parked on a channel while holding a mutex stalls every other worker at the
+// next barrier — the sharded analog of the S18 reconnect wedge.
 package lockcall
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"rpcoib/internal/lint/analysis"
@@ -81,6 +89,12 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			// defer mu.Unlock(): the mutex stays held for the rest of the
 			// function; leave it in held.
 			return false
+		case *ast.SendStmt:
+			reportChanOp(pass, n.Arrow, "channel send", held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportChanOp(pass, n.OpPos, "channel receive", held)
+			}
 		case *ast.CallExpr:
 			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
 			if !ok {
@@ -103,6 +117,10 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				}
 				return true
 			}
+			if isWaitGroupWait(fn) {
+				reportChanOp(pass, n.Pos(), "sync.WaitGroup.Wait", held)
+				return true
+			}
 			if isBlocking(pass, fn, n) {
 				reportHeld(pass, n, fn, held)
 			}
@@ -122,6 +140,38 @@ func reportHeld(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, held ma
 		}
 	}
 	pass.Reportf(call.Pos(), "blocking call %s while holding mutex %s: a suspended holder wedges the cooperative scheduler (use the queue-backed emutex, or release first)", fn.Name(), key)
+}
+
+// reportChanOp reports an unconditionally blocking operation (channel op,
+// WaitGroup wait) performed while a sync mutex is held.
+func reportChanOp(pass *analysis.Pass, pos token.Pos, what string, held map[string]ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	key := ""
+	for k := range held {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	pass.Reportf(pos, "%s while holding mutex %s: a suspended holder wedges the cooperative scheduler and stalls shard workers at the next barrier", what, key)
+}
+
+// isWaitGroupWait reports whether fn is sync.WaitGroup.Wait.
+func isWaitGroupWait(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
 }
 
 func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {

@@ -43,3 +43,35 @@ func fanout(q *queue, m map[string]int) {
 	}
 	_ = keys
 }
+
+type mailbox struct{}
+
+func (mb *mailbox) Post(dst int, v any) {}
+
+// mergeFanout covers the S22 shard-merge extension of the map-range rule:
+// cross-shard posts carry (time, node, seq) merge keys assigned in issue
+// order, so issuing them in map order diverges replays.
+func mergeFanout(mb *mailbox, m map[int]int) {
+	for dst := range m {
+		mb.Post(dst, 1) // want `Post inside a range over a map`
+	}
+}
+
+// selects covers the S22 multi-case select rule: with several ready cases the
+// runtime chooses uniformly at random.
+func selects(a, b chan int) int {
+	select { // want `select with 2 cases resolves ready cases by runtime coin flip`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// singleCaseSelect is the allowed shape: one case is deterministic.
+func singleCaseSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

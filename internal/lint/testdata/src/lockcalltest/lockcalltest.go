@@ -48,6 +48,35 @@ func badEmutexAcquire(c *conn, e Env) {
 	c.mu.Unlock()
 }
 
+// badChanSend covers the S22 shard-worker extension: a raw channel send is
+// unconditionally blocking, no Env convention needed.
+func badChanSend(c *conn, ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want `channel send while holding mutex c\.mu`
+	c.mu.Unlock()
+}
+
+// badChanRecv: a raw channel receive under a held mutex.
+func badChanRecv(c *conn, ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want `channel receive while holding mutex c\.mu`
+}
+
+// badWGWait: sync.WaitGroup.Wait blocks until counters drain.
+func badWGWait(c *conn, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding mutex c\.mu`
+	c.mu.Unlock()
+}
+
+// goodChan: channel ops with no mutex held are the barrier hand-off shape.
+func goodChan(ch chan int, wg *sync.WaitGroup) int {
+	ch <- 1
+	wg.Wait()
+	return <-ch
+}
+
 func good(c *conn, e Env) {
 	c.mu.Lock()
 	c.q.TryPut(1) // non-blocking: fine under a sync mutex

@@ -1,0 +1,223 @@
+// Streaming constant-memory snapshots (DESIGN.md S22).
+//
+// The Log in export.go accumulates every snapshot in RAM, which caps a run's
+// length: a 1000-node hammer snapshotting every virtual 100ms holds thousands
+// of full registry copies by the end. StreamSink replaces accumulation with
+// incremental emission à la internal/tracing: each Emit writes the DELTA
+// since the previous emission as one JSONL line and keeps only the previous
+// cumulative snapshot in memory, so footprint is O(families), not O(runtime).
+// FoldStream is the merge-on-read inverse: it folds a delta stream back into
+// the final cumulative snapshot.
+//
+// The sink is bounded. When a line cap is configured, deltas past the cap are
+// not written; they are coalesced into a single overflow delta that Close
+// emits as the final line, so the folded total is still exact — what overflow
+// costs is intermediate resolution, and the rpc_metrics_stream_* counters
+// account for it (emitted lines, dropped deltas, writer flushes).
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metric families the streaming sink reports about itself via Instrument.
+const (
+	// StreamEmittedMetric counts delta lines written to the stream.
+	StreamEmittedMetric = "rpc_metrics_stream_emitted_total"
+	// StreamDroppedMetric counts deltas coalesced into the overflow line
+	// instead of being written (the line cap was reached).
+	StreamDroppedMetric = "rpc_metrics_stream_dropped_total"
+	// StreamFlushesMetric counts flushes of the buffered writer.
+	StreamFlushesMetric = "rpc_metrics_stream_flushes_total"
+)
+
+// StreamSink emits registry snapshots as a bounded JSONL delta stream.
+// Not safe for concurrent use: emit from one place (the run driver, at
+// barrier-safe instants).
+type StreamSink struct {
+	w        *bufio.Writer
+	maxLines int64
+
+	prev     Snapshot // last cumulative state, the delta base
+	overflow Snapshot // coalesced dropped deltas, emitted by Close
+	lines    []string // retained only when no writer was given (tests)
+
+	emitted int64
+	dropped int64
+	flushes int64
+	// last values mirrored into instr, so account() adds only increments.
+	accEmitted, accDropped, accFlushes int64
+
+	instr *Registry
+}
+
+// NewStreamSink creates a sink writing to w (nil keeps lines in memory, for
+// tests) with at most maxLines emitted delta lines before overflow coalescing
+// begins (0 = unbounded). The final Close line does not count against the cap.
+func NewStreamSink(w io.Writer, maxLines int64) *StreamSink {
+	s := &StreamSink{maxLines: maxLines}
+	if w != nil {
+		s.w = bufio.NewWriter(w)
+	}
+	return s
+}
+
+// Instrument mirrors the sink's own accounting into r as the
+// rpc_metrics_stream_* counter family. Pass the registry whose snapshots feed
+// the sink to make the stream self-describing; under sharding, pick one shard
+// registry (emission cadence is layout-invariant, so the counts are too).
+func (s *StreamSink) Instrument(r *Registry) { s.instr = r }
+
+func (s *StreamSink) account() {
+	if s.instr == nil {
+		return
+	}
+	s.instr.Counter(StreamEmittedMetric).Add(s.emitted - s.accEmitted)
+	s.instr.Counter(StreamDroppedMetric).Add(s.dropped - s.accDropped)
+	s.instr.Counter(StreamFlushesMetric).Add(s.flushes - s.accFlushes)
+	s.accEmitted, s.accDropped, s.accFlushes = s.emitted, s.dropped, s.flushes
+}
+
+// Emit records the cumulative snapshot snap, writing the delta since the
+// previous Emit as one JSONL line (or coalescing it past the line cap).
+func (s *StreamSink) Emit(snap Snapshot) error {
+	delta := Diff(snap, s.prev)
+	s.prev = snap
+	if s.maxLines > 0 && s.emitted >= s.maxLines {
+		s.dropped++
+		s.overflow = foldDelta(s.overflow, delta)
+		s.account()
+		return nil
+	}
+	if err := s.writeLine(delta); err != nil {
+		return err
+	}
+	s.emitted++
+	s.account()
+	return nil
+}
+
+func (s *StreamSink) writeLine(delta Snapshot) error {
+	b, err := json.Marshal(delta)
+	if err != nil {
+		return err
+	}
+	if s.w == nil {
+		s.lines = append(s.lines, string(b))
+		return nil
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if s.w.Available() < len(b)+1 {
+		// The next line of similar size would force an implicit flush;
+		// count it explicitly so the flush metric reflects writer traffic.
+		s.flushes++
+		return s.w.Flush()
+	}
+	return nil
+}
+
+// Close emits the coalesced overflow line if any deltas were dropped, then
+// flushes the writer. The sink must not be used afterwards.
+func (s *StreamSink) Close() error {
+	if s.dropped > 0 {
+		if err := s.writeLine(s.overflow); err != nil {
+			return err
+		}
+		s.emitted++
+	}
+	if s.w != nil {
+		s.flushes++
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+	s.account()
+	return nil
+}
+
+// Emitted reports delta lines written so far.
+func (s *StreamSink) Emitted() int64 { return s.emitted }
+
+// Dropped reports deltas coalesced into the overflow line.
+func (s *StreamSink) Dropped() int64 { return s.dropped }
+
+// Flushes reports writer flushes.
+func (s *StreamSink) Flushes() int64 { return s.flushes }
+
+// Lines returns the in-memory delta lines (writer-less sinks only).
+func (s *StreamSink) Lines() []string { return s.lines }
+
+// foldDelta accumulates delta d onto acc: counters and histogram buckets add,
+// gauges take the latest level, the timestamp advances. It is the inverse of
+// repeated Diff against a moving base.
+func foldDelta(acc, d Snapshot) Snapshot {
+	if acc.Counters == nil {
+		acc.Counters = map[string]int64{}
+		acc.Gauges = map[string]int64{}
+		acc.Histograms = map[string]HistSnapshot{}
+	}
+	if d.AtNS > acc.AtNS {
+		acc.AtNS = d.AtNS
+	}
+	for name, v := range d.Counters {
+		acc.Counters[name] += v
+	}
+	for name, v := range d.Gauges {
+		acc.Gauges[name] = v
+	}
+	for name, h := range d.Histograms {
+		p, ok := acc.Histograms[name]
+		if !ok {
+			acc.Histograms[name] = h
+			continue
+		}
+		if !equalBounds(p.Bounds, h.Bounds) {
+			panic(fmt.Sprintf("metrics: folding histogram %q with different bounds", name))
+		}
+		f := HistSnapshot{
+			Bounds: p.Bounds,
+			Counts: append([]int64(nil), p.Counts...),
+			Count:  p.Count + h.Count,
+			Sum:    p.Sum + h.Sum,
+			// Deltas carry the cumulative min/max of their source snapshot
+			// (Diff does not subtract extrema); the latest delta has the
+			// widest view, so take it.
+			Min: h.Min,
+			Max: h.Max,
+		}
+		for i, n := range h.Counts {
+			f.Counts[i] += n
+		}
+		acc.Histograms[name] = f
+	}
+	return acc
+}
+
+// FoldStream reads a JSONL delta stream (as written by StreamSink) and folds
+// it back into the final cumulative snapshot — the exporter's merge-on-read
+// path. Memory use is O(families): one line and one accumulator at a time.
+func FoldStream(r io.Reader) (Snapshot, error) {
+	var acc Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Snapshot
+		if err := json.Unmarshal(line, &d); err != nil {
+			return acc, fmt.Errorf("metrics: bad stream line: %w", err)
+		}
+		acc = foldDelta(acc, d)
+	}
+	return acc, sc.Err()
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Metric names used by the stream tests.
+const (
+	streamTestCalls = "stream_test_calls_total"
+	streamTestDepth = "stream_test_depth"
+	streamTestLat   = "stream_test_lat_ns"
+)
+
+func TestStreamFoldRecoversFinalSnapshot(t *testing.T) {
+	r := New()
+	calls := r.Counter(streamTestCalls)
+	depth := r.Gauge(streamTestDepth)
+	lat := r.Histogram(streamTestLat, nil)
+
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf, 0)
+	for i := 1; i <= 50; i++ {
+		calls.Add(3)
+		depth.Set(int64(i % 7))
+		lat.Observe(int64(i) * 1000)
+		if err := sink.Emit(r.Snapshot(time.Duration(i) * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	folded, err := FoldStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := r.Snapshot(50 * time.Millisecond)
+	if folded.Counters[streamTestCalls] != final.Counters[streamTestCalls] {
+		t.Fatalf("folded counter %d, want %d", folded.Counters[streamTestCalls], final.Counters[streamTestCalls])
+	}
+	if folded.Gauges[streamTestDepth] != final.Gauges[streamTestDepth] {
+		t.Fatalf("folded gauge %d, want %d", folded.Gauges[streamTestDepth], final.Gauges[streamTestDepth])
+	}
+	fh, wh := folded.Histograms[streamTestLat], final.Histograms[streamTestLat]
+	if fh.Count != wh.Count || fh.Sum != wh.Sum || fh.Min != wh.Min || fh.Max != wh.Max {
+		t.Fatalf("folded hist %+v, want %+v", fh, wh)
+	}
+	for i := range wh.Counts {
+		if fh.Counts[i] != wh.Counts[i] {
+			t.Fatalf("folded hist bucket %d = %d, want %d", i, fh.Counts[i], wh.Counts[i])
+		}
+	}
+	if folded.AtNS != final.AtNS {
+		t.Fatalf("folded at %d, want %d", folded.AtNS, final.AtNS)
+	}
+}
+
+func TestStreamOverflowCoalescesLossless(t *testing.T) {
+	r := New()
+	calls := r.Counter(streamTestCalls)
+
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf, 5)
+	sink.Instrument(r)
+	for i := 1; i <= 20; i++ {
+		calls.Add(1)
+		if err := sink.Emit(r.Snapshot(time.Duration(i) * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Dropped() != 15 {
+		t.Fatalf("dropped=%d, want 15", sink.Dropped())
+	}
+	// 5 in-cap lines plus the coalesced overflow line.
+	if got := strings.Count(buf.String(), "\n"); got != 6 {
+		t.Fatalf("stream has %d lines, want 6", got)
+	}
+	folded, err := FoldStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Counters[streamTestCalls] != 20 {
+		t.Fatalf("folded counter %d, want 20 (overflow must be lossless)", folded.Counters[streamTestCalls])
+	}
+	// The sink's own accounting flowed into the instrumented registry; the
+	// stream counters cover at least the in-cap emissions that happened
+	// before the counters were read into a delta.
+	final := r.Snapshot(21 * time.Millisecond)
+	if final.Counters[StreamDroppedMetric] != 15 {
+		t.Fatalf("instrumented dropped counter %d, want 15", final.Counters[StreamDroppedMetric])
+	}
+	if final.Counters[StreamEmittedMetric] != sink.Emitted() {
+		t.Fatalf("instrumented emitted counter %d, want %d", final.Counters[StreamEmittedMetric], sink.Emitted())
+	}
+}
+
+func TestStreamInMemoryLines(t *testing.T) {
+	r := New()
+	c := r.Counter(streamTestCalls)
+	sink := NewStreamSink(nil, 0)
+	c.Add(2)
+	if err := sink.Emit(r.Snapshot(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(3)
+	if err := sink.Emit(r.Snapshot(2 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := sink.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	folded, err := FoldStream(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Counters[streamTestCalls] != 5 {
+		t.Fatalf("folded counter %d, want 5", folded.Counters[streamTestCalls])
+	}
+}

@@ -110,22 +110,57 @@ func (s *Sim) Stop() { s.stopped = true }
 func (s *Sim) Run() time.Duration { return s.RunUntil(-1) }
 
 // RunUntil is Run bounded by a horizon: events strictly after until are left
-// unprocessed (pass a negative horizon for no bound).
+// unprocessed (pass a negative horizon for no bound). The heap top is peeked,
+// not popped, before the horizon check, so an event beyond the horizon costs
+// no churn — RunUntil in a polling loop used to pop and re-push it every call.
 func (s *Sim) RunUntil(until time.Duration) time.Duration {
 	for len(s.events) > 0 && !s.stopped {
-		e := heap.Pop(&s.events).(event)
-		if until >= 0 && e.at > until {
-			heap.Push(&s.events, e)
+		if until >= 0 && s.events[0].at > until {
 			s.now = until
 			break
 		}
+		e := heap.Pop(&s.events).(event)
 		s.now = e.at
 		e.fn()
-		if s.panicVal != nil {
-			panic(fmt.Sprintf("sim: process panic at t=%v in %s: %v", s.now, s.panicLoc, s.panicVal))
-		}
+		s.checkPanic()
 	}
 	return s.now
+}
+
+// RunBefore processes events strictly before the window end w, leaving events
+// at or after w (and the current time wherever the last processed event put
+// it). It is the per-window step of the sharded kernel: a shard may safely
+// run everything before w = barrier + lookahead because no cross-shard
+// message can arrive earlier than one lookahead after it was sent.
+func (s *Sim) RunBefore(w time.Duration) time.Duration {
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at >= w {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		s.checkPanic()
+	}
+	return s.now
+}
+
+// NextEventTime peeks the earliest pending event time without disturbing the
+// heap. ok is false when nothing is scheduled.
+func (s *Sim) NextEventTime() (at time.Duration, ok bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+func (s *Sim) checkPanic() {
+	if s.panicVal != nil {
+		panic(fmt.Sprintf("sim: process panic at t=%v in %s: %v", s.now, s.panicLoc, s.panicVal))
+	}
 }
 
 // Proc is a simulated process. All blocking primitives (Sleep, queue and
