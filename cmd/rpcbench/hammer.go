@@ -9,11 +9,23 @@ import (
 	"rpcoib/internal/metrics"
 )
 
+// hammerScale carries the -hammer-scaleout flag block: the S23 connection
+// scale-out path (SRQ, QP multiplexing, LRU session cache, memory budget).
+type hammerScale struct {
+	on        bool
+	muxCap    int
+	connCache int
+	srqDepth  int
+	budget    int64
+}
+
 // runHammer executes the S22 scale scenario (-experiment=hammer): a
 // NameNode hammer on the sharded kernel, with snapshot deltas streamed to
 // -metrics-stream in constant memory. The wall-clock/allocation record lands
-// in the perf trajectory (-bench-json) under "scale_hammer".
-func runHammer(shards, nodes, clients int, duration time.Duration, streamPath string) error {
+// in the perf trajectory (-bench-json) under "scale_hammer" — or, with
+// -hammer-scaleout, "scale_hammer_scaleout" ("scale_hammer_1m" at a million
+// clients or more, the S23 soak row).
+func runHammer(shards, nodes, clients int, duration time.Duration, streamPath string, scale hammerScale) error {
 	var sink *metrics.StreamSink
 	if streamPath != "" {
 		f, err := os.Create(streamPath)
@@ -28,9 +40,21 @@ func runHammer(shards, nodes, clients int, duration time.Duration, streamPath st
 		Duration:    duration,
 		MetricsSink: sink,
 	}
+	name := "scale_hammer"
+	if scale.on {
+		cfg.ScaleOut = true
+		cfg.QPMuxCap = scale.muxCap
+		cfg.ConnCacheCap = scale.connCache
+		cfg.SRQDepth = scale.srqDepth
+		cfg.MemBudget = scale.budget
+		name = "scale_hammer_scaleout"
+		if clients >= 1_000_000 {
+			name = "scale_hammer_1m"
+		}
+	}
 	var res bench.HammerResult
 	start := time.Now()
-	bench.MeasurePerf("scale_hammer", func() int64 {
+	bench.MeasurePerf(name, func() int64 {
 		res = bench.RunHammer(cfg)
 		return res.Calls
 	})

@@ -24,6 +24,11 @@ func main() {
 	hammerNodes := flag.Int("hammer-nodes", 1000, "hammer: cluster size incl. the NameNode")
 	hammerClients := flag.Int("hammer-clients", 100000, "hammer: total closed-loop clients")
 	hammerDuration := flag.Duration("hammer-duration", 20*time.Millisecond, "hammer: virtual run length")
+	hammerScaleOut := flag.Bool("hammer-scaleout", false, "hammer: enable the S23 scale-out path (SRQ, QP multiplexing, LRU session cache, registered-memory budget)")
+	hammerMuxCap := flag.Int("hammer-mux-cap", 64, "hammer: physical QP cap for the scale-out multiplexer")
+	hammerConnCache := flag.Int("hammer-conn-cache", 4096, "hammer: server session-cache (LRU) capacity under -hammer-scaleout")
+	hammerSRQDepth := flag.Int("hammer-srq-depth", 0, "hammer: shared receive queue depth (0 = 8x handlers)")
+	hammerBudget := flag.Int64("hammer-budget-bytes", 0, "hammer: registered recv-memory budget in bytes (0 = depth x buffer size)")
 	metricsStream := flag.String("metrics-stream", "", "hammer: stream snapshot-delta JSONL to this path (fold with metrics.FoldStream)")
 	faultsPath := flag.String("faults", "", "inject faults from this JSON plan (see internal/faultsim)")
 	tracePath := flag.String("trace", "", "stream a JSONL distributed trace to this path (analyze with rpctrace)")
@@ -97,7 +102,11 @@ func main() {
 	if run("hammer") && *experiment == "hammer" {
 		// The scale scenario runs only when asked for by name: at the default
 		// 1000 nodes / 100K clients it is far heavier than the paper figures.
-		if err := runHammer(*shards, *hammerNodes, *hammerClients, *hammerDuration, *metricsStream); err != nil {
+		scale := hammerScale{
+			on: *hammerScaleOut, muxCap: *hammerMuxCap, connCache: *hammerConnCache,
+			srqDepth: *hammerSRQDepth, budget: *hammerBudget,
+		}
+		if err := runHammer(*shards, *hammerNodes, *hammerClients, *hammerDuration, *metricsStream, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "hammer: %v\n", err)
 			os.Exit(1)
 		}

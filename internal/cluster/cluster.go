@@ -45,6 +45,18 @@ type Config struct {
 	// e.g. "400ms"), else DefaultConnectTimeout — far below the real ipc
 	// 20 s so fault runs don't burn minutes of virtual time per dead dial.
 	ConnectTimeout time.Duration
+	// QPMuxPerPeer, when > 0, multiplexes RPCoIB connections over at most
+	// this many physical QPs per <client node, server address> pair: logical
+	// streams carry a stream id in the wire framing and attach to existing
+	// QPs without a verbs handshake (DESIGN.md S23). 0 keeps the historical
+	// dedicated-QP-per-connection behavior the paper measures.
+	QPMuxPerPeer int
+	// SRQDepth, when > 0, gives every device a shared receive queue of this
+	// many posted WQEs instead of unbounded per-endpoint posted recvs;
+	// arrivals that find it exhausted are RNR-delayed. SRQCreditPerQP caps
+	// WQEs held per endpoint (0 = no per-endpoint cap).
+	SRQDepth       int
+	SRQCreditPerQP int
 }
 
 // DefaultConnectTimeout is the simulated clusters' connect timeout when
@@ -82,6 +94,7 @@ type Cluster struct {
 	nodes   []*Node
 	fabrics map[perfmodel.LinkKind]*netsim.Fabric
 	ibnet   *ibverbs.Network
+	ibmux   *ibverbs.Mux // non-nil when Config.QPMuxPerPeer > 0
 }
 
 // Node is one simulated host.
@@ -129,8 +142,17 @@ func New(cfg Config) *Cluster {
 		c.fabrics[kind].SetConnectTimeout(cfg.ConnectTimeout)
 	}
 	c.ibnet = ibverbs.NewNetwork(c.fabrics[perfmodel.NativeIB], c.Costs, cfg.RDMAThreshold)
+	if cfg.SRQDepth > 0 {
+		c.ibnet.SetSRQ(cfg.SRQDepth, cfg.SRQCreditPerQP)
+	}
+	if cfg.QPMuxPerPeer > 0 {
+		c.ibmux = ibverbs.NewMux(c.ibnet, cfg.QPMuxPerPeer)
+	}
 	return c
 }
+
+// IBMux returns the QP multiplexer, nil unless Config.QPMuxPerPeer > 0.
+func (c *Cluster) IBMux() *ibverbs.Mux { return c.ibmux }
 
 // Node returns host id (panics on bad ids to catch wiring mistakes).
 func (c *Cluster) Node(id int) *Node {

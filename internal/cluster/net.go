@@ -9,8 +9,22 @@ import (
 	"rpcoib/internal/ibverbs"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/sim"
 	"rpcoib/internal/transport"
 )
+
+// verbsEP is the endpoint surface ibConn rides: either a dedicated
+// ibverbs.EndPoint (the paper's QP-per-connection design) or a logical
+// ibverbs.MuxEndpoint stream sharing a bounded physical QP set
+// (Config.QPMuxPerPeer, DESIGN.md S23).
+type verbsEP interface {
+	Send(p *sim.Proc, b *bufpool.Buffer, n int) error
+	SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
+	Recv(p *sim.Proc) ([]byte, func(), error)
+	WireTime(n int) time.Duration
+	Close()
+	RemoteAddr() string
+}
 
 // SocketNet returns a node-bound transport.Network over one of the TCP-like
 // fabrics (1GigE, 10GigE, or IPoIB).
@@ -122,6 +136,9 @@ func (n *ibNet) Listen(e exec.Env, port int) (transport.Listener, error) {
 		return nil, err
 	}
 	l := &ibListener{c: n.c, sockLn: sockLn, ibLn: ibLn, ready: e.NewQueue(0)}
+	if n.c.ibmux != nil {
+		l.muxLn = n.c.ibmux.NewListener(ibLn)
+	}
 	e.Spawn("rpcoib-bootstrap:"+sockLn.Addr(), l.bootstrapLoop)
 	e.Spawn("rpcoib-accept:"+sockLn.Addr(), l.ibAcceptLoop)
 	return l, nil
@@ -163,7 +180,14 @@ func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
 	if _, err := sc.Recv(p); err != nil { // server's endpoint info / ack
 		return nil, err
 	}
-	ep, err := n.c.ibnet.Dial(p, n.node, addr)
+	var ep verbsEP
+	if n.c.ibmux != nil {
+		// Muxed path: attach a logical stream; only the first QPMuxPerPeer
+		// dials to this address pay the verbs QP handshake.
+		ep, err = n.c.ibmux.Dial(p, n.node, addr)
+	} else {
+		ep, err = n.c.ibnet.Dial(p, n.node, addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +198,7 @@ type ibListener struct {
 	c      *Cluster
 	sockLn *netsim.Listener
 	ibLn   *ibverbs.EPListener
+	muxLn  *ibverbs.MuxListener // non-nil when QP muxing is on
 	ready  exec.Queue // accepted transport.Conns (verbs and fallback sockets)
 }
 
@@ -222,7 +247,13 @@ func (l *ibListener) handshake(e exec.Env, sc *netsim.SocketConn) {
 func (l *ibListener) ibAcceptLoop(e exec.Env) {
 	p := procOf(e)
 	for {
-		ep, err := l.ibLn.Accept(p)
+		var ep verbsEP
+		var err error
+		if l.muxLn != nil {
+			ep, err = l.muxLn.Accept(p)
+		} else {
+			ep, err = l.ibLn.Accept(p)
+		}
 		if err != nil {
 			return
 		}
@@ -248,10 +279,11 @@ func (l *ibListener) Close() {
 
 func (l *ibListener) Addr() string { return l.sockLn.Addr() }
 
-// ibConn adapts a verbs endpoint to transport.Conn (+ PooledSender).
+// ibConn adapts a verbs endpoint — dedicated or muxed — to transport.Conn
+// (+ PooledSender).
 type ibConn struct {
 	c   *Cluster
-	ep  *ibverbs.EndPoint
+	ep  verbsEP
 	dev *ibverbs.Device
 }
 

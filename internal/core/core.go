@@ -134,6 +134,13 @@ type Options struct {
 	// BusyBackoff is the server-suggested retry delay carried in shed
 	// responses (DefaultBusyBackoff if 0).
 	BusyBackoff time.Duration
+	// Overloaded, when set with ShedOverload, is consulted at admission:
+	// while it reports true every arriving call is shed as retriable "too
+	// busy" even if the call queue has room. It is the hook a registered-
+	// memory budget (ibverbs.MemoryBudget.Exhausted) uses to degrade
+	// gracefully instead of registering past its cap. Must be deterministic
+	// under simulation — derive it from simulated state, never wall-clock.
+	Overloaded func() bool
 
 	// Failover arms the client's per-peer circuit breaker: consecutive
 	// primary-path failures (dial timeouts, call timeouts, connection

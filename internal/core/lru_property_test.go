@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// lruModel is the reference implementation the ConnCache is checked against:
+// a plain map plus an explicit recency slice (index 0 = least recently used).
+type lruModel struct {
+	cap    int
+	values map[RuntimeKey]*lruVal
+	order  []RuntimeKey // LRU first
+}
+
+type lruVal struct {
+	key    RuntimeKey
+	closed int // times the eviction hook fired for this value
+}
+
+func (m *lruModel) touch(key RuntimeKey) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(append(append([]RuntimeKey{}, m.order[:i]...), m.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+func (m *lruModel) evictOverCap() []RuntimeKey {
+	if m.cap <= 0 {
+		return nil
+	}
+	var victims []RuntimeKey
+	for len(m.order) > m.cap {
+		k := m.order[0]
+		m.order = m.order[1:]
+		delete(m.values, k)
+		victims = append(victims, k)
+	}
+	return victims
+}
+
+// TestPropertyConnCacheLRUAgainstModel drives a seeded random op stream —
+// GetOrCreate, Get, Peek, Remove, SetCapacity — through a ConnCache and the
+// reference model in lockstep. After every op: identical membership,
+// identical eviction victims in identical order, every hook fired exactly
+// once per victim (no double close), and no evicted value ever handed out
+// again (no use after evict).
+func TestPropertyConnCacheLRUAgainstModel(t *testing.T) {
+	const (
+		steps    = 5000
+		keySpace = 24
+		startCap = 6
+	)
+	rng := rand.New(rand.NewSource(23))
+
+	model := &lruModel{cap: startCap, values: map[RuntimeKey]*lruVal{}}
+	cache := NewConnCache(startCap)
+	var hooked []RuntimeKey
+	cache.SetOnEvict(func(k RuntimeKey, v any) {
+		val := v.(*lruVal)
+		val.closed++
+		if val.closed > 1 {
+			t.Fatalf("value %v closed %d times", k, val.closed)
+		}
+		hooked = append(hooked, k)
+	})
+
+	var modelEvicted, wantEvictions int64
+	for step := 0; step < steps; step++ {
+		key := RuntimeKey{Node: rng.Intn(keySpace), Config: "cfg"}
+		hooked = nil
+		var wantVictims []RuntimeKey
+		switch op := rng.Intn(10); {
+		case op < 5: // GetOrCreate dominates: it is the hammer's hot path
+			_, wantHit := model.values[key]
+			v, hit := cache.GetOrCreate(key, func() any {
+				val := &lruVal{key: key}
+				model.values[key] = val
+				model.order = append(model.order, key)
+				return val
+			})
+			if hit != wantHit {
+				t.Fatalf("step %d: GetOrCreate(%v) hit=%v, model says %v", step, key, hit, wantHit)
+			}
+			if hit {
+				model.touch(key)
+			}
+			wantVictims = model.evictOverCap()
+			if got := v.(*lruVal); got != model.values[key] || got.closed != 0 {
+				t.Fatalf("step %d: GetOrCreate(%v) returned wrong or closed value", step, key)
+			}
+		case op < 7: // Get
+			v, ok := cache.Get(key)
+			_, wantOK := model.values[key]
+			if ok != wantOK {
+				t.Fatalf("step %d: Get(%v) ok=%v, model says %v", step, key, ok, wantOK)
+			}
+			if ok {
+				model.touch(key)
+				if got := v.(*lruVal); got != model.values[key] || got.closed != 0 {
+					t.Fatalf("step %d: Get(%v) returned wrong or closed value", step, key)
+				}
+			}
+		case op < 8: // Peek must not perturb recency
+			v, ok := cache.Peek(key)
+			_, wantOK := model.values[key]
+			if ok != wantOK {
+				t.Fatalf("step %d: Peek(%v) ok=%v, model says %v", step, key, ok, wantOK)
+			}
+			if ok && v.(*lruVal) != model.values[key] {
+				t.Fatalf("step %d: Peek(%v) returned wrong value", step, key)
+			}
+		case op < 9: // Remove: caller-owned teardown, no hook
+			_, ok := cache.Remove(key)
+			_, wantOK := model.values[key]
+			if ok != wantOK {
+				t.Fatalf("step %d: Remove(%v) ok=%v, model says %v", step, key, ok, wantOK)
+			}
+			if ok {
+				delete(model.values, key)
+				for i, k := range model.order {
+					if k == key {
+						model.order = append(model.order[:i], model.order[i+1:]...)
+						break
+					}
+				}
+			}
+		default: // SetCapacity, occasionally shrinking hard
+			newCap := 1 + rng.Intn(2*startCap)
+			model.cap = newCap
+			cache.SetCapacity(newCap)
+			wantVictims = model.evictOverCap()
+		}
+
+		if len(hooked) != len(wantVictims) {
+			t.Fatalf("step %d: hook fired for %v, model evicted %v", step, hooked, wantVictims)
+		}
+		for i := range hooked {
+			if hooked[i] != wantVictims[i] {
+				t.Fatalf("step %d: eviction order %v, model says %v", step, hooked, wantVictims)
+			}
+		}
+		modelEvicted += int64(len(wantVictims))
+		wantEvictions = modelEvicted
+		if cache.Len() != len(model.values) {
+			t.Fatalf("step %d: cache len %d, model %d", step, cache.Len(), len(model.values))
+		}
+		if cache.Evictions() != wantEvictions {
+			t.Fatalf("step %d: evictions %d, model %d", step, cache.Evictions(), wantEvictions)
+		}
+	}
+	if wantEvictions == 0 {
+		t.Fatal("op stream never evicted; the property run proved nothing")
+	}
+
+	// Drain returns everything exactly once, sorted, without hook calls.
+	hooked = nil
+	drained := cache.Drain()
+	if len(drained) != len(model.values) || len(hooked) != 0 {
+		t.Fatalf("drain returned %d values (model %d), hook fired %d times",
+			len(drained), len(model.values), len(hooked))
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache len %d after drain", cache.Len())
+	}
+	for _, v := range drained {
+		if v.(*lruVal).closed != 0 {
+			t.Fatal("drain handed back an already-evicted value")
+		}
+	}
+}
+
+// TestConnCacheKeysSorted pins the deterministic observer order Clients() and
+// Close() rely on.
+func TestConnCacheKeysSorted(t *testing.T) {
+	cache := NewConnCache(0)
+	for _, n := range []int{3, 1, 2} {
+		for _, cfg := range []string{"b", "a"} {
+			key := RuntimeKey{Node: n, Config: cfg}
+			cache.GetOrCreate(key, func() any { return key })
+		}
+	}
+	keys := cache.Keys()
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Node > b.Node || (a.Node == b.Node && a.Config >= b.Config) {
+			t.Fatalf("keys out of order: %v", keys)
+		}
+	}
+	if got := fmt.Sprint(keys[0]); got != "{1 a}" {
+		t.Fatalf("first key %s", got)
+	}
+}

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-	"sync"
+	"rpcoib/internal/metrics"
 )
 
 // RuntimeKey names one shared client: the node it lives on and a label for
@@ -21,29 +20,56 @@ type RuntimeKey struct {
 // connection, its receiver thread, and the warmed buffer-pool history are
 // all reused, which is where the paper's allocation-avoidance pays off on
 // the request path.
+//
+// With a cache cap set (SetCacheCap), the runtime evicts the
+// least-recently-used client when a new one would exceed the cap, closing it
+// so its connections — and the QP slots, SRQ credits, and registered memory
+// behind them — return to the server. That is the client half of the S23
+// connection scale-out story: total footprint tracks the cap, not the number
+// of distinct <node, config> keys ever used.
 type Runtime struct {
-	mu      sync.Mutex
-	clients map[RuntimeKey]*Client
+	cache   *ConnCache
+	onEvict func(RuntimeKey, *Client)
 }
 
-// NewRuntime creates an empty client runtime.
+// NewRuntime creates an unbounded client runtime.
 func NewRuntime() *Runtime {
-	return &Runtime{clients: map[RuntimeKey]*Client{}}
+	r := &Runtime{cache: NewConnCache(0)}
+	r.cache.SetOnEvict(func(k RuntimeKey, v any) {
+		c := v.(*Client)
+		c.Close()
+		if r.onEvict != nil {
+			r.onEvict(k, c)
+		}
+	})
+	return r
+}
+
+// SetCacheCap bounds the cache to capacity clients (0 = unbounded),
+// evicting — and closing — least-recently-used clients that no longer fit.
+func (r *Runtime) SetCacheCap(capacity int) { r.cache.SetCapacity(capacity) }
+
+// OnEvict installs a hook observing each capacity eviction, after the client
+// has been closed. Shutdown via Close does not count as eviction.
+func (r *Runtime) OnEvict(fn func(RuntimeKey, *Client)) { r.onEvict = fn }
+
+// Instrument mirrors the cache into reg (rpc_conn_cache_* family).
+func (r *Runtime) Instrument(reg *metrics.Registry) { r.cache.Instrument(reg) }
+
+// CacheStats reports live size and total capacity evictions.
+func (r *Runtime) CacheStats() (size int, evictions int64) {
+	return r.cache.Len(), r.cache.Evictions()
 }
 
 // Client returns the shared client for <node, config>, invoking build to
-// create it on first use. build must not block (NewClient does not); it runs
-// under the runtime lock so exactly one client exists per key.
+// create it on first use and marking the entry most recently used. build
+// must not block (NewClient does not); it runs under the cache lock so
+// exactly one client exists per key. A client evicted to make room is
+// closed before Client returns.
 func (r *Runtime) Client(node int, config string, build func() *Client) *Client {
 	key := RuntimeKey{Node: node, Config: config}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.clients[key]
-	if c == nil {
-		c = build()
-		r.clients[key] = c
-	}
-	return c
+	v, _ := r.cache.GetOrCreate(key, func() any { return build() })
+	return v.(*Client)
 }
 
 // Clients returns the cached clients in deterministic key order. The
@@ -51,47 +77,20 @@ func (r *Runtime) Client(node int, config string, build func() *Client) *Client 
 // intend to Close the runtime should capture the slice first (Close empties
 // the cache).
 func (r *Runtime) Clients() []*Client {
-	r.mu.Lock()
-	keys := make([]RuntimeKey, 0, len(r.clients))
-	for k := range r.clients {
-		keys = append(keys, k)
-	}
-	r.mu.Unlock()
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Node != keys[j].Node {
-			return keys[i].Node < keys[j].Node
-		}
-		return keys[i].Config < keys[j].Config
-	})
+	keys := r.cache.Keys()
 	out := make([]*Client, 0, len(keys))
-	r.mu.Lock()
 	for _, k := range keys {
-		if c := r.clients[k]; c != nil {
-			out = append(out, c)
+		if v, ok := r.cache.Peek(k); ok {
+			out = append(out, v.(*Client))
 		}
 	}
-	r.mu.Unlock()
 	return out
 }
 
 // Close tears down every shared client. Keys are closed in sorted order so
 // shutdown event sequences stay deterministic under simulation.
 func (r *Runtime) Close() {
-	r.mu.Lock()
-	keys := make([]RuntimeKey, 0, len(r.clients))
-	for k := range r.clients {
-		keys = append(keys, k)
-	}
-	clients := r.clients
-	r.clients = map[RuntimeKey]*Client{}
-	r.mu.Unlock()
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Node != keys[j].Node {
-			return keys[i].Node < keys[j].Node
-		}
-		return keys[i].Config < keys[j].Config
-	})
-	for _, k := range keys {
-		clients[k].Close()
+	for _, v := range r.cache.Drain() {
+		v.(*Client).Close()
 	}
 }

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/wire"
+)
+
+// TestRuntimeChurnBalancesDevicePools churns a capped Runtime across more
+// servers than its cache holds: every miss builds a fresh client, every
+// eviction closes one (releasing its verbs connection), and the loop revisits
+// evicted servers so close/redial cycles pile up. Afterward every device's
+// registered receive pool must balance — no reception stranded by an evicted
+// client — and the evicted clients must be unusable while the cached ones
+// still work.
+func TestRuntimeChurnBalancesDevicePools(t *testing.T) {
+	const servers = 6
+	cl := cluster.New(cluster.ClusterB())
+	opts := core.Options{Mode: core.ModeRPCoIB, Costs: cl.Costs}
+	for node := 0; node < servers; node++ {
+		node := node
+		cl.SpawnOn(node, fmt.Sprintf("server-%d", node), func(e exec.Env) {
+			srv := core.NewServer(cl.RPCoIBNet(node), opts)
+			srv.Register("churn.Echo", "echo",
+				func() wire.Writable { return &wire.LongWritable{} },
+				func(e exec.Env, p wire.Writable) (wire.Writable, error) { return p, nil })
+			if err := srv.Start(e, 9000); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+
+	rt := core.NewRuntime()
+	rt.SetCacheCap(2)
+	var evictions []core.RuntimeKey
+	rt.OnEvict(func(k core.RuntimeKey, c *core.Client) { evictions = append(evictions, k) })
+
+	cl.SpawnOn(servers, "churner", func(e exec.Env) {
+		e.Sleep(time.Millisecond)
+		for round := 0; round < 4; round++ {
+			for node := 0; node < servers; node++ {
+				client := rt.Client(node, "churn", func() *core.Client {
+					return core.NewClient(cl.RPCoIBNet(servers), opts)
+				})
+				var reply wire.LongWritable
+				addr := fmt.Sprintf("node%d:9000", node)
+				if err := client.Call(e, addr, "churn.Echo", "echo",
+					&wire.LongWritable{Value: int64(round)}, &reply); err != nil {
+					t.Errorf("round %d node %d: %v", round, node, err)
+					return
+				}
+				if reply.Value != int64(round) {
+					t.Errorf("round %d node %d: echoed %d", round, node, reply.Value)
+				}
+			}
+		}
+		if size, ev := rt.CacheStats(); size != 2 || ev == 0 {
+			t.Errorf("cache size=%d evictions=%d; churn must evict", size, ev)
+		}
+		rt.Close()
+	})
+	cl.Run()
+
+	if len(evictions) == 0 {
+		t.Fatal("eviction hook never fired")
+	}
+	if size, _ := rt.CacheStats(); size != 0 {
+		t.Fatalf("cache size %d after Close", size)
+	}
+	for node := 0; node <= servers; node++ {
+		st := cl.IBNet().Device(node).RecvPool().StatsSnapshot()
+		if st.Gets != st.Puts {
+			t.Fatalf("node %d pool gets=%d puts=%d after churn", node, st.Gets, st.Puts)
+		}
+	}
+}

@@ -305,7 +305,16 @@ func (s *Server) readerLoop(e exec.Env, conn transport.Conn) {
 		}
 		var ok bool
 		if s.opts.ShedOverload {
-			if ok = s.callQ.TryPut(call); !ok {
+			if s.opts.Overloaded != nil && s.opts.Overloaded() {
+				// The server declared itself overloaded out-of-band (e.g. a
+				// registered-memory budget exhausted): shed at admission even
+				// with queue room, so the client backs off until pressure —
+				// not just queue depth — subsides.
+				ok = false
+			} else {
+				ok = s.callQ.TryPut(call)
+			}
+			if !ok {
 				// Admission control (ipc.server.max.queue.size): a full call
 				// queue sheds the call with a retriable "busy" carrying the
 				// server's suggested backoff instead of blocking the reader.

@@ -21,10 +21,11 @@ const UpdateMetricGoldenEnv = "RPCOIB_UPDATE_METRIC_GOLDEN"
 // (client, server, buffer pools, verbs devices, HDFS pipeline, fault
 // injector, breaker/failover), and a small S22 hammer run covers the sharded
 // kernel's families (rpc_hammer_* and the streaming sink's
-// rpc_metrics_stream_* accounting). Their union enumerates every registered
-// series; a new metric that shows up without a deliberate golden update — or
-// one that silently vanishes — fails the test. Regenerate with
-// RPCOIB_UPDATE_METRIC_GOLDEN=1.
+// rpc_metrics_stream_* accounting; with ScaleOut on, the S23 rpc_ib_srq_*,
+// rpc_ib_qp_mux_*, and rpc_conn_cache_* families too). Their union
+// enumerates every registered series; a new metric that shows up without a
+// deliberate golden update — or one that silently vanishes — fails the test.
+// Regenerate with RPCOIB_UPDATE_METRIC_GOLDEN=1.
 func TestMetricNamesGolden(t *testing.T) {
 	// Pinned seed: the golden list must not depend on RPCOIB_CHAOS_SEED.
 	snap, _, err := failoverOutage(t, 1)
@@ -37,6 +38,7 @@ func TestMetricNamesGolden(t *testing.T) {
 		Duration: 5 * time.Millisecond, SnapshotEvery: time.Millisecond,
 		Handlers: 4, ThinkTime: time.Millisecond,
 		MetricsSink: sink,
+		ScaleOut:    true, QPMuxCap: 2, ConnCacheCap: 8, SRQDepth: 8,
 	})
 	if err := sink.Close(); err != nil {
 		t.Fatal(err)

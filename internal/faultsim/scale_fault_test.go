@@ -1,0 +1,141 @@
+package faultsim_test
+
+import (
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/ibverbs"
+	"rpcoib/internal/metrics"
+)
+
+// budgetExhaustedHDFSWrite is the S23 fault-matrix case: a NameNode whose
+// admission control is wired to a registered-memory budget
+// (Options.Overloaded = MemoryBudget.Exhausted). Mid-write, a burst of tenant
+// sessions exhausts the budget, so the writer's NameNode calls are shed with
+// ErrServerTooBusy and its CallPolicy backs off; a scripted connection-cache
+// eviction (Runtime.SetCacheCap) then closes tenants, their reservations
+// return to the budget, and the backed-off write completes. Returns the final
+// snapshot, the invariant report, the write error, and the evictions seen.
+func budgetExhaustedHDFSWrite(t *testing.T) (metrics.Snapshot, *faultsim.Report, error, int64) {
+	t.Helper()
+	const (
+		clientNode = 5
+		tenantNode = 4
+		sessBytes  = 4096
+		tenantN    = 32
+	)
+	reg := metrics.New()
+	cl := cluster.New(cluster.Config{Nodes: 6, Seed: 1, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond})
+	cl.IBNet().Instrument(reg)
+
+	// The budget holds half the tenant burst: the burst exhausts it.
+	budget := ibverbs.NewMemoryBudget(sessBytes * tenantN / 2)
+	budget.Instrument(reg)
+
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1, 2, 3}, Replication: 2,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		BlockSize:         1 << 20, // many NameNode calls spread across the write
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCShedOverload:   true,
+		RPCBusyBackoff:    25 * time.Millisecond,
+		RPCOverloaded:     budget.Exhausted,
+		RPCPolicy:         core.CallPolicy{MaxAttempts: 40, Backoff: 20 * time.Millisecond},
+	})
+
+	// Tenants live in a capped client runtime; eviction closes the client and
+	// hands its reservation back.
+	// Tenants past the cap are admitted without a reservation (the budget
+	// already denied them); eviction releases only what was actually reserved.
+	tenants := core.NewRuntime()
+	tenants.Instrument(reg)
+	reserved := map[int]bool{}
+	tenants.OnEvict(func(k core.RuntimeKey, _ *core.Client) {
+		if reserved[k.Node] {
+			reserved[k.Node] = false
+			budget.Release(sessBytes)
+		}
+	})
+
+	var writeErr error
+	wrote := false
+	cl.SpawnOn(clientNode, "writer", func(e exec.Env) {
+		e.Sleep(5 * time.Millisecond)
+		writeErr = fs.NewClient(clientNode).CreateFile(e, "/budgeted", 8<<20, 2)
+		wrote = true
+	})
+	cl.SpawnOn(tenantNode, "tenant-burst", func(e exec.Env) {
+		// Mid-write: a burst of sessions drains the budget...
+		e.Sleep(30 * time.Millisecond)
+		for i := 0; i < tenantN; i++ {
+			id := i
+			tenants.Client(id, "tenant", func() *core.Client {
+				reserved[id] = budget.TryReserve(sessBytes)
+				return core.NewClient(cl.RPCoIBNet(tenantNode), core.Options{
+					Mode: core.ModeRPCoIB, Costs: cl.Costs})
+			})
+		}
+		if !budget.Exhausted() {
+			t.Error("tenant burst did not exhaust the budget")
+		}
+		// ...and 200ms later the cache cap evicts most of them, freeing it.
+		e.Sleep(200 * time.Millisecond)
+		tenants.SetCacheCap(4)
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !wrote {
+		t.Fatal("writer never ran to completion")
+	}
+	fs.Stop()
+	tenants.Close()
+
+	snap := reg.Snapshot(end)
+	rep := &faultsim.Report{}
+	rep.CheckRuntime("hdfs", fs.Runtime())
+	rep.CheckDevicePools(cl.IBNet())
+	rep.CheckSnapshotBalance(snap)
+	_, evictions := tenants.CacheStats()
+	return snap, rep, writeErr, evictions
+}
+
+// TestFaultBudgetExhaustionShedsThenCompletes asserts the full degrade-and-
+// recover arc: the write is shed at least once while the budget is exhausted,
+// completes after eviction frees it, no invariant is violated, and the whole
+// run replays bit-identically under the same seed.
+func TestFaultBudgetExhaustionShedsThenCompletes(t *testing.T) {
+	snap1, rep, err, evictions := budgetExhaustedHDFSWrite(t)
+	if err != nil {
+		t.Fatalf("HDFS write under budget exhaustion: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatal(rep.String())
+	}
+	if shed := snap1.Counters["rpc_server_calls_shed_total"]; shed == 0 {
+		t.Fatal("NameNode never shed a call; the budget window missed the write")
+	}
+	if evictions == 0 {
+		t.Fatal("no tenant was evicted; recovery path untested")
+	}
+	if used := snap1.Gauges["rpc_ib_srq_budget_used_bytes"]; used >= snap1.Gauges["rpc_ib_srq_budget_bytes"] {
+		t.Fatalf("budget still exhausted at end: used=%d cap=%d",
+			used, snap1.Gauges["rpc_ib_srq_budget_bytes"])
+	}
+
+	snap2, rep2, err2, _ := budgetExhaustedHDFSWrite(t)
+	if err2 != nil {
+		t.Fatalf("second run write: %v", err2)
+	}
+	if !rep2.OK() {
+		t.Fatalf("second run: %s", rep2.String())
+	}
+	if same, diff := faultsim.SameSnapshot(snap1, snap2); !same {
+		t.Fatalf("same-seed budget-exhaustion runs diverged: %s", diff)
+	}
+}

@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -142,16 +143,37 @@ func (dn *DataNode) serveData(e exec.Env, ln transport.Listener) {
 	}
 }
 
+// blockNotify is one in-flight blockReceived round trip plus the report it
+// carried, kept so a shed notification can be re-sent: the NameNode learns of
+// replicas only through these calls, so dropping one would strand the block
+// below minimal replication forever.
+type blockNotify struct {
+	fut   *core.Future
+	param *BlockReceivedParam
+}
+
+// collect waits on the async notification and re-sends it through the node's
+// (policy-carrying) client when the NameNode shed it as "too busy": admission
+// sheds are transient by contract, so the DataNode backs off and reports
+// again rather than losing the replica.
+func (dn *DataNode) collect(e exec.Env, n *blockNotify) error {
+	err := n.fut.Wait(e)
+	if err == nil || !errors.Is(err, core.ErrServerTooBusy) {
+		return err
+	}
+	return dn.rpc.Call(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived", n.param, nil)
+}
+
 // handleConn serves one data connection (an "xceiver" in HDFS terms). The
 // blockReceived notification of each finished block is issued asynchronously
 // and collected before the next block starts (or at connection teardown), so
 // the NameNode round trip overlaps the writer's next pipeline setup.
 func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 	defer conn.Close()
-	var pending *core.Future
+	var pending *blockNotify
 	defer func() {
 		if pending != nil {
-			pending.Wait(e)
+			dn.collect(e, pending)
 		}
 	}()
 	for {
@@ -179,7 +201,7 @@ func (dn *DataNode) handleConn(e exec.Env, conn transport.Conn) {
 				return
 			}
 			if pending != nil {
-				if pending.Wait(e) != nil {
+				if dn.collect(e, pending) != nil {
 					return
 				}
 				pending = nil
@@ -222,7 +244,7 @@ func packetHeader(seq int32, dataLen int32, last bool) []byte {
 // replica both finished; finally report blockReceived to the NameNode —
 // asynchronously, returning the future for the caller to collect once it has
 // other work in hand.
-func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string, sc tracing.SpanContext) (*core.Future, error) {
+func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID int64, targets []string, sc tracing.SpanContext) (*blockNotify, error) {
 	// Each pipeline hop is one span, parented on the upstream hop's span (the
 	// client's block span for the first DataNode), so a write trace shows the
 	// full replication chain hop by hop.
@@ -333,8 +355,9 @@ func (dn *DataNode) receiveBlock(e exec.Env, upstream transport.Conn, blockID in
 	if err := upstream.Send(e, []byte{2}); err != nil { // final ack
 		return nil, err
 	}
-	return dn.rpc.CallAsync(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived",
-		&BlockReceivedParam{Reg: dn.reg(), BlockID: blockID, Length: length, DelHint: ""}, nil), nil
+	param := &BlockReceivedParam{Reg: dn.reg(), BlockID: blockID, Length: length, DelHint: ""}
+	fut := dn.rpc.CallAsync(e, dn.h.nnAddr, DatanodeProtocol, "blockReceived", param, nil)
+	return &blockNotify{fut: fut, param: param}, nil
 }
 
 // sendBlock streams a replica back to a reader.

@@ -97,6 +97,18 @@ type Config struct {
 	// (core.DefaultCallTimeout if 0). Short timeouts make breaker failover
 	// react within an outage instead of after it.
 	RPCCallTimeout time.Duration
+	// RPCShedOverload makes the NameNode shed calls as retriable "too busy"
+	// responses instead of blocking readers (core.Options.ShedOverload).
+	RPCShedOverload bool
+	// RPCBusyBackoff is the retry delay shed responses suggest
+	// (core.DefaultBusyBackoff if 0).
+	RPCBusyBackoff time.Duration
+	// RPCOverloaded, with RPCShedOverload, sheds every arriving NameNode call
+	// while it reports true — the hook a registered-memory budget
+	// (ibverbs.MemoryBudget.Exhausted) uses to degrade through the busy path
+	// when client state would register past its cap (DESIGN.md S23). Must be
+	// deterministic under simulation.
+	RPCOverloaded func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +162,8 @@ func Deploy(c *cluster.Cluster, cfg Config) *HDFS {
 		srv := core.NewServer(h.rpcNet(cfg.NameNode), core.Options{
 			Mode: cfg.RPCMode, Costs: c.Costs, Tracer: cfg.Tracer,
 			Metrics: cfg.Metrics, Trace: cfg.Trace, Handlers: cfg.Handlers,
+			ShedOverload: cfg.RPCShedOverload, BusyBackoff: cfg.RPCBusyBackoff,
+			Overloaded: cfg.RPCOverloaded,
 		})
 		h.nn.register(srv)
 		if err := srv.Start(e, nnPort); err != nil {

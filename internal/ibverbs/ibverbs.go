@@ -58,8 +58,23 @@ type Network struct {
 	threshold int
 	devices   map[int]*Device
 	listeners map[string]*EPListener
+	srqDepth  int
+	srqPerEP  int
 	m         netInstruments
 	tr        *tracing.Tracer
+}
+
+// SetSRQ configures a shared receive queue (depth WQEs, perEPCredit per
+// endpoint) on every device — already-open and future ones. Devices keep
+// their individual budgets out of this path; use Device.ConfigureSRQ to cap
+// one server's registered bytes.
+func (n *Network) SetSRQ(depth, perEPCredit int) {
+	n.srqDepth, n.srqPerEP = depth, perEPCredit
+	for _, d := range n.devices {
+		if d.srq == nil {
+			d.ConfigureSRQ(depth, perEPCredit, nil)
+		}
+	}
 }
 
 // NewNetwork creates a verbs network over fabric. threshold <= 0 selects
@@ -86,6 +101,9 @@ func (n *Network) Device(node int) *Device {
 	if !ok {
 		d = &Device{fabric: n.fabric, node: node, costs: n.costs,
 			threshold: n.threshold, recvPool: bufpool.NewNativePool(0), m: n.m, tr: n.tr}
+		if n.srqDepth > 0 {
+			d.ConfigureSRQ(n.srqDepth, n.srqPerEP, nil)
+		}
 		n.devices[node] = d
 	}
 	return d
@@ -114,10 +132,39 @@ type Device struct {
 	costs      *perfmodel.CPUCosts
 	threshold  int
 	recvPool   *bufpool.NativePool
+	srq        *SRQ // optional shared-receive-queue WQE accounting (S23)
 	stats      Stats
 	m          netInstruments
 	tr         *tracing.Tracer
 	stallUntil time.Duration
+}
+
+// ConfigureSRQ attaches a shared receive queue to the device: depth posted
+// WQEs shared by every endpoint, at most perEPCredit held by any one
+// endpoint. Arriving messages that find the queue (or their endpoint's
+// credit) exhausted are RNR-delayed by SRQRNRDelay, exactly like a sender's
+// rnr_timer retry. When budget is non-nil the server's registered-byte cap
+// is mirrored onto the receive pool, so oversized registrations degrade
+// through the pool's denied/unregistered slow path instead of growing.
+func (d *Device) ConfigureSRQ(depth, perEPCredit int, budget *MemoryBudget) {
+	d.srq = NewSRQ(depth, perEPCredit, 0, budget)
+	if budget != nil && budget.Cap() > 0 {
+		d.recvPool.SetRegisteredLimit(budget.Cap())
+	}
+}
+
+// SRQ returns the device's shared receive queue, nil when unconfigured.
+func (d *Device) SRQ() *SRQ { return d.srq }
+
+// reclaim returns one reception's buffer to the device pool and reposts its
+// SRQ WQE — the single exit for every delivery path (consumer release,
+// teardown, delivery to a closed endpoint, loss).
+func (d *Device) reclaim(msg recvMsg) {
+	d.recvPool.Put(msg.buf)
+	d.m.postedRecvs.Dec()
+	if msg.cr != nil {
+		d.srq.Release(msg.cr)
+	}
 }
 
 // Node returns the device's node id.
@@ -144,10 +191,13 @@ func (d *Device) StallCQ(until time.Duration) {
 
 // recvMsg is one completed reception.
 type recvMsg struct {
-	buf   *bufpool.Buffer
-	n     int
-	wire  int  // virtual wire size (>= n for bulk sends)
-	eager bool // two-sided delivery into a bounce buffer (copy on receive)
+	buf    *bufpool.Buffer
+	n      int
+	wire   int  // virtual wire size (>= n for bulk sends)
+	eager  bool // two-sided delivery into a bounce buffer (copy on receive)
+	stream uint64     // logical stream id on a muxed QP (0 = unmuxed)
+	ctrl   byte       // muxData or muxClose
+	cr     *SRQCredit // shared-receive-queue WQE held by this reception
 }
 
 // EPListener accepts endpoint connections (the QP exchange the paper
@@ -187,13 +237,25 @@ func (l *EPListener) Accept(p *sim.Proc) (*EndPoint, error) {
 	return v.(*EndPoint), nil
 }
 
-// Close stops accepting.
+// Close stops accepting. Endpoints a dialer already queued but no Accept
+// ever collected are faulted — both ends — so the dialer's first use fails
+// fast (and its reconnect machinery takes over) instead of wedging against a
+// half-open QP, and every buffered reception returns to the device pool.
+// Queue close order is deterministic: the backlog drains in dial order.
 func (l *EPListener) Close() {
-	if !l.closed {
-		l.closed = true
-		delete(l.net.listeners, l.Addr())
-		l.backlog.Close()
+	if l.closed {
+		return
 	}
+	l.closed = true
+	delete(l.net.listeners, l.Addr())
+	for {
+		v, ok := l.backlog.TryGet()
+		if !ok {
+			break
+		}
+		v.(*EndPoint).fault()
+	}
+	l.backlog.Close()
 }
 
 // EndPoint is one end of a connected queue pair. Like a real QP, it
@@ -206,10 +268,27 @@ type EndPoint struct {
 	recvQ  *sim.Queue
 	closed bool
 	remote string
+	cr     *SRQCredit // this end's account against the device SRQ, if any
 
 	sendSeq int             // sequence assigned at Send on this end
 	nextSeq int             // next sequence to release to recvQ
 	pending map[int]recvMsg // arrived out of order
+}
+
+// srqConsume claims a shared-receive-queue WQE for a message arriving at
+// this endpoint, returning the credit to release on reclaim and the RNR
+// retry delay the sender pays when the queue or credit was exhausted.
+// Called from the sender's context — the sender observes the receiver's
+// posted-WQE state exactly as a real HCA does through RNR NAKs.
+func (ep *EndPoint) srqConsume() (*SRQCredit, time.Duration) {
+	srq := ep.dev.srq
+	if srq == nil || ep.closed {
+		return nil, 0
+	}
+	if ep.cr == nil {
+		ep.cr = srq.Attach()
+	}
+	return ep.cr, srq.Consume(ep.cr)
 }
 
 // teardown closes this end locally and reclaims every buffered reception —
@@ -226,8 +305,7 @@ func (ep *EndPoint) teardown() {
 		if !ok {
 			break
 		}
-		ep.dev.recvPool.Put(v.(recvMsg).buf)
-		ep.dev.m.postedRecvs.Dec()
+		ep.dev.reclaim(v.(recvMsg))
 	}
 	if len(ep.pending) > 0 {
 		seqs := make([]int, 0, len(ep.pending))
@@ -236,12 +314,15 @@ func (ep *EndPoint) teardown() {
 		}
 		sort.Ints(seqs)
 		for _, s := range seqs {
-			ep.dev.recvPool.Put(ep.pending[s].buf)
-			ep.dev.m.postedRecvs.Dec()
+			ep.dev.reclaim(ep.pending[s])
 		}
 		ep.pending = nil
 	}
 	ep.recvQ.Close()
+	if ep.cr != nil {
+		ep.dev.srq.Detach(ep.cr)
+		ep.cr = nil
+	}
 }
 
 // fault transitions the queue pair to the error state: an RC QP that
@@ -257,8 +338,7 @@ func (ep *EndPoint) fault() {
 // receive queue, preserving send order. Runs in kernel context.
 func (ep *EndPoint) deliver(seq int, msg recvMsg) {
 	if ep.closed {
-		ep.dev.recvPool.Put(msg.buf)
-		ep.dev.m.postedRecvs.Dec()
+		ep.dev.reclaim(msg)
 		return
 	}
 	if ep.pending == nil {
@@ -293,6 +373,11 @@ func (n *Network) Dial(p *sim.Proc, srcNode int, addr string) (*EndPoint, error)
 	d.fabric.Transfer(d.node, l.dev.node, ctrlBytes, func() {
 		if !l.closed {
 			l.backlog.TryPutUnbounded(remote)
+		} else {
+			// The listener closed while the request was on the wire: no one
+			// will ever Accept this endpoint, so fault both ends now instead
+			// of letting the dialer hold a QP whose peer is unowned.
+			remote.fault()
 		}
 		d.fabric.Transfer(l.dev.node, d.node, ctrlBytes, func() {
 			done.TryPutUnbounded(struct{}{})
@@ -307,6 +392,11 @@ func (n *Network) Dial(p *sim.Proc, srcNode int, addr string) (*EndPoint, error)
 		return nil, fmt.Errorf("ibverbs: connect timed out: %s", addr)
 	}
 	if !ok {
+		return nil, ErrClosed
+	}
+	if local.closed {
+		// Connected, then immediately faulted (listener teardown raced the
+		// handshake ack). Surface the failure at dial time.
 		return nil, ErrClosed
 	}
 	return local, nil
@@ -331,6 +421,17 @@ func (ep *EndPoint) Send(p *sim.Proc, b *bufpool.Buffer, n int) error {
 // and the eager/RDMA decision for size virtual bytes (bulk data paths send
 // headers with virtual payloads; see netsim.SocketConn.SendSized).
 func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error {
+	return ep.sendMsg(p, b, n, size, 0, muxData, 0)
+}
+
+// sendMsg is the common send path: stream/ctrl tag the message for a muxed
+// QP (hdr bills the stream-id framing as extra wire bytes, the same way
+// eagerHeader bills the verbs header), and when the receiving device has an
+// SRQ the message consumes one shared WQE — arriving SRQRNRDelay late if the
+// queue or the endpoint's credit was exhausted, exactly like a sender
+// retrying on an RNR NAK. The in-order reorder buffer on the receive side
+// keeps delivery sequence intact even when only some messages are delayed.
+func (ep *EndPoint) sendMsg(p *sim.Proc, b *bufpool.Buffer, n, size int, stream uint64, ctrl byte, hdr int) error {
 	if ep.closed {
 		return ErrClosed
 	}
@@ -354,6 +455,7 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 	peer := ep.peer
 	seq := ep.sendSeq
 	ep.sendSeq++
+	cr, rnr := peer.srqConsume()
 	if size <= dev.threshold {
 		dev.stats.EagerSends++
 		dev.m.eagerSends.Inc()
@@ -368,9 +470,9 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 		rx := peer.dev.recvPool.Get(n)
 		peer.dev.m.postedRecvs.Inc()
 		copy(rx.Data, b.Data[:n])
-		dev.fabric.TransferLossy(dev.node, peer.dev.node, size+eagerHeader, func() {
-			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size, eager: true})
-		}, ep.lossOf(rx))
+		msg := recvMsg{buf: rx, n: n, wire: size, eager: true, stream: stream, ctrl: ctrl, cr: cr}
+		dev.fabric.TransferLossy(dev.node, peer.dev.node, size+eagerHeader+hdr,
+			peer.arrival(seq, msg, rnr), ep.lossOf(msg))
 		return nil
 	}
 	dev.stats.RDMASends++
@@ -382,24 +484,35 @@ func (ep *EndPoint) SendSized(p *sim.Proc, b *bufpool.Buffer, n, size int) error
 	peer.dev.m.postedRecvs.Inc()
 	copy(rx.Data, b.Data[:n])
 	// Rendezvous: control message first, then the one-sided payload write.
-	lost := ep.lossOf(rx)
-	dev.fabric.TransferLossy(dev.node, peer.dev.node, ctrlBytes, func() {
-		dev.fabric.TransferLossy(dev.node, peer.dev.node, size, func() {
-			peer.deliver(seq, recvMsg{buf: rx, n: n, wire: size})
-		}, lost)
+	msg := recvMsg{buf: rx, n: n, wire: size, stream: stream, ctrl: ctrl, cr: cr}
+	lost := ep.lossOf(msg)
+	dev.fabric.TransferLossy(dev.node, peer.dev.node, ctrlBytes+hdr, func() {
+		dev.fabric.TransferLossy(dev.node, peer.dev.node, size,
+			ep.peer.arrival(seq, msg, rnr), lost)
 	}, lost)
 	return nil
+}
+
+// arrival builds the delivery callback for one in-flight message, honoring
+// an RNR retry delay: the retransmitted message lands rnr later, and the
+// seq-ordered reorder buffer restores posting order around it.
+func (ep *EndPoint) arrival(seq int, msg recvMsg, rnr time.Duration) func() {
+	if rnr <= 0 {
+		return func() { ep.deliver(seq, msg) }
+	}
+	return func() {
+		ep.dev.fabric.Sim().After(rnr, func() { ep.deliver(seq, msg) })
+	}
 }
 
 // lossOf builds the loss callback for one in-flight message: reclaim the
 // pre-posted receive buffer and fault the queue pair. A lost message would
 // otherwise wedge the peer's in-order reorder buffer forever, which is
 // exactly how a reliable QP behaves — it goes to the error state instead.
-func (ep *EndPoint) lossOf(rx *bufpool.Buffer) func() {
+func (ep *EndPoint) lossOf(msg recvMsg) func() {
 	peer := ep.peer
 	return func() {
-		peer.dev.recvPool.Put(rx)
-		peer.dev.m.postedRecvs.Dec()
+		peer.dev.reclaim(msg)
 		ep.fault()
 	}
 }
@@ -408,9 +521,17 @@ func (ep *EndPoint) lossOf(rx *bufpool.Buffer) func() {
 // receive buffer. release reposts the buffer; it must be called exactly once
 // when the consumer is done with data.
 func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
+	data, release, _, _, err = ep.RecvMsg(p)
+	return data, release, err
+}
+
+// RecvMsg is Recv plus the mux framing: the logical stream id and control
+// kind carried by the message (zero for unmuxed endpoints). The demux pump
+// of a muxed QP consumes completions here and routes them per stream.
+func (ep *EndPoint) RecvMsg(p *sim.Proc) (data []byte, release func(), stream uint64, ctrl byte, err error) {
 	v, ok := ep.recvQ.Get(p)
 	if !ok {
-		return nil, nil, ErrClosed
+		return nil, nil, 0, 0, ErrClosed
 	}
 	msg := v.(recvMsg)
 	dev := ep.dev
@@ -429,10 +550,7 @@ func (ep *EndPoint) Recv(p *sim.Proc) (data []byte, release func(), err error) {
 		cost += dev.costs.Copy(msg.wire)
 	}
 	dev.fabric.ChargeCPU(p, dev.node, cost)
-	pool := dev.recvPool
-	buf := msg.buf
-	inflight := dev.m.postedRecvs
-	return buf.Data[:msg.n], func() { pool.Put(buf); inflight.Dec() }, nil
+	return msg.buf.Data[:msg.n], func() { dev.reclaim(msg) }, msg.stream, msg.ctrl, nil
 }
 
 // WireTime reports the fabric occupancy of an n-byte message.

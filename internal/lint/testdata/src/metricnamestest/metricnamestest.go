@@ -58,3 +58,22 @@ func tracer(r *metrics.Registry) {
 	r.Counter(cTracePool + cDropped)
 	r.Counter("fix_trace_sampled_out_total") // want `metric name in Counter must be a package-level const, not an inline literal`
 }
+
+const (
+	cSRQPosted = "fix_srq_posted"
+	cSRQDenied = "fix_srq_denied_total"
+)
+
+// srq mirrors the S23 scale-out shape (ibverbs.SRQ/MemoryBudget.Instrument):
+// a method receiver stashing registered series into struct fields. The const
+// discipline applies inside methods exactly as in free functions.
+type srq struct {
+	posted *metrics.Gauge
+	denied *metrics.Counter
+}
+
+func (q *srq) Instrument(r *metrics.Registry) {
+	q.posted = r.Gauge(cSRQPosted)
+	q.denied = r.Counter(cSRQDenied)
+	q.denied = r.Counter("fix_srq_overdraw_total") // want `metric name in Counter must be a package-level const, not an inline literal`
+}
