@@ -57,6 +57,11 @@ type Config struct {
 	// WQEs held per endpoint (0 = no per-endpoint cap).
 	SRQDepth       int
 	SRQCreditPerQP int
+	// Topology lays nodes out over racks and gives each node Topology.IBRails
+	// independent native-IB rails, each a full fabric + verbs network of its
+	// own. The zero value is SingleRailTopology: one rail, byte-identical
+	// with pre-topology clusters.
+	Topology Topology
 }
 
 // DefaultConnectTimeout is the simulated clusters' connect timeout when
@@ -93,8 +98,13 @@ type Cluster struct {
 
 	nodes   []*Node
 	fabrics map[perfmodel.LinkKind]*netsim.Fabric
-	ibnet   *ibverbs.Network
-	ibmux   *ibverbs.Mux // non-nil when Config.QPMuxPerPeer > 0
+
+	// Per-rail native IB: rail i is ibFabrics[i]/ibnets[i] (and ibmuxes[i]
+	// under QP muxing). Rail 0 doubles as fabrics[perfmodel.NativeIB], so
+	// single-rail code paths see exactly the historical layout.
+	ibFabrics []*netsim.Fabric
+	ibnets    []*ibverbs.Network
+	ibmuxes   []*ibverbs.Mux // per rail, non-nil entries when QPMuxPerPeer > 0
 }
 
 // Node is one simulated host.
@@ -135,24 +145,58 @@ func New(cfg Config) *Cluster {
 			}
 		}
 	}
+	cfg.Topology = cfg.Topology.withDefaults()
 	c.Config = cfg
 	cpuOf := func(node int) *sim.Resource { return c.nodes[node].CPU }
 	for _, kind := range []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB} {
 		c.fabrics[kind] = netsim.NewFabric(s, perfmodel.Link(kind), cpuOf)
 		c.fabrics[kind].SetConnectTimeout(cfg.ConnectTimeout)
 	}
-	c.ibnet = ibverbs.NewNetwork(c.fabrics[perfmodel.NativeIB], c.Costs, cfg.RDMAThreshold)
-	if cfg.SRQDepth > 0 {
-		c.ibnet.SetSRQ(cfg.SRQDepth, cfg.SRQCreditPerQP)
-	}
-	if cfg.QPMuxPerPeer > 0 {
-		c.ibmux = ibverbs.NewMux(c.ibnet, cfg.QPMuxPerPeer)
+	// One fabric + verbs network per IB rail. Rail 0 is the NativeIB fabric
+	// built above, so single-rail clusters are laid out exactly as before.
+	for rail := 0; rail < cfg.Topology.IBRails; rail++ {
+		f := c.fabrics[perfmodel.NativeIB]
+		if rail > 0 {
+			f = netsim.NewFabric(s, perfmodel.Link(perfmodel.NativeIB), cpuOf)
+			f.SetConnectTimeout(cfg.ConnectTimeout)
+		}
+		net := ibverbs.NewNetwork(f, c.Costs, cfg.RDMAThreshold)
+		if cfg.SRQDepth > 0 {
+			net.SetSRQ(cfg.SRQDepth, cfg.SRQCreditPerQP)
+		}
+		var mux *ibverbs.Mux
+		if cfg.QPMuxPerPeer > 0 {
+			mux = ibverbs.NewMux(net, cfg.QPMuxPerPeer)
+		}
+		c.ibFabrics = append(c.ibFabrics, f)
+		c.ibnets = append(c.ibnets, net)
+		c.ibmuxes = append(c.ibmuxes, mux)
 	}
 	return c
 }
 
-// IBMux returns the QP multiplexer, nil unless Config.QPMuxPerPeer > 0.
-func (c *Cluster) IBMux() *ibverbs.Mux { return c.ibmux }
+// IBMux returns rail 0's QP multiplexer, nil unless Config.QPMuxPerPeer > 0.
+func (c *Cluster) IBMux() *ibverbs.Mux { return c.ibmuxes[0] }
+
+// Topology returns the cluster's (defaulted) physical layout.
+func (c *Cluster) Topology() Topology { return c.Config.Topology }
+
+// IBRails returns the native-IB rail count (>= 1).
+func (c *Cluster) IBRails() int { return len(c.ibFabrics) }
+
+// IBRailFabric returns rail i's fabric (panics on bad rails, like Node).
+func (c *Cluster) IBRailFabric(rail int) *netsim.Fabric {
+	if rail < 0 || rail >= len(c.ibFabrics) {
+		panic(fmt.Sprintf("cluster: no IB rail %d (have %d)", rail, len(c.ibFabrics)))
+	}
+	return c.ibFabrics[rail]
+}
+
+// IBRailNet returns rail i's verbs network.
+func (c *Cluster) IBRailNet(rail int) *ibverbs.Network {
+	c.IBRailFabric(rail) // bounds check
+	return c.ibnets[rail]
+}
 
 // Node returns host id (panics on bad ids to catch wiring mistakes).
 func (c *Cluster) Node(id int) *Node {
@@ -168,26 +212,60 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 // Fabric returns the fabric for a link kind.
 func (c *Cluster) Fabric(kind perfmodel.LinkKind) *netsim.Fabric { return c.fabrics[kind] }
 
-// IBNet returns the verbs network.
-func (c *Cluster) IBNet() *ibverbs.Network { return c.ibnet }
+// IBNet returns rail 0's verbs network (the only one on single-rail
+// clusters).
+func (c *Cluster) IBNet() *ibverbs.Network { return c.ibnets[0] }
 
-// Fabrics returns every interconnect fabric in a fixed order. Fault
-// injection applies link events and transfer hooks across all of them, just
-// as PartitionNode partitions a node on every rail.
+// IBNets returns every rail's verbs network in rail order.
+func (c *Cluster) IBNets() []*ibverbs.Network {
+	return append([]*ibverbs.Network(nil), c.ibnets...)
+}
+
+// Fabrics returns every interconnect fabric in a fixed order: the three
+// socket fabrics, then every IB rail in rail order. Fault injection applies
+// link events and transfer hooks across all of them, just as PartitionNode
+// partitions a node on every rail.
 func (c *Cluster) Fabrics() []*netsim.Fabric {
-	kinds := []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB}
-	out := make([]*netsim.Fabric, 0, len(kinds))
+	kinds := []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB}
+	out := make([]*netsim.Fabric, 0, len(kinds)+len(c.ibFabrics))
 	for _, kind := range kinds {
 		out = append(out, c.fabrics[kind])
 	}
-	return out
+	return append(out, c.ibFabrics...)
+}
+
+// FabricsByName resolves a fault-plan fabric name to the fabric instances it
+// addresses: a socket kind name ("1GigE", "10GigE", "IPoIB") names that one
+// fabric, "IB" names every IB rail together (a cable-bundle pull), and
+// "IB/<rail>" names one rail instance. Unknown names and out-of-range rails
+// are errors, so a typo'd plan fails loudly instead of matching nothing.
+func (c *Cluster) FabricsByName(name string) ([]*netsim.Fabric, error) {
+	switch name {
+	case "1GigE":
+		return []*netsim.Fabric{c.fabrics[perfmodel.OneGigE]}, nil
+	case "10GigE":
+		return []*netsim.Fabric{c.fabrics[perfmodel.TenGigE]}, nil
+	case "IPoIB":
+		return []*netsim.Fabric{c.fabrics[perfmodel.IPoIB]}, nil
+	case "IB":
+		return append([]*netsim.Fabric(nil), c.ibFabrics...), nil
+	}
+	var rail int
+	if n, err := fmt.Sscanf(name, "IB/%d", &rail); n == 1 && err == nil && rail >= 0 {
+		if rail >= len(c.ibFabrics) {
+			return nil, fmt.Errorf("cluster: unknown rail %q (cluster has %d IB rail(s))", name, len(c.ibFabrics))
+		}
+		return []*netsim.Fabric{c.ibFabrics[rail]}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown fabric %q (want 1GigE, 10GigE, IPoIB, IB, or IB/<rail>)", name)
 }
 
 // PartitionNode drops (or restores) all fabric traffic to and from a node,
-// for failure-injection experiments.
+// on every socket fabric and every IB rail, for failure-injection
+// experiments.
 func (c *Cluster) PartitionNode(node int, down bool) {
 	c.Node(node)
-	for _, f := range c.fabrics {
+	for _, f := range c.Fabrics() {
 		f.SetNodeDown(node, down)
 	}
 }

@@ -125,22 +125,59 @@ type ibNet struct {
 
 func (n *ibNet) Kind() string { return "RPCoIB" }
 
+// Rails implements transport.RailDialer: the number of independent IB rails
+// this node can dial over.
+func (n *ibNet) Rails() int { return n.c.IBRails() }
+
+// RailUp implements transport.RailDialer: whether the node's local port on
+// the rail reports active — the IBV_PORT_ACTIVE state a real multi-rail
+// dialer consults before posting to an HCA. A rail outage downs every port
+// on the rail, so this is the locally observable face of it; a remote-side
+// or switch failure is not visible here and is discovered by dialing.
+func (n *ibNet) RailUp(rail int) bool {
+	return !n.c.IBRailFabric(rail).NodeDown(n.node)
+}
+
+// PreferredRail implements transport.RailDialer: the topology's affinity
+// rail for traffic from this node to addr (rack-local flows ride the rack's
+// home rail). Unparseable addresses get rail 0.
+func (n *ibNet) PreferredRail(addr string) int {
+	dst, _, err := netsim.ParseAddr(addr)
+	if err != nil {
+		return 0
+	}
+	return n.c.Topology().PreferredRail(n.node, dst)
+}
+
 func (n *ibNet) Listen(e exec.Env, port int) (transport.Listener, error) {
 	sockLn, err := n.c.fabrics[perfmodel.IPoIB].Listen(n.node, port)
 	if err != nil {
 		return nil, err
 	}
-	ibLn, err := n.c.ibnet.Listen(n.node, port)
-	if err != nil {
-		sockLn.Close()
-		return nil, err
-	}
-	l := &ibListener{c: n.c, sockLn: sockLn, ibLn: ibLn, ready: e.NewQueue(0)}
-	if n.c.ibmux != nil {
-		l.muxLn = n.c.ibmux.NewListener(ibLn)
+	l := &ibListener{c: n.c, sockLn: sockLn, ready: e.NewQueue(0)}
+	// One verbs listener (and accept loop) per rail: a dial on rail i lands
+	// on rail i's EPListener, so the server side needs no rail negotiation.
+	for rail := 0; rail < n.c.IBRails(); rail++ {
+		ibLn, err := n.c.ibnets[rail].Listen(n.node, port)
+		if err != nil {
+			sockLn.Close()
+			for _, prev := range l.ibLns {
+				prev.Close()
+			}
+			return nil, err
+		}
+		l.ibLns = append(l.ibLns, ibLn)
+		var muxLn *ibverbs.MuxListener
+		if n.c.ibmuxes[rail] != nil {
+			muxLn = n.c.ibmuxes[rail].NewListener(ibLn)
+		}
+		l.muxLns = append(l.muxLns, muxLn)
 	}
 	e.Spawn("rpcoib-bootstrap:"+sockLn.Addr(), l.bootstrapLoop)
-	e.Spawn("rpcoib-accept:"+sockLn.Addr(), l.ibAcceptLoop)
+	for rail := range l.ibLns {
+		r := rail
+		e.Spawn("rpcoib-accept:"+sockLn.Addr(), func(ae exec.Env) { l.ibAcceptLoop(ae, r) })
+	}
 	return l, nil
 }
 
@@ -167,7 +204,13 @@ func (n *ibNet) DialFallback(e exec.Env, addr string) (transport.Conn, error) {
 
 var _ transport.FallbackDialer = (*ibNet)(nil)
 
-func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
+// DialRail implements transport.RailDialer: the full RPCoIB bootstrap
+// (endpoint exchange over IPoIB, then the verbs handshake) pinned to exactly
+// one rail. It never fails over internally — a dead rail is the caller's
+// signal — so the rail selector in internal/core gets clean per-rail failure
+// attribution.
+func (n *ibNet) DialRail(e exec.Env, addr string, rail int) (transport.Conn, error) {
+	n.c.IBRailFabric(rail) // bounds check
 	p := procOf(e)
 	sc, err := n.c.fabrics[perfmodel.IPoIB].Dial(p, n.node, addr)
 	if err != nil {
@@ -181,24 +224,73 @@ func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
 		return nil, err
 	}
 	var ep verbsEP
-	if n.c.ibmux != nil {
+	if mux := n.c.ibmuxes[rail]; mux != nil {
 		// Muxed path: attach a logical stream; only the first QPMuxPerPeer
 		// dials to this address pay the verbs QP handshake.
-		ep, err = n.c.ibmux.Dial(p, n.node, addr)
+		ep, err = mux.Dial(p, n.node, addr)
 	} else {
-		ep, err = n.c.ibnet.Dial(p, n.node, addr)
+		ep, err = n.c.ibnets[rail].Dial(p, n.node, addr)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &ibConn{c: n.c, ep: ep, dev: n.c.ibnet.Device(n.node)}, nil
+	return &ibConn{c: n.c, ep: ep, dev: n.c.ibnets[rail].Device(n.node)}, nil
+}
+
+var _ transport.RailDialer = (*ibNet)(nil)
+
+// Dial connects over the first reachable rail: the topology-preferred rail
+// first, then the rest in ascending order, skipping rails whose local port
+// is down (a dead-rail dial would burn a full connect timeout). Raw data
+// paths (the HDFS block pipeline, shuffle fetches) get rail survivability
+// from this loop; the RPC layer instead drives DialRail through its per-peer
+// rail selector for affinity, health memory, and failover metrics.
+func (n *ibNet) Dial(e exec.Env, addr string) (transport.Conn, error) {
+	rails := n.railOrder(addr)
+	var lastErr error
+	for _, rail := range rails {
+		c, err := n.DialRail(e, addr, rail)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// railOrder returns the dial preference order for addr: the preferred rail,
+// then the others ascending, with dead-local-port rails moved to the back
+// (still tried last, in case every port is down and the caller wants the
+// true error).
+func (n *ibNet) railOrder(addr string) []int {
+	rails := n.Rails()
+	if rails == 1 {
+		return []int{0}
+	}
+	pref := n.PreferredRail(addr)
+	up := make([]int, 0, rails)
+	down := make([]int, 0, rails)
+	add := func(r int) {
+		if n.RailUp(r) {
+			up = append(up, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	add(pref)
+	for r := 0; r < rails; r++ {
+		if r != pref {
+			add(r)
+		}
+	}
+	return append(up, down...)
 }
 
 type ibListener struct {
 	c      *Cluster
 	sockLn *netsim.Listener
-	ibLn   *ibverbs.EPListener
-	muxLn  *ibverbs.MuxListener // non-nil when QP muxing is on
+	ibLns  []*ibverbs.EPListener  // one verbs listener per rail
+	muxLns []*ibverbs.MuxListener // per rail, non-nil entries when muxing is on
 	ready  exec.Queue // accepted transport.Conns (verbs and fallback sockets)
 }
 
@@ -244,20 +336,22 @@ func (l *ibListener) handshake(e exec.Env, sc *netsim.SocketConn) {
 	sc.Close()
 }
 
-func (l *ibListener) ibAcceptLoop(e exec.Env) {
+func (l *ibListener) ibAcceptLoop(e exec.Env, rail int) {
 	p := procOf(e)
+	ibLn := l.ibLns[rail]
+	muxLn := l.muxLns[rail]
 	for {
 		var ep verbsEP
 		var err error
-		if l.muxLn != nil {
-			ep, err = l.muxLn.Accept(p)
+		if muxLn != nil {
+			ep, err = muxLn.Accept(p)
 		} else {
-			ep, err = l.ibLn.Accept(p)
+			ep, err = ibLn.Accept(p)
 		}
 		if err != nil {
 			return
 		}
-		if !l.ready.TryPut(&ibConn{c: l.c, ep: ep, dev: l.ibLn.Device()}) {
+		if !l.ready.TryPut(&ibConn{c: l.c, ep: ep, dev: ibLn.Device()}) {
 			ep.Close()
 		}
 	}
@@ -273,7 +367,9 @@ func (l *ibListener) Accept(e exec.Env) (transport.Conn, error) {
 
 func (l *ibListener) Close() {
 	l.sockLn.Close()
-	l.ibLn.Close()
+	for _, ibLn := range l.ibLns {
+		ibLn.Close()
+	}
 	l.ready.Close()
 }
 

@@ -76,6 +76,7 @@ type Client struct {
 	connMu   *emutex
 	conns    map[connKey]*Connection
 	breakers map[string]*breaker
+	railSets map[string]*railSet // per peer, multi-rail networks only
 	idSeq    atomic.Int32
 	m        clientMetrics
 	keys     keyCache
@@ -84,13 +85,17 @@ type Client struct {
 	Stats ClientStats
 }
 
-// connKey names one cached connection: the peer address plus which transport
-// flavor reaches it. Primary and fallback connections to the same peer
-// coexist, so a half-open probe on the primary never tears down the fallback
-// the other callers are still using (and vice versa).
+// connKey names one cached connection: the peer address, which transport
+// flavor reaches it, and — on multi-rail networks — which rail carries it.
+// Primary and fallback connections to the same peer coexist, so a half-open
+// probe on the primary never tears down the fallback the other callers are
+// still using (and vice versa); likewise connections on different rails
+// coexist, which is what lets the selector spread load and keep a healthy
+// rail's connection warm while probing a healed one.
 type connKey struct {
 	addr     string
 	fallback bool
+	rail     int // always 0 on single-rail networks
 }
 
 // NewClient creates a client over net with the given options.
@@ -115,6 +120,8 @@ type Connection struct {
 	tc        transport.Conn
 	fallback  bool     // riding the network's fallback transport
 	br        *breaker // non-nil when failover guards this peer
+	rail      int      // rail carrying this connection (multi-rail networks)
+	rs        *railSet // non-nil on multi-rail networks (primary conns only)
 	sendMu    *emutex
 	mu        sync.Mutex
 	calls     map[int32]*Future
@@ -169,6 +176,18 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	if br != nil {
 		key.fallback = br.route(e.Now())
 	}
+	// Rail selection on the primary path of a multi-rail network: the
+	// selector places this connection by health, affinity, and load, and may
+	// nominate it as the half-open probe of a cooled-down rail. railSet is
+	// nil on single-rail networks, keeping the historical path untouched.
+	var rs *railSet
+	var rd transport.RailDialer
+	if !key.fallback {
+		if rs = c.railSet(addr); rs != nil {
+			rd = c.net.(transport.RailDialer)
+			key.rail, _ = rs.pick(e.Now(), rd.RailUp)
+		}
+	}
 	c.reapIdle(e, key)
 	c.mu.Lock()
 	conn := c.conns[key]
@@ -182,13 +201,22 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 	}
 	var tc transport.Conn
 	var err error
-	if key.fallback {
+	switch {
+	case key.fallback:
 		tc, err = fd.DialFallback(e, addr)
-	} else {
+	case rs != nil:
+		tc, err = rd.DialRail(e, addr, key.rail)
+	default:
 		tc, err = c.net.Dial(e, addr)
 	}
 	if err != nil {
-		if br != nil && !key.fallback {
+		if rs != nil {
+			// A failed rail dial marks the rail down; only when that leaves
+			// no healthy rail does the failure widen to the S19 breaker.
+			if rs.onFailure(key.rail, e.Now()) && br != nil {
+				br.onFailure(e.Now())
+			}
+		} else if br != nil && !key.fallback {
 			br.onFailure(e.Now())
 		}
 		return nil, err
@@ -197,6 +225,7 @@ func (c *Client) connection(e exec.Env, addr string) (*Connection, error) {
 		c.m.failovers.Inc()
 	}
 	conn = &Connection{client: c, tc: tc, fallback: key.fallback, br: br,
+		rail: key.rail, rs: rs,
 		sendMu: newEmutex(e), calls: map[int32]*Future{}, lastUsed: e.Now()}
 	c.mu.Lock()
 	c.conns[key] = conn
@@ -229,7 +258,10 @@ func (c *Client) reapIdle(e exec.Env, keep connKey) {
 		if keys[i].addr != keys[j].addr {
 			return keys[i].addr < keys[j].addr
 		}
-		return !keys[i].fallback && keys[j].fallback
+		if keys[i].fallback != keys[j].fallback {
+			return !keys[i].fallback
+		}
+		return keys[i].rail < keys[j].rail
 	})
 	for _, k := range keys {
 		if k == keep {
@@ -255,6 +287,9 @@ func (conn *Connection) addCall(id int32, f *Future) {
 	conn.calls[id] = f
 	conn.mu.Unlock()
 	conn.client.m.outstanding.Inc()
+	if conn.rs != nil && !conn.fallback {
+		conn.rs.acquire(conn.rail)
+	}
 }
 
 func (conn *Connection) takeCall(id int32) *Future {
@@ -264,20 +299,31 @@ func (conn *Connection) takeCall(id int32) *Future {
 	conn.mu.Unlock()
 	if f != nil {
 		conn.client.m.outstanding.Dec()
+		if conn.rs != nil && !conn.fallback {
+			conn.rs.release(conn.rail)
+		}
 	}
 	return f
 }
 
 // organicFail is fail for failures the transport produced (receive errors,
 // send errors) rather than administrative teardown: on a primary connection
-// it also charges the peer's circuit breaker. now is the caller's virtual
-// time, for the breaker's cooldown clock.
+// it charges the rail selector first (rail-to-rail failover), widening to
+// the peer's circuit breaker only when no healthy rail remains — or
+// immediately, on single-rail networks. now is the caller's virtual time,
+// for the cooldown clocks.
 func (conn *Connection) organicFail(now time.Duration, err error) {
 	conn.mu.Lock()
 	already := conn.closed
 	conn.mu.Unlock()
-	if !already && conn.br != nil && !conn.fallback {
-		conn.br.onFailure(now)
+	if !already && !conn.fallback {
+		if conn.rs != nil {
+			if conn.rs.onFailure(conn.rail, now) && conn.br != nil {
+				conn.br.onFailure(now)
+			}
+		} else if conn.br != nil {
+			conn.br.onFailure(now)
+		}
 	}
 	conn.fail(err)
 }
@@ -296,6 +342,11 @@ func (conn *Connection) fail(err error) {
 	conn.mu.Unlock()
 	conn.client.m.connections.Dec()
 	conn.client.m.outstanding.Add(-int64(len(pending)))
+	if conn.rs != nil && !conn.fallback {
+		for range pending {
+			conn.rs.release(conn.rail)
+		}
+	}
 	conn.tc.Close()
 	for _, f := range pending {
 		f.replyQ.Close()
@@ -348,6 +399,9 @@ func (c *Client) issue(e exec.Env, addr, protocol, method string, param, reply w
 	}
 	if span != nil && conn.fallback {
 		span.SetAttr("transport", "fallback")
+	}
+	if conn.rs != nil && !conn.fallback {
+		conn.rs.countCall(conn.rail)
 	}
 	conn.touch(callStart)
 	id := c.idSeq.Add(1)

@@ -57,6 +57,16 @@ const (
 	mClientIssued           = "rpc_client_issued_total"
 	mClientFailed           = "rpc_client_failed_total"
 	mClientPoolPrefix       = "rpc_client_pool"
+
+	// Multi-rail selector families. Rail-to-rail failover happens before —
+	// and usually instead of — the rpc_client_failovers_total IB→IPoIB
+	// breaker path, so a healthy multi-rail outage shows rpc_rail_failovers
+	// climbing while fallback_calls stays flat.
+	mRailCalls     = "rpc_rail_calls_total"
+	mRailFailovers = "rpc_rail_failovers_total"
+	mRailProbes    = "rpc_rail_probes_total"
+	mRailRestores  = "rpc_rail_restores_total"
+	mRailUnhealthy = "rpc_rail_unhealthy"
 )
 
 // serverMetrics holds the server's pre-resolved instruments. The zero value
@@ -127,6 +137,10 @@ type clientMetrics struct {
 	breakerOpenGauge *metrics.Gauge
 	failovers        *metrics.Counter
 	fallbackCalls    *metrics.Counter
+	railFailovers    *metrics.Counter
+	railProbes       *metrics.Counter
+	railRestores     *metrics.Counter
+	railUnhealthy    *metrics.Gauge
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
@@ -152,7 +166,20 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 		breakerOpenGauge: r.Gauge(mClientBreakerOpen),
 		failovers:        r.Counter(mClientFailovers),
 		fallbackCalls:    r.Counter(mClientFallbackCalls),
+		railFailovers:    r.Counter(mRailFailovers),
+		railProbes:       r.Counter(mRailProbes),
+		railRestores:     r.Counter(mRailRestores),
+		railUnhealthy:    r.Gauge(mRailUnhealthy),
 	}
+}
+
+// railCalls returns the per-rail call counter. Registered lazily per rail by
+// the rail selector, so single-rail runs only carry the plain rail families.
+func (m *clientMetrics) railCalls(rail int) *metrics.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter(metrics.Labels(mRailCalls, "rail", railLabel(rail)))
 }
 
 // rtt returns the per-call-kind round-trip latency histogram.

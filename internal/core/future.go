@@ -118,8 +118,15 @@ func (f *Future) resolve(ok, timedOut bool) error {
 		} else {
 			err = ErrTimeout
 		}
-		if f.conn.br != nil && !f.conn.fallback {
-			f.conn.br.onFailure(f.start + f.timeout)
+		if !f.conn.fallback {
+			expiry := f.start + f.timeout
+			if f.conn.rs != nil {
+				if f.conn.rs.onFailure(f.conn.rail, expiry) && f.conn.br != nil {
+					f.conn.br.onFailure(expiry)
+				}
+			} else if f.conn.br != nil {
+				f.conn.br.onFailure(expiry)
+			}
 		}
 	case !ok:
 		if ce := f.conn.closeError(); ce != nil {
@@ -164,8 +171,13 @@ func (f *Future) resolve(ok, timedOut bool) error {
 		if f.conn != nil {
 			if f.conn.fallback {
 				c.m.fallbackCalls.Inc()
-			} else if f.conn.br != nil {
-				f.conn.br.onSuccess()
+			} else {
+				if f.conn.rs != nil {
+					f.conn.rs.onSuccess(f.conn.rail)
+				}
+				if f.conn.br != nil {
+					f.conn.br.onSuccess()
+				}
 			}
 		}
 		if h := c.m.rtt(f.protocol, f.method); h != nil {

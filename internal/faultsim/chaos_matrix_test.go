@@ -1,0 +1,285 @@
+package faultsim_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hbase"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/mapred"
+	"rpcoib/internal/metrics"
+	"rpcoib/internal/perfmodel"
+	"rpcoib/internal/ycsb"
+)
+
+// The chaos matrix: {HDFS write, MapReduce sort, YCSB on HBase} × {rail
+// outage, overload, crash-restart}, every cell on a two-rail IB cluster,
+// every cell run twice and required to replay byte-identically, every cell
+// passing the S18 invariant battery (no leaked futures, balanced buffer
+// pools, balanced snapshot counters). The geometry is shared: servers on
+// 0..3, the driver on 4, node 5 a spare DataNode.
+
+// chaosPolicy is the retry stance every matrix workload runs with: enough
+// attempts and backoff to ride out a 400 ms fault window without masking
+// remote (application-level) errors.
+func chaosPolicy() core.CallPolicy {
+	return core.CallPolicy{
+		MaxAttempts: 8, Backoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+		RetryOn: func(err error) bool {
+			var re *core.RemoteError
+			return !errors.As(err, &re)
+		},
+	}
+}
+
+// chaosCluster builds the matrix geometry — 7 nodes, 2 racks, 2 IB rails —
+// and arms plan on it.
+func chaosCluster(t *testing.T, seed int64, plan faultsim.Plan, reg *metrics.Registry) (*cluster.Cluster, *faultsim.Injector) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: 7, Seed: seed, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond,
+		ConnectTimeout: time.Second,
+		Topology:       cluster.Topology{Racks: 2, IBRails: 2}})
+	cl.IBNet().Instrument(reg)
+	plan.Seed = seed
+	inj, err := faultsim.Apply(cl, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Instrument(reg)
+	return cl, inj
+}
+
+// chaosReport runs the invariant battery over a finished cell.
+func chaosReport(cl *cluster.Cluster, snap metrics.Snapshot, runtimes map[string]*core.Runtime) *faultsim.Report {
+	rep := &faultsim.Report{}
+	for name, rt := range runtimes {
+		rep.CheckRuntime(name, rt)
+	}
+	for _, net := range cl.IBNets() {
+		rep.CheckDevicePools(net)
+	}
+	rep.CheckSnapshotBalance(snap)
+	return rep
+}
+
+// chaosHDFSWrite writes a replicated file while the plan fires, then stats
+// it well after the fault window.
+func chaosHDFSWrite(t *testing.T, seed int64, plan faultsim.Plan) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	reg := metrics.New()
+	cl, _ := chaosCluster(t, seed, plan, reg)
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1, 2, 3, 5}, Replication: 2,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCFailover:       true,
+		RPCCallTimeout:    80 * time.Millisecond,
+		RPCPolicy:         chaosPolicy(),
+	})
+	var writeErr, statErr error
+	done := false
+	cl.SpawnOn(4, "driver", func(e exec.Env) {
+		dfs := fs.NewClient(4)
+		e.Sleep(10 * time.Millisecond)
+		if err := dfs.Mkdirs(e, "/warm"); err != nil {
+			t.Errorf("pre-fault mkdirs: %v", err)
+		}
+		e.Sleep(60*time.Millisecond - e.Now())
+		writeErr = dfs.CreateFile(e, "/chaos", 4<<20, 2)
+		e.Sleep(3*time.Second - e.Now())
+		_, statErr = dfs.GetFileInfo(e, "/chaos")
+		done = true
+		fs.Stop()
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !done {
+		t.Fatal("driver never ran to completion")
+	}
+	if writeErr == nil && statErr != nil {
+		t.Errorf("written file not visible after recovery: %v", statErr)
+	}
+	snap := reg.Snapshot(end)
+	return snap, chaosReport(cl, snap, map[string]*core.Runtime{"hdfs": fs.Runtime()}), writeErr
+}
+
+// chaosSort runs a small MapReduce sort — input writes, the job itself, and
+// its HDFS output all overlapping the fault window.
+func chaosSort(t *testing.T, seed int64, plan faultsim.Plan) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	reg := metrics.New()
+	cl, _ := chaosCluster(t, seed, plan, reg)
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		NameNode: 0, DataNodes: []int{1, 2, 3, 5}, Replication: 2,
+		BlockSize: 8 << 20,
+		RPCMode:   core.ModeRPCoIB, DataRDMA: true,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCFailover:       true,
+		RPCCallTimeout:    80 * time.Millisecond,
+		RPCPolicy:         chaosPolicy(),
+	})
+	mr := mapred.Deploy(cl, mapred.Config{
+		JobTracker: 0, TaskTrackers: []int{1, 2, 3},
+		MapSlots: 4, ReduceSlots: 2,
+		RPCMode:           core.ModeRPCoIB,
+		ShuffleKind:       perfmodel.IPoIB,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCFailover:       true,
+		RPCCallTimeout:    80 * time.Millisecond,
+		RPCPolicy:         chaosPolicy(),
+	}, fs)
+	var jobErr error
+	done := false
+	cl.SpawnOn(4, "submitter", func(e exec.Env) {
+		e.Sleep(30 * time.Millisecond)
+		dfs := fs.NewClient(4)
+		var files []string
+		var sizes []int64
+		for i := 0; i < 3; i++ {
+			path := fmt.Sprintf("/in/part-%05d", i)
+			if err := dfs.CreateFile(e, path, 2<<20, 2); err != nil {
+				jobErr = fmt.Errorf("input %s: %w", path, err)
+				done = true
+				return
+			}
+			files = append(files, path)
+			sizes = append(sizes, 2<<20)
+		}
+		_, jobErr = mr.RunJob(e, 4, mapred.SubmitJobParam{
+			Name: "chaos-sort", NumReduces: 2,
+			InputFiles: files, InputSizes: sizes,
+			OutputPath: "/out", OutputReplication: 1,
+			MapCPUPerMBNs:    int64(2 * time.Millisecond),
+			ReduceCPUPerMBNs: int64(2 * time.Millisecond),
+			WritesHDFSOutput: true,
+		})
+		done = true
+		mr.Stop()
+		fs.Stop()
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !done {
+		t.Fatal("submitter never ran to completion")
+	}
+	snap := reg.Snapshot(end)
+	return snap, chaosReport(cl, snap, map[string]*core.Runtime{
+		"hdfs": fs.Runtime(), "mapred": mr.Runtime()}), jobErr
+}
+
+// chaosYCSB runs a zipfian 50/50 YCSB mix against HBaseoIB region servers
+// while the plan fires.
+func chaosYCSB(t *testing.T, seed int64, plan faultsim.Plan) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	reg := metrics.New()
+	cl, _ := chaosCluster(t, seed, plan, reg)
+	h := hbase.Deploy(cl, hbase.Config{
+		Master: 0, RegionServers: []int{1, 2, 3},
+		HBaseRDMA:      true,
+		Metrics:        reg,
+		RPCFailover:    true,
+		RPCCallTimeout: 80 * time.Millisecond,
+		RPCPolicy:      chaosPolicy(),
+	}, nil)
+	w := ycsb.Workload{RecordCount: 200, RecordSize: 1024, Mix: ycsb.WorkloadMix, Zipfian: true}
+	var runErr error
+	done := false
+	cl.SpawnOn(4, "ycsb", func(e exec.Env) {
+		c := h.NewClient(4)
+		e.Sleep(10 * time.Millisecond)
+		if err := ycsb.Load(e, c, w, 0, w.RecordCount); err != nil {
+			runErr = fmt.Errorf("load: %w", err)
+			done = true
+			return
+		}
+		e.Sleep(60*time.Millisecond - e.Now())
+		_, runErr = ycsb.Run(e, c, w, 300, rand.New(rand.NewSource(seed)))
+		done = true
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !done {
+		t.Fatal("ycsb driver never ran to completion")
+	}
+	snap := reg.Snapshot(end)
+	return snap, chaosReport(cl, snap, map[string]*core.Runtime{"hbase": h.Runtime()}), runErr
+}
+
+// chaosPlans is the fault axis. The crash cell targets a DataNode that is
+// not a TaskTracker (node 5) under sort — the mini-JobTracker does not
+// reschedule tasks from partitioned trackers — and a shared worker (node 2)
+// otherwise.
+func chaosPlans(workload string) []struct {
+	name string
+	plan faultsim.Plan
+} {
+	crashNode := 2
+	if workload == "sort" {
+		crashNode = 5
+	}
+	return []struct {
+		name string
+		plan faultsim.Plan
+	}{
+		{"rail-outage", faultsim.Plan{Events: []faultsim.Event{
+			{AtMS: 50, Kind: faultsim.KindRailOutage, DurMS: 400, Fabric: "IB/0"},
+		}}},
+		{"overload", faultsim.Plan{Events: []faultsim.Event{
+			{AtMS: 50, Kind: faultsim.KindPoolLimit, Node: 0, Bytes: 1 << 20, DurMS: 300},
+			{AtMS: 50, Kind: faultsim.KindAsymDegrade, Node: 0, DelayMS: 2, DurMS: 300},
+		}}},
+		{"crash-restart", faultsim.Plan{Events: []faultsim.Event{
+			{AtMS: 60, Kind: faultsim.KindNodeCrash, Node: crashNode, DurMS: 400},
+		}}},
+	}
+}
+
+// TestChaosMatrix runs every cell of the workload × fault matrix: the
+// workload must complete despite the fault, the invariant battery must pass,
+// and a second same-seed run must replay byte-identically. The seed axis
+// comes from CI's RPCOIB_CHAOS_SEED matrix.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos matrix")
+	}
+	seed := chaosSeed(t)
+	workloads := []struct {
+		name string
+		run  func(*testing.T, int64, faultsim.Plan) (metrics.Snapshot, *faultsim.Report, error)
+	}{
+		{"hdfs-write", chaosHDFSWrite},
+		{"sort", chaosSort},
+		{"ycsb", chaosYCSB},
+	}
+	for _, w := range workloads {
+		for _, f := range chaosPlans(w.name) {
+			t.Run(w.name+"/"+f.name, func(t *testing.T) {
+				snap1, rep1, err1 := w.run(t, seed, f.plan)
+				if err1 != nil {
+					t.Fatalf("%s under %s: %v", w.name, f.name, err1)
+				}
+				if !rep1.OK() {
+					t.Fatal(rep1.String())
+				}
+				snap2, rep2, err2 := w.run(t, seed, f.plan)
+				if err2 != nil {
+					t.Fatalf("second run: %v", err2)
+				}
+				if !rep2.OK() {
+					t.Fatalf("second run: %s", rep2.String())
+				}
+				if same, diff := faultsim.SameSnapshot(snap1, snap2); !same {
+					t.Fatalf("cell %s/%s diverged across same-seed runs: %s", w.name, f.name, diff)
+				}
+			})
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"rpcoib/internal/cluster"
 	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
-	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/tracing"
 )
 
@@ -30,6 +29,12 @@ type Stats struct {
 	// Stalls / PoolLimits count scripted HCA events.
 	Stalls     int64
 	PoolLimits int64
+	// RailOutages / RailHeals count whole-rail down/up flips (a rail-flap
+	// contributes one of each per cycle). Degrades counts asym-degrade
+	// applications.
+	RailOutages int64
+	RailHeals   int64
+	Degrades    int64
 }
 
 // Injector is an applied fault plan: it owns the seeded PRNG, acts as the
@@ -43,12 +48,21 @@ type Injector struct {
 	m       injMetrics
 	tr      *tracing.Tracer
 	started bool
+
+	// crashed tracks nodes currently failed-stop, so a rail heal does not
+	// resurrect a crashed node's port on that rail. railDown counts active
+	// whole-rail outages per fabric, so a node restart inside an outage window
+	// stays dark on the downed rail and overlapping outages heal correctly.
+	crashed  map[int]bool
+	railDown map[*netsim.Fabric]int
 }
 
 type injMetrics struct {
 	drops, dups, delays *metrics.Counter
 	linkEvents          *metrics.Counter
 	crashes, restarts   *metrics.Counter
+	railEvents          *metrics.Counter
+	degrades            *metrics.Counter
 }
 
 // Metric family names, as package-level consts for the rpcoiblint
@@ -60,6 +74,8 @@ const (
 	mFaultLinkEvents = "fault_link_events_total"
 	mFaultCrashes    = "fault_crashes_total"
 	mFaultRestarts   = "fault_restarts_total"
+	mFaultRailEvents = "fault_rail_events_total"
+	mFaultDegrades   = "fault_degrade_events_total"
 )
 
 // Apply validates plan, arms the probabilistic profile on every fabric, and
@@ -74,7 +90,10 @@ func Apply(cl *cluster.Cluster, plan Plan) (*Injector, error) {
 		// Offset so the injector's stream never aliases the simulator's own.
 		seed = cl.Config.Seed + 1
 	}
-	inj := &Injector{cl: cl, plan: plan, rng: rand.New(rand.NewSource(seed))}
+	inj := &Injector{
+		cl: cl, plan: plan, rng: rand.New(rand.NewSource(seed)),
+		crashed: map[int]bool{}, railDown: map[*netsim.Fabric]int{},
+	}
 	if plan.Profile.active() {
 		for _, f := range cl.Fabrics() {
 			f.SetFaultHook(inj)
@@ -104,6 +123,8 @@ func (inj *Injector) Instrument(reg *metrics.Registry) {
 	inj.m.linkEvents = reg.Counter(mFaultLinkEvents)
 	inj.m.crashes = reg.Counter(mFaultCrashes)
 	inj.m.restarts = reg.Counter(mFaultRestarts)
+	inj.m.railEvents = reg.Counter(mFaultRailEvents)
+	inj.m.degrades = reg.Counter(mFaultDegrades)
 }
 
 // TraceEvents mirrors scripted fault firings into tr as zero-trace event
@@ -146,17 +167,32 @@ func (inj *Injector) OnTransfer(src, dst, size int) netsim.FaultOutcome {
 	return out
 }
 
-// schedule registers one scripted event with the simulator.
+// schedule registers one scripted event with the simulator. Fabric names
+// (including rail instances like "IB/0") are resolved against the cluster
+// here, at plan-apply time, so a plan naming a rail the cluster does not have
+// fails fast with a useful error instead of firing into nothing mid-run.
 func (inj *Injector) schedule(ev Event) error {
 	cl := inj.cl
 	switch ev.Kind {
 	case KindLinkDown:
-		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, true) })
+		fabrics, err := inj.eventFabrics(ev)
+		if err != nil {
+			return err
+		}
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, fabrics, true) })
 	case KindLinkUp:
-		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, false) })
+		fabrics, err := inj.eventFabrics(ev)
+		if err != nil {
+			return err
+		}
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, fabrics, false) })
 	case KindLinkFlap:
-		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, true) })
-		cl.Sim.At(ev.At()+ev.Dur(), func() { inj.setLinks(ev, false) })
+		fabrics, err := inj.eventFabrics(ev)
+		if err != nil {
+			return err
+		}
+		cl.Sim.At(ev.At(), func() { inj.setLinks(ev, fabrics, true) })
+		cl.Sim.At(ev.At()+ev.Dur(), func() { inj.setLinks(ev, fabrics, false) })
 	case KindNodeCrash:
 		if ev.Node >= cl.Nodes() {
 			return fmt.Errorf("faultsim: node-crash on node %d of %d", ev.Node, cl.Nodes())
@@ -165,26 +201,17 @@ func (inj *Injector) schedule(ev Event) error {
 			inj.stats.Crashes++
 			inj.m.crashes.Inc()
 			inj.event("fault.node_crash", "node", strconv.Itoa(ev.Node))
+			inj.crashed[ev.Node] = true
 			cl.PartitionNode(ev.Node, true)
 		})
 		if ev.DurMS > 0 {
-			cl.Sim.At(ev.At()+ev.Dur(), func() {
-				inj.stats.Restarts++
-				inj.m.restarts.Inc()
-				inj.event("fault.node_restart", "node", strconv.Itoa(ev.Node))
-				cl.PartitionNode(ev.Node, false)
-			})
+			cl.Sim.At(ev.At()+ev.Dur(), func() { inj.restartNode(ev.Node) })
 		}
 	case KindNodeRestart:
 		if ev.Node >= cl.Nodes() {
 			return fmt.Errorf("faultsim: node-restart on node %d of %d", ev.Node, cl.Nodes())
 		}
-		cl.Sim.At(ev.At(), func() {
-			inj.stats.Restarts++
-			inj.m.restarts.Inc()
-			inj.event("fault.node_restart", "node", strconv.Itoa(ev.Node))
-			cl.PartitionNode(ev.Node, false)
-		})
+		cl.Sim.At(ev.At(), func() { inj.restartNode(ev.Node) })
 	case KindCQStall:
 		if ev.Node >= cl.Nodes() {
 			return fmt.Errorf("faultsim: cq-stall on node %d of %d", ev.Node, cl.Nodes())
@@ -192,7 +219,9 @@ func (inj *Injector) schedule(ev Event) error {
 		cl.Sim.At(ev.At(), func() {
 			inj.stats.Stalls++
 			inj.event("fault.cq_stall", "node", strconv.Itoa(ev.Node))
-			cl.IBNet().Device(ev.Node).StallCQ(ev.At() + ev.Dur())
+			for _, net := range cl.IBNets() {
+				net.Device(ev.Node).StallCQ(ev.At() + ev.Dur())
+			}
 		})
 	case KindPoolLimit:
 		if ev.Node >= cl.Nodes() {
@@ -202,13 +231,57 @@ func (inj *Injector) schedule(ev Event) error {
 			inj.stats.PoolLimits++
 			inj.event("fault.pool_limit", "bytes", strconv.FormatInt(ev.Bytes, 10))
 			for _, node := range inj.poolNodes(ev) {
-				cl.IBNet().Device(node).RecvPool().SetRegisteredLimit(ev.Bytes)
+				for _, net := range cl.IBNets() {
+					net.Device(node).RecvPool().SetRegisteredLimit(ev.Bytes)
+				}
 			}
 		})
 		if ev.DurMS > 0 {
 			cl.Sim.At(ev.At()+ev.Dur(), func() {
 				for _, node := range inj.poolNodes(ev) {
-					cl.IBNet().Device(node).RecvPool().SetRegisteredLimit(0)
+					for _, net := range cl.IBNets() {
+						net.Device(node).RecvPool().SetRegisteredLimit(0)
+					}
+				}
+			})
+		}
+	case KindRailOutage:
+		fabrics, target, err := inj.railFabrics(ev)
+		if err != nil {
+			return err
+		}
+		inj.railOutage(fabrics, target, ev.At(), ev.Dur())
+	case KindRailFlap:
+		fabrics, target, err := inj.railFabrics(ev)
+		if err != nil {
+			return err
+		}
+		period := time.Duration(ev.PeriodMS) * time.Millisecond
+		for c := 0; c < ev.Count; c++ {
+			inj.railOutage(fabrics, target, ev.At()+time.Duration(c)*period, ev.Dur())
+		}
+	case KindAsymDegrade:
+		if ev.Node >= cl.Nodes() {
+			return fmt.Errorf("faultsim: asym-degrade on node %d of %d", ev.Node, cl.Nodes())
+		}
+		fabrics, err := inj.eventFabrics(ev)
+		if err != nil {
+			return err
+		}
+		cl.Sim.At(ev.At(), func() {
+			inj.stats.Degrades++
+			inj.m.degrades.Inc()
+			inj.event("fault.asym_degrade",
+				"node", strconv.Itoa(ev.Node),
+				"delay_ms", strconv.FormatInt(ev.DelayMS, 10))
+			for _, f := range fabrics {
+				f.SetEgressDelay(ev.Node, time.Duration(ev.DelayMS)*time.Millisecond)
+			}
+		})
+		if ev.DurMS > 0 {
+			cl.Sim.At(ev.At()+ev.Dur(), func() {
+				for _, f := range fabrics {
+					f.SetEgressDelay(ev.Node, 0)
 				}
 			})
 		}
@@ -216,6 +289,86 @@ func (inj *Injector) schedule(ev Event) error {
 		return fmt.Errorf("faultsim: unknown event kind %q", ev.Kind)
 	}
 	return nil
+}
+
+// restartNode heals a crashed node, then re-darkens its port on any rail
+// still inside an outage window, so a restart does not punch a hole in a
+// whole-rail fault.
+func (inj *Injector) restartNode(node int) {
+	inj.stats.Restarts++
+	inj.m.restarts.Inc()
+	inj.event("fault.node_restart", "node", strconv.Itoa(node))
+	delete(inj.crashed, node)
+	inj.cl.PartitionNode(node, false)
+	for f, n := range inj.railDown {
+		if n > 0 {
+			f.SetNodeDown(node, true)
+		}
+	}
+}
+
+// railFabrics resolves a rail event's target ("" and "IB" mean every IB
+// rail; "IB/2" one rail), erroring when the cluster lacks the named rail.
+func (inj *Injector) railFabrics(ev Event) ([]*netsim.Fabric, string, error) {
+	target := ev.Fabric
+	if target == "" {
+		target = "IB"
+	}
+	fabrics, err := inj.cl.FabricsByName(target)
+	if err != nil {
+		return nil, "", fmt.Errorf("faultsim: %s: %w", ev.Kind, err)
+	}
+	return fabrics, target, nil
+}
+
+// eventFabrics resolves a link/degrade event's fabric scope: empty means
+// every fabric (all IB rails included), a name means that fabric or rail.
+func (inj *Injector) eventFabrics(ev Event) ([]*netsim.Fabric, error) {
+	if ev.Fabric == "" {
+		return inj.cl.Fabrics(), nil
+	}
+	fabrics, err := inj.cl.FabricsByName(ev.Fabric)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: %s: %w", ev.Kind, err)
+	}
+	return fabrics, nil
+}
+
+// railOutage schedules one down/heal cycle of a whole-rail fault: at `at`
+// every node's port on the target rail(s) goes dark (traffic drops, dials
+// fail fast), healing dur later. Crashed nodes stay dark through a heal, and
+// overlapping outages on the same rail are reference-counted.
+func (inj *Injector) railOutage(fabrics []*netsim.Fabric, target string, at, dur time.Duration) {
+	cl := inj.cl
+	cl.Sim.At(at, func() {
+		inj.stats.RailOutages++
+		inj.m.railEvents.Inc()
+		inj.event("fault.rail_outage", "rail", target)
+		for _, f := range fabrics {
+			inj.railDown[f]++
+			for n := 0; n < cl.Nodes(); n++ {
+				f.SetNodeDown(n, true)
+			}
+		}
+	})
+	cl.Sim.At(at+dur, func() {
+		inj.stats.RailHeals++
+		inj.m.railEvents.Inc()
+		inj.event("fault.rail_heal", "rail", target)
+		for _, f := range fabrics {
+			if inj.railDown[f] > 0 {
+				inj.railDown[f]--
+			}
+			if inj.railDown[f] > 0 {
+				continue
+			}
+			for n := 0; n < cl.Nodes(); n++ {
+				if !inj.crashed[n] {
+					f.SetNodeDown(n, false)
+				}
+			}
+		}
+	})
 }
 
 // poolNodes resolves a pool-limit event's target set.
@@ -230,12 +383,13 @@ func (inj *Injector) poolNodes(ev Event) []int {
 	return nodes
 }
 
-// setLinks applies one link state flip to the event's link set. With no
-// Fabric it hits every rail together (a flapped cable takes everything riding
-// it down, matching PartitionNode's semantics); a named Fabric scopes the
-// flip to that one rail — the hook circuit-breaker failover tests hang off,
-// since an IB-only outage leaves the IPoIB fallback reachable.
-func (inj *Injector) setLinks(ev Event, down bool) {
+// setLinks applies one link state flip to the event's link set on the
+// pre-resolved fabrics. With no Fabric scope that is every fabric together (a
+// flapped cable takes everything riding it down, matching PartitionNode's
+// semantics); a named Fabric scopes the flip — "IB" takes every IB rail, an
+// instance name one rail. The circuit-breaker failover tests hang off the
+// IB-only form, since that outage leaves the IPoIB fallback reachable.
+func (inj *Injector) setLinks(ev Event, fabrics []*netsim.Fabric, down bool) {
 	name := "fault.link_down"
 	if !down {
 		name = "fault.link_up"
@@ -249,15 +403,6 @@ func (inj *Injector) setLinks(ev Event, down bool) {
 		fabric = "all"
 	}
 	inj.event(name, "links", scope, "fabric", fabric)
-	fabrics := inj.cl.Fabrics()
-	if ev.Fabric != "" {
-		fabrics = fabrics[:0:0]
-		for _, kind := range []perfmodel.LinkKind{perfmodel.OneGigE, perfmodel.TenGigE, perfmodel.IPoIB, perfmodel.NativeIB} {
-			if kind.String() == ev.Fabric {
-				fabrics = append(fabrics, inj.cl.Fabric(kind))
-			}
-		}
-	}
 	apply := func(a, b int) {
 		for _, f := range fabrics {
 			f.SetLinkDown(a, b, down)

@@ -22,15 +22,22 @@ const UpdateMetricGoldenEnv = "RPCOIB_UPDATE_METRIC_GOLDEN"
 // injector, breaker/failover), and a small S22 hammer run covers the sharded
 // kernel's families (rpc_hammer_* and the streaming sink's
 // rpc_metrics_stream_* accounting; with ScaleOut on, the S23 rpc_ib_srq_*,
-// rpc_ib_qp_mux_*, and rpc_conn_cache_* families too). Their union
-// enumerates every registered series; a new metric that shows up without a
-// deliberate golden update — or one that silently vanishes — fails the test.
-// Regenerate with RPCOIB_UPDATE_METRIC_GOLDEN=1.
+// rpc_ib_qp_mux_*, and rpc_conn_cache_* families too), and the multi-rail
+// outage covers the rail-selector families (rpc_rail_* including the
+// per-rail labeled call counter, and the injector's fault_rail_events /
+// fault_degrade_events). Their union enumerates every registered series; a
+// new metric that shows up without a deliberate golden update — or one that
+// silently vanishes — fails the test. Regenerate with
+// RPCOIB_UPDATE_METRIC_GOLDEN=1.
 func TestMetricNamesGolden(t *testing.T) {
 	// Pinned seed: the golden list must not depend on RPCOIB_CHAOS_SEED.
 	snap, _, err := failoverOutage(t, 1)
 	if err != nil {
 		t.Fatalf("scenario write failed: %v", err)
+	}
+	railSnap, _, err := railOutageScenario(t, 1, 2)
+	if err != nil {
+		t.Fatalf("rail scenario write failed: %v", err)
 	}
 	sink := metrics.NewStreamSink(nil, 0)
 	hammer := bench.RunHammer(bench.HammerConfig{
@@ -52,7 +59,7 @@ func TestMetricNamesGolden(t *testing.T) {
 		}
 		names[n] = true
 	}
-	for _, s := range []metrics.Snapshot{snap, hammer.Final} {
+	for _, s := range []metrics.Snapshot{snap, railSnap, hammer.Final} {
 		for n := range s.Counters {
 			add(n)
 		}

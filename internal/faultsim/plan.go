@@ -38,6 +38,19 @@ const (
 	// KindPoolLimit caps the registered receive pool of Node's HCA (all HCAs
 	// when Node is -1) at Bytes for DurMS (forever when DurMS is 0).
 	KindPoolLimit = "pool-limit"
+	// KindRailOutage takes one whole IB rail down for DurMS: every node's port
+	// on the Fabric rail ("IB/0") drops its traffic, as when a switch in a
+	// multi-rail fabric dies. Requires a rail-instance Fabric name. The RPC
+	// layer should fail over rail-to-rail without touching the IPoIB fallback.
+	KindRailOutage = "rail-outage"
+	// KindRailFlap is Count cycles of KindRailOutage: DurMS down, then up for
+	// the remainder of PeriodMS, starting at At. Exercises the rail selector's
+	// probe/restore path repeatedly.
+	KindRailFlap = "rail-flap"
+	// KindAsymDegrade delays all egress from Node on the Fabric rail(s) by
+	// DelayMS for DurMS (forever when 0) — a marginal cable: the node hears
+	// everyone fine, but its replies arrive late.
+	KindAsymDegrade = "asym-degrade"
 )
 
 // Event schedules one fault at a virtual time.
@@ -51,15 +64,24 @@ type Event struct {
 	Peer int `json:"peer,omitempty"`
 	// AllLinks applies a link event to every node pair.
 	AllLinks bool `json:"all_links,omitempty"`
-	// Fabric scopes a link event to one interconnect rail by name ("1GigE",
-	// "10GigE", "IPoIB", "IB"); empty means every rail, matching a physical
-	// cable pull. An IB-only outage exercises circuit-breaker failover: verbs
-	// traffic dies while the IPoIB fallback stays reachable.
+	// Fabric scopes a link/rail event to one interconnect by name ("1GigE",
+	// "10GigE", "IPoIB", "IB") or, on multi-rail clusters, to one IB rail
+	// instance ("IB/0", "IB/1"); plain "IB" means every IB rail, and empty
+	// means every fabric, matching a physical cable pull. An IB-only outage
+	// exercises circuit-breaker failover: verbs traffic dies while the IPoIB
+	// fallback stays reachable; an "IB/0"-only outage exercises rail-to-rail
+	// failover with the fallback untouched.
 	Fabric string `json:"fabric,omitempty"`
 	// DurMS is the flap/stall/outage length (see each kind).
 	DurMS int64 `json:"dur_ms,omitempty"`
 	// Bytes is the pool-limit registered-memory cap.
 	Bytes int64 `json:"bytes,omitempty"`
+	// Count is the rail-flap cycle count.
+	Count int `json:"count,omitempty"`
+	// PeriodMS is the rail-flap cycle period (down DurMS, up the rest).
+	PeriodMS int64 `json:"period_ms,omitempty"`
+	// DelayMS is the asym-degrade egress delivery delay.
+	DelayMS int64 `json:"delay_ms,omitempty"`
 }
 
 // At returns the event's virtual time.
@@ -133,14 +155,41 @@ func (p Plan) Validate() error {
 			if ev.Bytes < 0 {
 				return fmt.Errorf("faultsim: event %d: pool-limit needs bytes >= 0", i)
 			}
+		case KindRailOutage:
+			if ev.DurMS <= 0 {
+				return fmt.Errorf("faultsim: event %d: rail-outage needs dur_ms > 0", i)
+			}
+			if err := validRail(ev.Fabric); err != nil {
+				return fmt.Errorf("faultsim: event %d: %w", i, err)
+			}
+		case KindRailFlap:
+			if ev.DurMS <= 0 || ev.PeriodMS <= ev.DurMS {
+				return fmt.Errorf("faultsim: event %d: rail-flap needs 0 < dur_ms < period_ms", i)
+			}
+			if ev.Count <= 0 {
+				return fmt.Errorf("faultsim: event %d: rail-flap needs count > 0", i)
+			}
+			if err := validRail(ev.Fabric); err != nil {
+				return fmt.Errorf("faultsim: event %d: %w", i, err)
+			}
+		case KindAsymDegrade:
+			if ev.DelayMS <= 0 {
+				return fmt.Errorf("faultsim: event %d: asym-degrade needs delay_ms > 0", i)
+			}
+			if ev.Node < 0 {
+				return fmt.Errorf("faultsim: event %d: asym-degrade needs node >= 0", i)
+			}
+			if err := validFabric(ev.Fabric); err != nil {
+				return fmt.Errorf("faultsim: event %d: %w", i, err)
+			}
 		default:
 			return fmt.Errorf("faultsim: event %d: unknown kind %q", i, ev.Kind)
 		}
 		switch ev.Kind {
-		case KindLinkDown, KindLinkUp, KindLinkFlap:
+		case KindLinkDown, KindLinkUp, KindLinkFlap, KindRailOutage, KindRailFlap, KindAsymDegrade:
 		default:
 			if ev.Fabric != "" {
-				return fmt.Errorf("faultsim: event %d: fabric only applies to link events", i)
+				return fmt.Errorf("faultsim: event %d: fabric only applies to link and rail events", i)
 			}
 		}
 	}
@@ -158,15 +207,53 @@ func (p Plan) Validate() error {
 	return nil
 }
 
-// fabricNames are the recognized Event.Fabric values (perfmodel.LinkKind
-// names).
+// fabricNames are the recognized plain Event.Fabric values (perfmodel.LinkKind
+// names). Multi-rail IB instances are addressed as "IB/<rail>" on top of
+// these; see splitRail. Whether a named rail actually exists depends on the
+// cluster topology, so that is checked when the plan is applied (the injector
+// resolves names through cluster.FabricsByName), while the syntax is checked
+// here at plan-load time.
 var fabricNames = map[string]bool{"1GigE": true, "10GigE": true, "IPoIB": true, "IB": true}
 
-func validFabric(name string) error {
-	if name != "" && !fabricNames[name] {
-		return fmt.Errorf("unknown fabric %q (want 1GigE, 10GigE, IPoIB, or IB)", name)
+// splitRail parses a rail-instance fabric name "IB/<rail>" into its base name
+// and rail index. ok is false for plain fabric names (no slash).
+func splitRail(name string) (base string, rail int, ok bool) {
+	if n, err := fmt.Sscanf(name, "IB/%d", &rail); err == nil && n == 1 &&
+		name == fmt.Sprintf("IB/%d", rail) {
+		return "IB", rail, true
 	}
-	return nil
+	return name, 0, false
+}
+
+// validFabric accepts the empty name (= every fabric), the four plain fabric
+// names, and well-formed IB rail instances ("IB/0"). Rail syntax on any other
+// fabric is rejected: only the IB side of the cluster is multi-rail.
+func validFabric(name string) error {
+	if name == "" || fabricNames[name] {
+		return nil
+	}
+	if _, rail, ok := splitRail(name); ok {
+		if rail < 0 {
+			return fmt.Errorf("bad rail index in fabric %q", name)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown fabric %q (want 1GigE, 10GigE, IPoIB, IB, or IB/<rail>)", name)
+}
+
+// validRail is validFabric restricted to the rail kinds' targets: an IB rail
+// instance, plain "IB" (every rail), or empty (same).
+func validRail(name string) error {
+	if name == "" || name == "IB" {
+		return nil
+	}
+	if _, rail, ok := splitRail(name); ok && rail >= 0 {
+		return nil
+	}
+	if fabricNames[name] {
+		return fmt.Errorf("rail events target IB rails, not %q (want IB or IB/<rail>)", name)
+	}
+	return fmt.Errorf("unknown rail %q (want IB or IB/<rail>)", name)
 }
 
 // LoadPlan reads and validates a JSON plan file (the -faults CLI flag).

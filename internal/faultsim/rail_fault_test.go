@@ -1,0 +1,205 @@
+package faultsim_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/core"
+	"rpcoib/internal/exec"
+	"rpcoib/internal/faultsim"
+	"rpcoib/internal/hdfs"
+	"rpcoib/internal/metrics"
+)
+
+// railOutageScenario is the multi-rail graceful-degradation scenario: an
+// HDFSoIB deployment on a cluster with `rails` IB rails per node, where rail
+// 0 — and only rail 0 — dies at t=50ms and heals at t=500ms while a client
+// writes a file starting inside the outage. On a multi-rail cluster the RPC
+// layer must absorb the outage one layer below the S19 breaker: traffic
+// shifts rail-to-rail, the IPoIB socket fallback is never touched, and after
+// the rail selector's cooldown a half-open probe restores the healed rail.
+// With rails == 1 the same plan is a full IB outage and the breaker/fallback
+// path carries the write instead — both layouts must replay byte-identically
+// under their own seed.
+func railOutageScenario(t *testing.T, seed int64, rails int) (metrics.Snapshot, *faultsim.Report, error) {
+	t.Helper()
+	reg := metrics.New()
+	cl := cluster.New(cluster.Config{Nodes: 6, Seed: seed, DiskReadBW: 110e6,
+		DiskWriteBW: 95e6, DiskSeek: 6 * time.Millisecond,
+		ConnectTimeout: time.Second,
+		Topology:       cluster.Topology{Racks: 2, IBRails: rails}})
+	cl.IBNet().Instrument(reg)
+	inj, err := faultsim.Apply(cl, faultsim.Plan{
+		Seed: seed,
+		Events: []faultsim.Event{
+			// Rail-instance outage: rail 0 drops every port; sibling rails and
+			// the IPoIB fabric stay up.
+			{AtMS: 50, Kind: faultsim.KindRailOutage, DurMS: 450, Fabric: "IB/0"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Instrument(reg)
+
+	fs := hdfs.Deploy(cl, hdfs.Config{
+		// Client 4 shares rack 0 with the NameNode (nodes are racked
+		// node%Racks), so its affinity rail is rack 0's rail 0 — the one the
+		// plan kills.
+		NameNode: 0, DataNodes: []int{1, 2, 3, 5}, Replication: 2,
+		RPCMode: core.ModeRPCoIB, DataRDMA: true,
+		HeartbeatInterval: 500 * time.Millisecond,
+		Metrics:           reg,
+		RPCFailover:       true,
+		RPCCallTimeout:    80 * time.Millisecond,
+		RPCPolicy: core.CallPolicy{
+			MaxAttempts: 8, Backoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+			RetryOn: func(err error) bool {
+				var re *core.RemoteError
+				return !errors.As(err, &re)
+			},
+		},
+	})
+	const client = 4
+	var writeErr, afterErr error
+	var afterAt time.Duration
+	wrote := false
+	cl.SpawnOn(client, "driver", func(e exec.Env) {
+		dfs := fs.NewClient(client)
+		// Warm the verbs connection (on the affinity rail) before the outage.
+		e.Sleep(10 * time.Millisecond)
+		if err := dfs.Mkdirs(e, "/warm"); err != nil {
+			t.Errorf("pre-outage mkdirs: %v", err)
+		}
+		// Write inside the outage: the warm rail-0 connection dies, and on a
+		// multi-rail cluster the retries land on a sibling rail.
+		e.Sleep(60*time.Millisecond - e.Now())
+		writeErr = dfs.CreateFile(e, "/fault", 4<<20, 2)
+		wrote = true
+	})
+	// Post-cooldown probe: the rail selector owes rail 0 a half-open probe by
+	// now; this call's connection drives it, succeeds against the healed rail,
+	// and restores it.
+	cl.SpawnOn(client, "recovery-probe", func(e exec.Env) {
+		e.Sleep(2600 * time.Millisecond)
+		_, afterErr = fs.NewClient(client).GetFileInfo(e, "/warm")
+		afterAt = e.Now()
+		fs.Stop()
+	})
+	end := cl.RunUntil(10 * time.Minute)
+	if !wrote {
+		t.Fatal("driver never ran to completion")
+	}
+	if s := inj.Stats(); s.RailOutages == 0 || s.RailHeals == 0 {
+		t.Fatalf("plan did not execute: %+v", s)
+	}
+	if afterErr != nil {
+		t.Errorf("post-recovery probe: %v", afterErr)
+	}
+	if afterAt < 2600*time.Millisecond {
+		t.Errorf("recovery probe finished at %v, before it was issued", afterAt)
+	}
+
+	snap := reg.Snapshot(end)
+	rep := &faultsim.Report{}
+	rep.CheckRuntime("hdfs", fs.Runtime())
+	for _, net := range cl.IBNets() {
+		rep.CheckDevicePools(net)
+	}
+	rep.CheckSnapshotBalance(snap)
+	return snap, rep, writeErr
+}
+
+// TestFaultRailFailover is the multi-rail acceptance test: with two IB rails,
+// a rail-0 outage must not stop an HDFS write and must be absorbed entirely
+// by rail-to-rail failover — at least one rail failover, zero calls over the
+// IPoIB fallback, the healed rail restored by a half-open probe, no rail left
+// unhealthy, and the whole run replaying byte-identically.
+func TestFaultRailFailover(t *testing.T) {
+	seed := chaosSeed(t)
+	snap1, rep, err := railOutageScenario(t, seed, 2)
+	if err != nil {
+		t.Fatalf("HDFS write across rail outage: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatal(rep.String())
+	}
+
+	for _, want := range []string{
+		"rpc_rail_failovers_total",
+		"rpc_rail_probes_total",
+		"rpc_rail_restores_total",
+	} {
+		if snap1.Counters[want] == 0 {
+			t.Errorf("%s = 0, want > 0", want)
+		}
+	}
+	// The outage must be invisible to the S19 breaker layer: no calls on the
+	// socket fallback, no breaker trips.
+	for _, wantZero := range []string{
+		"rpc_client_fallback_calls_total",
+		"rpc_client_failovers_total",
+		"rpc_client_breaker_opens_total",
+	} {
+		if got := snap1.Counters[wantZero]; got != 0 {
+			t.Errorf("%s = %d, want 0 (outage widened past the rail layer)", wantZero, got)
+		}
+	}
+	// The healed rail must come back through the probe path: at least as many
+	// restores as probes that succeeded, and restores only ever follow probes
+	// or organic successes on a previously downed rail.
+	if p, r := snap1.Counters["rpc_rail_probes_total"], snap1.Counters["rpc_rail_restores_total"]; r > p+snap1.Counters["rpc_rail_failovers_total"] {
+		t.Errorf("restores (%d) exceed probes (%d) + failovers: bookkeeping broken", r, p)
+	}
+
+	snap2, rep2, err2 := railOutageScenario(t, seed, 2)
+	if err2 != nil {
+		t.Fatalf("second run write: %v", err2)
+	}
+	if !rep2.OK() {
+		t.Fatalf("second run: %s", rep2.String())
+	}
+	if same, diff := faultsim.SameSnapshot(snap1, snap2); !same {
+		t.Fatalf("same-seed rail-failover runs diverged: %s", diff)
+	}
+}
+
+// TestFaultRailReplayIdentity sweeps rail layouts × scheduler widths: for
+// each rail count, the mid-run rail-outage scenario must produce the same
+// metrics snapshot on every run, whether the host runs the simulation on one
+// core or eight. Layouts are not compared to each other — different NIC sets
+// legitimately time differently — but each layout must be a fixed point.
+func TestFaultRailReplayIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run replay sweep")
+	}
+	seed := chaosSeed(t)
+	for _, rails := range []int{1, 2, 4} {
+		rails := rails
+		t.Run("rails="+string(rune('0'+rails)), func(t *testing.T) {
+			var ref metrics.Snapshot
+			first := true
+			for _, procs := range []int{1, 8} {
+				old := runtime.GOMAXPROCS(procs)
+				snap, rep, err := railOutageScenario(t, seed, rails)
+				runtime.GOMAXPROCS(old)
+				if err != nil {
+					t.Fatalf("rails=%d procs=%d write: %v", rails, procs, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("rails=%d procs=%d: %s", rails, procs, rep.String())
+				}
+				if first {
+					ref, first = snap, false
+					continue
+				}
+				if same, diff := faultsim.SameSnapshot(ref, snap); !same {
+					t.Fatalf("rails=%d procs=%d diverged from reference run: %s", rails, procs, diff)
+				}
+			}
+		})
+	}
+}

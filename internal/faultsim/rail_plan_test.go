@@ -1,0 +1,94 @@
+package faultsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpcoib/internal/cluster"
+	"rpcoib/internal/faultsim"
+)
+
+// TestRailPlanValidation covers the rail-aware fabric grammar: plain fabric
+// names and well-formed "IB/<rail>" instances are accepted at plan-load time,
+// while rail syntax on non-IB fabrics, malformed instances, and rail events
+// aimed at socket fabrics are rejected with errors that name the offending
+// string — a plan author's first signal, before any cluster exists.
+func TestRailPlanValidation(t *testing.T) {
+	good := []faultsim.Plan{
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindLinkFlap, AllLinks: true, DurMS: 5, Fabric: "IB/0"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindLinkDown, Node: 0, Peer: 1, Fabric: "IB/3"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindRailOutage, DurMS: 5}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "IB"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "IB/1"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindRailFlap, DurMS: 5, PeriodMS: 20, Count: 3, Fabric: "IB/0"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindAsymDegrade, Node: 2, DelayMS: 3, DurMS: 50, Fabric: "IB/0"}}},
+		{Events: []faultsim.Event{{AtMS: 1, Kind: faultsim.KindAsymDegrade, Node: 2, DelayMS: 3}}},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good plan %d rejected: %v", i, err)
+		}
+	}
+
+	bad := []struct {
+		plan faultsim.Plan
+		want string // substring the error must carry
+	}{
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindLinkDown, Node: 0, Peer: 1, Fabric: "IPoIB/0"}}}, "IPoIB/0"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindLinkDown, Node: 0, Peer: 1, Fabric: "IB/x"}}}, "IB/x"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindLinkDown, Node: 0, Peer: 1, Fabric: "IB/-1"}}}, "IB/-1"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "IPoIB"}}}, "IPoIB"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "bogus"}}}, "bogus"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindRailOutage, Fabric: "IB/0"}}}, "dur_ms"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindRailFlap, DurMS: 5, PeriodMS: 5, Count: 2}}}, "period_ms"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindRailFlap, DurMS: 5, PeriodMS: 20}}}, "count"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindAsymDegrade, Node: 1}}}, "delay_ms"},
+		{faultsim.Plan{Events: []faultsim.Event{{Kind: faultsim.KindNodeCrash, Node: 1, Fabric: "IB"}}}, "fabric"},
+	}
+	for i, tc := range bad {
+		err := tc.plan.Validate()
+		if err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, tc.plan)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("bad plan %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+// TestRailPlanApplyUnknownRail asserts the schedule-time half of the rail
+// addressing contract: a syntactically valid plan naming a rail the cluster
+// does not have fails at Apply with an error carrying the rail name and the
+// cluster's actual rail count — not silently mid-run.
+func TestRailPlanApplyUnknownRail(t *testing.T) {
+	cl := cluster.New(cluster.Config{Nodes: 2, Seed: 1,
+		Topology: cluster.Topology{Racks: 1, IBRails: 2}})
+	_, err := faultsim.Apply(cl, faultsim.Plan{Events: []faultsim.Event{
+		{AtMS: 1, Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "IB/2"},
+	}})
+	if err == nil {
+		t.Fatal("rail-outage on IB/2 of a 2-rail cluster accepted")
+	}
+	for _, want := range []string{"IB/2", "2 IB rail"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// Same for a scoped link event.
+	_, err = faultsim.Apply(cl, faultsim.Plan{Events: []faultsim.Event{
+		{AtMS: 1, Kind: faultsim.KindLinkFlap, AllLinks: true, DurMS: 5, Fabric: "IB/7"},
+	}})
+	if err == nil {
+		t.Fatal("link-flap on IB/7 of a 2-rail cluster accepted")
+	}
+
+	// And the happy path: rails the cluster has resolve fine.
+	if _, err := faultsim.Apply(cl, faultsim.Plan{Events: []faultsim.Event{
+		{AtMS: 1, Kind: faultsim.KindRailOutage, DurMS: 5, Fabric: "IB/1"},
+		{AtMS: 10, Kind: faultsim.KindAsymDegrade, Node: 0, DelayMS: 2, DurMS: 5, Fabric: "IB/0"},
+	}}); err != nil {
+		t.Fatalf("valid rail plan rejected at apply: %v", err)
+	}
+}

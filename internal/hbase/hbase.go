@@ -73,6 +73,23 @@ type Config struct {
 	// RPCCallTimeout overrides the per-attempt call timeout
 	// (core.DefaultCallTimeout if 0).
 	RPCCallTimeout time.Duration
+	// DeployMaster spawns an HMaster on Master and arms region-server load
+	// reports to it. Off by default: bookkeeping-only deployments keep the
+	// historical traffic (and event schedule) byte-identical.
+	DeployMaster bool
+	// ReportInterval is the region-server load-report period when the master
+	// is deployed (default 1 s).
+	ReportInterval time.Duration
+	// MasterShedOverload, MasterBusyBackoff, and MasterOverloaded wire the
+	// HMaster's admission control — the same scale path as the NameNode's
+	// RPCShedOverload knobs. MasterOverloaded typically binds to an
+	// ibverbs.MemoryBudget.Exhausted hook.
+	MasterShedOverload bool
+	MasterBusyBackoff  time.Duration
+	MasterOverloaded   func() bool
+	// ClientCacheCap caps the deployment's shared client runtime (LRU;
+	// evicted clients are closed) when > 0.
+	ClientCacheCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,28 +99,51 @@ func (c Config) withDefaults() Config {
 	if c.WriteBufferSize <= 0 {
 		c.WriteBufferSize = 2 << 20
 	}
+	if c.DeployMaster && c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
 	return c
 }
 
 // HBase is a deployed mini-HBase instance over HDFS.
 type HBase struct {
-	c   *cluster.Cluster
-	cfg Config
-	dfs *hdfs.HDFS
-	rss []*RegionServer
-	rt  *core.Runtime
+	c      *cluster.Cluster
+	cfg    Config
+	dfs    *hdfs.HDFS
+	rss    []*RegionServer
+	rt     *core.Runtime
+	master *HMaster
+	stopQ  exec.Queue
 }
 
-// Deploy spawns the region servers. dfs may be nil (no flush/read I/O, for
-// unit tests).
+// Deploy spawns the region servers (and, with Config.DeployMaster, the
+// HMaster they report to). dfs may be nil (no flush/read I/O, for unit
+// tests).
 func Deploy(c *cluster.Cluster, cfg Config, dfs *hdfs.HDFS) *HBase {
 	cfg = cfg.withDefaults()
 	h := &HBase{c: c, cfg: cfg, dfs: dfs, rt: core.NewRuntime()}
-	for i, node := range cfg.RegionServers {
-		rs := &RegionServer{h: h, index: i, node: node}
-		h.rss = append(h.rss, rs)
-		c.SpawnOn(node, fmt.Sprintf("regionserver-%d", i), rs.run)
+	if cfg.ClientCacheCap > 0 {
+		h.rt.SetCacheCap(cfg.ClientCacheCap)
 	}
+	spawnRegionServers := func() {
+		for i, node := range cfg.RegionServers {
+			rs := &RegionServer{h: h, index: i, node: node}
+			h.rss = append(h.rss, rs)
+			c.SpawnOn(node, fmt.Sprintf("regionserver-%d", i), rs.run)
+		}
+	}
+	if !cfg.DeployMaster {
+		spawnRegionServers()
+		return h
+	}
+	h.master = &HMaster{h: h, node: cfg.Master, live: map[int32]RSReportParam{}}
+	c.SpawnOn(cfg.Master, "hmaster", func(e exec.Env) {
+		h.stopQ = e.NewQueue(0)
+		h.master.run(e)
+		// Region servers start after the master is listening, as HBase's
+		// startup ordering does; their first act is registering with it.
+		spawnRegionServers()
+	})
 	return h
 }
 
@@ -200,6 +240,9 @@ func (rs *RegionServer) run(e exec.Env) {
 		func() wire.Writable { return &MultiGetParam{} }, rs.multiGet)
 	if err := srv.Start(e, rsPort); err != nil {
 		panic(fmt.Sprintf("regionserver %d: %v", rs.index, err))
+	}
+	if rs.h.cfg.DeployMaster {
+		e.Spawn(fmt.Sprintf("rs%d-report", rs.index), rs.reportLoop)
 	}
 }
 

@@ -77,3 +77,18 @@ func (q *srq) Instrument(r *metrics.Registry) {
 	q.denied = r.Counter(cSRQDenied)
 	q.denied = r.Counter("fix_srq_overdraw_total") // want `metric name in Counter must be a package-level const, not an inline literal`
 }
+
+const cRailCalls = "fix_rail_calls_total"
+
+// rails mirrors the S24 multi-rail shape (core.clientMetrics.railCalls): one
+// labeled series per rail, registered lazily with a runtime label value. The
+// family name must still be a const — labels are runtime values the golden
+// guard strips, so only the base is checked.
+type rails struct {
+	calls []*metrics.Counter
+}
+
+func (rs *rails) instrumentRail(r *metrics.Registry, rail string) {
+	rs.calls = append(rs.calls, r.Counter(metrics.Labels(cRailCalls, "rail", rail)))
+	rs.calls = append(rs.calls, r.Counter(metrics.Labels("fix_rail_errors_total", "rail", rail))) // want `metric name in Labels must be a package-level const`
+}

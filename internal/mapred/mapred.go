@@ -152,6 +152,10 @@ func (mr *MapReduce) Stop() {
 	}
 }
 
+// Runtime exposes the deployment's shared client runtime (fault-injection
+// invariant checks walk its clients after a run).
+func (mr *MapReduce) Runtime() *core.Runtime { return mr.rt }
+
 func (mr *MapReduce) rpcNet(node int) transport.Network {
 	if mr.cfg.RPCMode == core.ModeRPCoIB {
 		return mr.c.RPCoIBNet(node)

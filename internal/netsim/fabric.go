@@ -33,6 +33,7 @@ type Fabric struct {
 	down      map[int]bool
 	linkDown  map[linkKey]bool
 	held      map[linkKey][]heldXfer
+	egress    map[int]time.Duration
 	hook      FaultHook
 	connTO    time.Duration
 
@@ -95,6 +96,7 @@ func NewFabric(s *sim.Sim, params perfmodel.LinkParams, cpuOf CPUFunc) *Fabric {
 		down:      map[int]bool{},
 		linkDown:  map[linkKey]bool{},
 		held:      map[linkKey][]heldXfer{},
+		egress:    map[int]time.Duration{},
 	}
 }
 
@@ -172,7 +174,7 @@ func (f *Fabric) TransferLossy(src, dst, size int, deliver, lost func()) {
 		f.held[k] = append(f.held[k], heldXfer{src, dst, size, deliver, lost})
 		return
 	}
-	var delay time.Duration
+	delay := f.egress[src]
 	dup := false
 	if f.hook != nil {
 		o := f.hook.OnTransfer(src, dst, size)
@@ -182,7 +184,7 @@ func (f *Fabric) TransferLossy(src, dst, size int, deliver, lost func()) {
 			}
 			return
 		}
-		delay, dup = o.Delay, o.Duplicate
+		delay, dup = delay+o.Delay, o.Duplicate
 	}
 	tx, rx := f.nic(src), f.nic(dst)
 	dur := f.params.TransferTime(size)
@@ -246,6 +248,23 @@ func (f *Fabric) SetLinkDown(a, b int, down bool) {
 
 // LinkDown reports whether the a<->b link is down.
 func (f *Fabric) LinkDown(a, b int) bool { return f.linkDown[linkOf(a, b)] }
+
+// SetEgressDelay adds (or, with 0, clears) a fixed delivery delay on every
+// inter-node transfer sent *from* node on this fabric — an asymmetric
+// degradation, as from a marginal cable or a retraining link: the node's
+// inbound traffic is unaffected, its outbound traffic arrives late. The
+// delay postpones delivery, not wire occupancy, so it does not congest the
+// NIC model. Loopback traffic is never delayed.
+func (f *Fabric) SetEgressDelay(node int, d time.Duration) {
+	if d <= 0 {
+		delete(f.egress, node)
+		return
+	}
+	f.egress[node] = d
+}
+
+// EgressDelay reports the node's configured egress delay (0 = none).
+func (f *Fabric) EgressDelay(node int) time.Duration { return f.egress[node] }
 
 // SetFaultHook installs (nil clears) the fault-injection hook consulted on
 // every inter-node transfer.

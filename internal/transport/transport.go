@@ -64,6 +64,29 @@ type FallbackDialer interface {
 	DialFallback(e exec.Env, addr string) (Conn, error)
 }
 
+// RailDialer is implemented by networks whose primary transport spans
+// several physical rails to the same peer — multi-rail IB hosts with a rail
+// per HCA port. The RPC client's rail selector uses it to place connections
+// by affinity and load, to fail over rail-to-rail on organic verbs errors
+// before widening to the FallbackDialer path, and to probe a downed rail
+// half-open once its cooldown passes. A plain Network (or Rails() == 1)
+// keeps the historical single-path behavior.
+type RailDialer interface {
+	// Rails is the rail count (>= 1). Rail indices are 0..Rails()-1.
+	Rails() int
+	// DialRail connects over exactly one rail, never failing over
+	// internally, so the caller attributes the outcome to that rail.
+	DialRail(e exec.Env, addr string, rail int) (Conn, error)
+	// PreferredRail is the topology's affinity rail for traffic to addr
+	// (rack locality). The selector starts here and balances away only on
+	// load or failure.
+	PreferredRail(addr string) int
+	// RailUp reports the locally observable link state of the rail's port
+	// (IBV_PORT_ACTIVE). A false rail is skipped without burning a connect
+	// timeout; true does not guarantee the far side is reachable.
+	RailUp(rail int) bool
+}
+
 // SizedSender is implemented by simulated transports that can bill wire
 // time for a virtual payload larger than the real bytes carried — how the
 // bulk data paths (HDFS blocks, shuffle segments) move gigabytes without
