@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-write-golden staticcheck govulncheck
+.PHONY: all build test race lint lint-ssa lint-write-golden staticcheck govulncheck
 
 all: build test lint
 
@@ -13,11 +13,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Static analysis (DESIGN.md S20): the project's own analyzer suite
-# (determinism, poolpair, metricnames, lockcall, statusexhaustive). Fails on
-# any finding; fix the code or add a justified //lint:wallclock marker.
+# Static analysis (DESIGN.md S20/S25): the project's own analyzer suite —
+# determinism, poolpair, metricnames, lockcall, statusexhaustive, plus the
+# SSA-lite interprocedural trio atomicguard, regmem, goroutineleak. Fails on
+# any finding; fix the code or add a justified marker (//lint:wallclock,
+# //lint:atomicinit, //lint:goroutine).
 lint:
 	$(GO) run ./cmd/rpcoiblint ./...
+
+# Just the SSA-lite interprocedural analyzers (DESIGN.md S25) — the slow
+# half of the suite, isolated for iterating on dataflow changes.
+lint-ssa:
+	$(GO) run ./cmd/rpcoiblint -only atomicguard,regmem,goroutineleak ./...
 
 # Regenerate internal/faultsim/testdata/metric_names.golden from the static
 # view after deliberately adding or removing a metric family.

@@ -57,6 +57,7 @@ const (
 	mSRQBudgetBytes  = "rpc_ib_srq_budget_bytes"
 	mSRQBudgetUsed   = "rpc_ib_srq_budget_used_bytes"
 	mSRQBudgetDenied = "rpc_ib_srq_budget_denied_total"
+	mBudgetDoubleRel = "rpc_ib_budget_double_release_total"
 
 	mQPMuxCap           = "rpc_ib_qp_mux_cap"
 	mQPMuxQPs           = "rpc_ib_qp_mux_qps"
@@ -74,16 +75,22 @@ const (
 // cap (pinnable pages are a host-wide resource; overshooting evicts someone
 // else's).
 type MemoryBudget struct {
-	mu     sync.Mutex
-	cap    int64
-	used   int64
-	denied int64
-	bCap   *metrics.Gauge
-	bUsed  *metrics.Gauge
-	bDen   *metrics.Counter
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	denied  int64
+	doubles int64
+	lenient bool
+	bCap    *metrics.Gauge
+	bUsed   *metrics.Gauge
+	bDen    *metrics.Counter
+	bDouble *metrics.Counter
 }
 
-// NewMemoryBudget creates a budget of capBytes (<= 0 means unlimited).
+// NewMemoryBudget creates a budget of capBytes (<= 0 means unlimited). The
+// budget starts strict: releasing below zero panics, because under the
+// deterministic simulation a double release is always an engine bug the seed
+// should crash on. Real-mode servers call SetStrict(false) to survive it.
 func NewMemoryBudget(capBytes int64) *MemoryBudget {
 	if capBytes < 0 {
 		capBytes = 0
@@ -91,7 +98,26 @@ func NewMemoryBudget(capBytes int64) *MemoryBudget {
 	return &MemoryBudget{cap: capBytes}
 }
 
-// Instrument mirrors the budget into r (rpc_ib_srq_budget_* family).
+// SetStrict selects the double-release policy. Strict (the default, and what
+// simulation keeps) panics when Release drops the reservation below zero.
+// Lenient — for real deployments, where crashing the server over an
+// accounting bug is worse than the bug — clamps to zero and counts the event
+// on rpc_ib_budget_double_release_total so operators see it.
+func (b *MemoryBudget) SetStrict(strict bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lenient = !strict
+}
+
+// DoubleReleases returns how many lenient-mode double releases were clamped.
+func (b *MemoryBudget) DoubleReleases() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doubles
+}
+
+// Instrument mirrors the budget into r (rpc_ib_srq_budget_* family, plus the
+// double-release counter the lenient policy meters).
 func (b *MemoryBudget) Instrument(r *metrics.Registry) {
 	if r == nil {
 		return
@@ -101,6 +127,7 @@ func (b *MemoryBudget) Instrument(r *metrics.Registry) {
 	b.bCap = r.Gauge(mSRQBudgetBytes)
 	b.bUsed = r.Gauge(mSRQBudgetUsed)
 	b.bDen = r.Counter(mSRQBudgetDenied)
+	b.bDouble = r.Counter(mBudgetDoubleRel)
 	b.bCap.Set(b.cap)
 	b.bUsed.Set(b.used)
 }
@@ -144,13 +171,21 @@ func (b *MemoryBudget) TryReserve(n int64) bool {
 	return true
 }
 
-// Release returns n reserved bytes.
+// Release returns n reserved bytes. Releasing more than is reserved is a
+// double release: strict budgets (simulation) panic so the chaos seed pins
+// the bug; lenient ones (SetStrict(false), real mode) clamp to zero and
+// count it on rpc_ib_budget_double_release_total.
 func (b *MemoryBudget) Release(n int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.used -= n
 	if b.used < 0 {
-		panic("ibverbs: memory budget released below zero")
+		if !b.lenient {
+			panic("ibverbs: memory budget released below zero")
+		}
+		b.used = 0
+		b.doubles++
+		b.bDouble.Inc()
 	}
 	b.bUsed.Set(b.used)
 }
@@ -187,6 +222,7 @@ type SRQ struct {
 	perEP    int
 	bufBytes int
 	budget   *MemoryBudget
+	reserved int64 // bytes actually granted by the budget; released by Close
 
 	posted   int
 	peak     int
@@ -223,18 +259,47 @@ func NewSRQ(depth, perEPCredit, bufBytes int, budget *MemoryBudget) *SRQ {
 	if bufBytes < 0 {
 		bufBytes = 0
 	}
+	var reserved int64
 	if budget != nil && bufBytes > 0 {
 		for depth > 0 && !budget.TryReserve(int64(depth)*int64(bufBytes)) {
 			depth /= 2
 		}
-		if depth == 0 {
+		if depth > 0 {
+			reserved = int64(depth) * int64(bufBytes)
+		} else {
 			depth = 1
-			// A floor of one WQE keeps the queue usable; the reservation is
-			// best-effort at this point (the budget already denied larger).
-			budget.TryReserve(int64(bufBytes))
+			// A floor of one WQE keeps the queue usable, but it only counts
+			// as reserved if the budget actually grants it: recording an
+			// unreserved floor would make Close release bytes the budget
+			// never lent — the double-release underflow the regmem analyzer
+			// flagged here.
+			if budget.TryReserve(int64(bufBytes)) {
+				reserved = int64(bufBytes)
+			}
 		}
 	}
-	return &SRQ{depth: depth, perEP: perEPCredit, bufBytes: bufBytes, budget: budget}
+	return &SRQ{depth: depth, perEP: perEPCredit, bufBytes: bufBytes, budget: budget, reserved: reserved}
+}
+
+// Reserved returns the bytes the queue actually holds from its budget (zero
+// when unbudgeted, or when even the one-WQE floor was denied).
+func (q *SRQ) Reserved() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.reserved
+}
+
+// Close returns the queue's budget reservation. Idempotent; the queue stays
+// usable for draining (a closed SRQ is an accounting event, not a teardown
+// of in-flight receives).
+func (q *SRQ) Close() {
+	q.mu.Lock()
+	rel := q.reserved
+	q.reserved = 0
+	q.mu.Unlock()
+	if rel > 0 && q.budget != nil {
+		q.budget.Release(rel)
+	}
 }
 
 // Instrument mirrors the queue into r (rpc_ib_srq_* family). The depth and

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"rpcoib/internal/metrics"
 	"rpcoib/internal/netsim"
 	"rpcoib/internal/perfmodel"
 	"rpcoib/internal/sim"
@@ -29,8 +30,72 @@ func TestMemoryBudgetAccounting(t *testing.T) {
 		t.Fatal("shrinking the cap below usage must deny new reservations")
 	}
 	unbounded := NewMemoryBudget(0)
-	if !unbounded.TryReserve(1 << 40) || unbounded.Exhausted() {
+	if !unbounded.TryReserve(1<<40) || unbounded.Exhausted() {
 		t.Fatal("cap 0 means unbounded")
+	}
+}
+
+func TestMemoryBudgetDoubleRelease(t *testing.T) {
+	strict := NewMemoryBudget(1024)
+	if !strict.TryReserve(64) {
+		t.Fatal("reserve must succeed")
+	}
+	strict.Release(64)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("strict budget must panic on release below zero")
+			}
+		}()
+		strict.Release(64)
+	}()
+
+	lenient := NewMemoryBudget(1024)
+	lenient.SetStrict(false)
+	reg := metrics.New()
+	lenient.Instrument(reg)
+	if !lenient.TryReserve(64) {
+		t.Fatal("reserve must succeed")
+	}
+	lenient.Release(64)
+	lenient.Release(64) // clamped, metered, survivable
+	if lenient.Used() != 0 {
+		t.Fatalf("used = %d after clamped double release, want 0", lenient.Used())
+	}
+	if lenient.DoubleReleases() != 1 {
+		t.Fatalf("DoubleReleases = %d, want 1", lenient.DoubleReleases())
+	}
+	if v := reg.Counter(mBudgetDoubleRel).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", mBudgetDoubleRel, v)
+	}
+	// Accounting stays sane afterwards: the clamp did not eat headroom.
+	if !lenient.TryReserve(1024) {
+		t.Fatal("full cap must be reservable after the clamp")
+	}
+}
+
+func TestSRQReservedAndClose(t *testing.T) {
+	b := NewMemoryBudget(256 * 256)
+	q := NewSRQ(1024, 0, 256, b)
+	if q.Reserved() != 256*256 || b.Used() != 256*256 {
+		t.Fatalf("reserved=%d budget used=%d", q.Reserved(), b.Used())
+	}
+	q.Close()
+	if q.Reserved() != 0 || b.Used() != 0 {
+		t.Fatalf("after Close reserved=%d used=%d, want 0,0", q.Reserved(), b.Used())
+	}
+	q.Close() // idempotent: the second Close must not double-release (strict would panic)
+
+	// A budget too small for even one WQE grants nothing: the floor queue is
+	// usable but records zero reserved bytes, so Close releases nothing.
+	tinyBudget := NewMemoryBudget(100)
+	tiny := NewSRQ(8, 0, 1024, tinyBudget)
+	if tiny.Depth() != 1 || tiny.Reserved() != 0 {
+		t.Fatalf("tiny depth=%d reserved=%d, want 1,0", tiny.Depth(), tiny.Reserved())
+	}
+	tiny.Close()
+	if tinyBudget.Used() != 0 {
+		t.Fatalf("tiny budget used=%d after Close, want 0", tinyBudget.Used())
 	}
 }
 

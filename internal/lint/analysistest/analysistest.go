@@ -20,6 +20,7 @@ import (
 
 	"rpcoib/internal/lint/analysis"
 	"rpcoib/internal/lint/loader"
+	"rpcoib/internal/lint/ssalite"
 )
 
 // expectation is one want pattern awaiting a diagnostic.
@@ -69,6 +70,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []
 		pass := &analysis.Pass{
 			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
 			Pkg: pkg.Types, TypesInfo: pkg.Info,
+			SSA:    ssalite.Build(pkg.Fset, pkg.Files, pkg.Types, pkg.Info),
 			Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		res, err := a.Run(pass)

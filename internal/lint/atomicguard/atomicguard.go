@@ -1,0 +1,371 @@
+// Package atomicguard enforces the all-or-nothing contract of sync/atomic:
+// a word that is accessed atomically anywhere must be accessed atomically
+// everywhere.
+//
+// The engine's hot paths (kernel shards, SRQ accounting, rail selection)
+// lean on atomics instead of locks; a single plain load of the same word —
+// often in a far-away stats or debug function — is a data race the race
+// detector only catches if the chaos seed happens to interleave it. The
+// analyzer closes the gap statically, and interprocedurally: it keys every
+// access to a struct field or package-level variable of an atomic-capable
+// type (int32/int64/uint32/uint64/uintptr/unsafe.Pointer), classifies each
+// as atomic (an `&x` operand of a sync/atomic call) or plain (anything
+// else), and reports the plain sites of any mixed word. Mixes inside one
+// package are reported directly; Facts carry each package's access sets so
+// the driver can cross-check the whole module (a field updated with
+// atomic.AddUint64 in internal/core and read bare in internal/faultsim is a
+// finding at the faultsim site).
+//
+// Pre-publication initialization — plain stores before the owning object is
+// visible to any other goroutine, the one blessed exception in the
+// sync/atomic docs — is allowlisted per line with a justified
+// `//lint:atomicinit <why>` marker; a bare marker is itself a finding.
+// Composite-literal field values (T{n: 0}) are exempt without a marker:
+// the literal's memory cannot be shared yet.
+//
+// A second rule covers the typed atomics (atomic.Int64 and friends), which
+// cannot be mixed call-by-call but can be copied wholesale: copying a value
+// whose type transitively contains a sync/atomic type (assignment, call
+// argument, return, range value) detaches the copy from the word every
+// other goroutine is updating, so the copy's loads are silently plain.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rpcoib/internal/lint/analysis"
+)
+
+// Analyzer is the mixed atomic/plain access check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicguard",
+	Doc:  "a word accessed via sync/atomic anywhere must be accessed atomically everywhere; typed atomic state must not be copied",
+	Run:  run,
+}
+
+const marker = "//lint:atomicinit"
+
+// Facts is the per-package export: where each atomic-capable word was
+// touched, split by access kind, for the driver's module-wide cross-check.
+type Facts struct {
+	PkgPath string
+	// Atomic and Plain map a word key ("pkgpath.Type.field" or
+	// "pkgpath.var") to the positions of its accesses in this package.
+	Atomic map[string][]token.Pos
+	Plain  map[string][]token.Pos
+	// LocalMixed marks keys already reported inside this package, so Merge
+	// does not repeat them.
+	LocalMixed map[string]bool
+}
+
+// Problem is one cross-package finding produced by Merge.
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Merge cross-checks per-package facts: a word atomic in one package and
+// plain in another is reported at each plain site. Within-package mixes were
+// already reported by run.
+func Merge(facts []*Facts) []Problem {
+	atomicIn := map[string]string{} // key -> first package with atomic access
+	for _, f := range facts {
+		keys := make([]string, 0, len(f.Atomic))
+		for k := range f.Atomic {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, ok := atomicIn[k]; !ok {
+				atomicIn[k] = f.PkgPath
+			}
+		}
+	}
+	var problems []Problem
+	for _, f := range facts {
+		keys := make([]string, 0, len(f.Plain))
+		for k := range f.Plain {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			owner, ok := atomicIn[k]
+			if !ok || f.LocalMixed[k] || len(f.Atomic[k]) > 0 {
+				continue // never atomic anywhere, or already reported locally
+			}
+			for _, pos := range f.Plain[k] {
+				problems = append(problems, Problem{Pos: pos,
+					Message: "plain access of " + k + ", which " + owner + " accesses via sync/atomic; mixed access is a data race — use sync/atomic here too, or mark pre-publication init with " + marker + " <why>"})
+			}
+		}
+	}
+	return problems
+}
+
+type collector struct {
+	pass    *analysis.Pass
+	facts   *Facts
+	markers map[int]string
+	// atomicOperand holds the &x operands of sync/atomic calls in the
+	// current file, so the access walk can classify them.
+	atomicOperand map[ast.Expr]bool
+	// litKeys holds composite-literal field keys (exempt as unpublished).
+	litKeys map[*ast.Ident]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &collector{
+		pass: pass,
+		facts: &Facts{
+			PkgPath:    pass.Pkg.Path(),
+			Atomic:     map[string][]token.Pos{},
+			Plain:      map[string][]token.Pos{},
+			LocalMixed: map[string]bool{},
+		},
+	}
+	for _, f := range pass.Files {
+		c.markers = markerLines(pass, f)
+		c.atomicOperand = map[ast.Expr]bool{}
+		c.litKeys = map[*ast.Ident]bool{}
+		ast.Inspect(f, c.classify)
+		ast.Inspect(f, c.collect)
+		ast.Inspect(f, c.copies)
+	}
+
+	// Report the within-package mixes at their plain sites.
+	keys := make([]string, 0, len(c.facts.Plain))
+	for k := range c.facts.Plain {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		atomics := c.facts.Atomic[k]
+		if len(atomics) == 0 {
+			continue
+		}
+		c.facts.LocalMixed[k] = true
+		where := pass.Fset.Position(atomics[0])
+		for _, pos := range c.facts.Plain[k] {
+			pass.Reportf(pos, "plain access of %s, which is accessed via sync/atomic at %s:%d; mixed access is a data race — use sync/atomic here too, or mark pre-publication init with %s <why>",
+				k, where.Filename, where.Line, marker)
+		}
+	}
+	return c.facts, nil
+}
+
+// classify records the &x operands of sync/atomic calls and the field keys
+// of composite literals, so collect can tell atomic accesses and unpublished
+// initialization from plain access.
+func (c *collector) classify(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if !c.isAtomicCall(n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				c.atomicOperand[ast.Unparen(u.X)] = true
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					c.litKeys[id] = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (the old-style AddInt64/LoadUint32/... API).
+func (c *collector) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// collect records every access to an atomic-capable word.
+func (c *collector) collect(n ast.Node) bool {
+	var id *ast.Ident
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		id = n.Sel
+	case *ast.Ident:
+		id = n
+	default:
+		return true
+	}
+	v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || c.litKeys[id] {
+		return true
+	}
+	key := c.wordKey(n.(ast.Expr), v)
+	if key == "" {
+		return true
+	}
+	if c.atomicOperand[ast.Unparen(n.(ast.Expr))] {
+		c.facts.Atomic[key] = append(c.facts.Atomic[key], id.Pos())
+		return false
+	}
+	line := c.pass.Fset.Position(id.Pos()).Line
+	if just, ok := markerAt(c.markers, line); ok {
+		if strings.TrimSpace(just) == "" {
+			c.pass.Reportf(id.Pos(), "%s marker needs a justification: why is this store provably pre-publication?", marker)
+		}
+		return true
+	}
+	c.facts.Plain[key] = append(c.facts.Plain[key], id.Pos())
+	return true
+}
+
+// wordKey names the word e (resolving to variable v) if it is shareable and
+// atomic-capable: a struct field reached by selection, or a package-level
+// variable. Locals can't race across packages and are skipped.
+func (c *collector) wordKey(e ast.Expr, v *types.Var) string {
+	if !atomicCapable(v.Type()) || v.Pkg() == nil {
+		return ""
+	}
+	if v.IsField() {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		t := c.pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+	}
+	// Package-level variable?
+	if v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// atomicCapable reports whether t is a type the old-style sync/atomic API
+// operates on.
+func atomicCapable(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64,
+			types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	}
+	return false
+}
+
+// copies flags expressions that copy a value whose type transitively
+// contains sync/atomic state.
+func (c *collector) copies(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			return true
+		}
+		for _, r := range n.Rhs {
+			c.checkCopy(r, "assignment copies")
+		}
+	case *ast.CallExpr:
+		if c.isAtomicCall(n) {
+			return true
+		}
+		for _, a := range n.Args {
+			c.checkCopy(a, "call copies")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkCopy(r, "return copies")
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil {
+			if t := c.pass.TypesInfo.TypeOf(n.Value); t != nil && containsAtomic(t, nil) {
+				c.pass.Reportf(n.Value.Pos(), "range copies %s, which contains sync/atomic state; the copy's loads and stores are plain access racing the original — take a pointer", types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+			}
+		}
+	}
+	return true
+}
+
+// checkCopy reports e when it reads (copies) an existing value containing
+// atomic state: an identifier, selection, index, or dereference. Fresh
+// values (composite literals, calls) are not copies of shared state.
+func (c *collector) checkCopy(e ast.Expr, what string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil || !containsAtomic(t, nil) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s %s, which contains sync/atomic state; the copy's loads and stores are plain access racing the original — pass a pointer", what, types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+}
+
+// containsAtomic reports whether t (passed by value) carries a sync/atomic
+// typed word: one of the typed atomics itself, or a struct/array holding one.
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+func markerAt(markers map[int]string, line int) (string, bool) {
+	if j, ok := markers[line]; ok {
+		return j, true
+	}
+	j, ok := markers[line-1]
+	return j, ok
+}
+
+func markerLines(pass *analysis.Pass, f *ast.File) map[int]string {
+	m := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, marker) {
+				m[pass.Fset.Position(c.Pos()).Line] = strings.TrimPrefix(c.Text, marker)
+			}
+		}
+	}
+	return m
+}

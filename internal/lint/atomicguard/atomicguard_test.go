@@ -1,0 +1,36 @@
+package atomicguard_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/atomicguard"
+)
+
+func TestAtomicGuard(t *testing.T) {
+	analysistest.Run(t, "../testdata", atomicguard.Analyzer, "atomicguardtest")
+}
+
+// TestMerge covers the cross-package half: agshared only ever touches
+// Stats.Ops atomically, agplain reads it bare. Neither package mixes on its
+// own, so the per-package runs stay quiet and only Merge can see the race.
+func TestMerge(t *testing.T) {
+	results := analysistest.Run(t, "../testdata", atomicguard.Analyzer, "agshared", "agplain")
+	var facts []*atomicguard.Facts
+	for _, r := range results {
+		f, ok := r.(*atomicguard.Facts)
+		if !ok {
+			t.Fatalf("result %T, want *atomicguard.Facts", r)
+		}
+		facts = append(facts, f)
+	}
+	problems := atomicguard.Merge(facts)
+	if len(problems) != 1 {
+		t.Fatalf("Merge: %d problems, want 1: %+v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0].Message, "agshared.Stats.Ops") ||
+		!strings.Contains(problems[0].Message, "which agshared accesses via sync/atomic") {
+		t.Fatalf("Merge problem message = %q", problems[0].Message)
+	}
+}

@@ -1,0 +1,161 @@
+// Package goroutineleak demands that every goroutine spawned in an engine
+// package has a reachable shutdown path.
+//
+// The sharded kernel (S22) runs real goroutines per shard, and the engine
+// spawns logical processes — CQ pollers, accept loops, heartbeat monitors —
+// through the Spawn convention (`exec.Env.Spawn`, `cluster.SpawnOn`,
+// `sim.Sim.Spawn`). A spawned loop with no way out is an orphan: the
+// faultsim battery can tear down every fabric and the poller still sits in
+// its loop, holding registered buffers and skewing the leaked-future
+// invariant. Ibdxnet (PAPERS.md) attributes a class of its transport bugs to
+// exactly these provider-thread lifetime violations.
+//
+// The check is CFG-based (Pass.SSA): a spawned function fails when control
+// provably cannot leave it — its Exit block is unreachable from Entry, even
+// counting panics, and even following calls into package-local functions
+// (ssalite.Info.NeverReturns, an interprocedural fixpoint). Every accepted
+// shutdown idiom falls out of plain reachability:
+//
+//   - select on a done/close channel with a return or break;
+//   - a loop condition (`for !stop.Load()`, bounded `for i := ...`);
+//   - an error exit (`if err != nil { return }` inside the loop);
+//   - `for v := range ch` (the channel can be closed);
+//   - a reachable panic (teardown may legitimately kill the goroutine).
+//
+// What fails is the bare `for { ... }` whose body can neither return, break,
+// nor panic — the orphan-poller shape. A deliberately immortal goroutine
+// carries a `//lint:goroutine <justification>` marker on (or above) the
+// spawn line; a marker without a justification is itself a finding.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rpcoib/internal/lint/analysis"
+	"rpcoib/internal/lint/ssalite"
+)
+
+// Analyzer is the orphan-goroutine check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every spawned goroutine or Spawn-convention process must have a reachable shutdown path",
+	Run:  run,
+}
+
+const marker = "//lint:goroutine"
+
+// spawnNames are the Spawn-convention callee names: their final func-typed
+// argument runs as a (logical) goroutine.
+var spawnNames = map[string]bool{
+	"Spawn": true, "SpawnOn": true, "SpawnAt": true, "Go": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		markers := markerLines(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				check(pass, markers, n.Pos(), "go statement", spawnedFunc(pass, n.Call.Fun))
+			case *ast.CallExpr:
+				if fn := spawnConventionArg(pass, n); fn != nil {
+					check(pass, markers, n.Pos(), "spawn", fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// spawnConventionArg returns the spawned function when call is a
+// Spawn-convention call (Spawn/SpawnOn/SpawnAt/Go with a final func-typed
+// argument), or nil.
+func spawnConventionArg(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !spawnNames[sel.Sel.Name] || len(call.Args) == 0 {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	last := call.Args[len(call.Args)-1]
+	if t := pass.TypesInfo.TypeOf(last); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			return last
+		}
+	}
+	return nil
+}
+
+// spawnedFunc resolves the ssalite Func a spawn expression runs: a literal
+// directly, a named function or method value through the call graph. nil
+// means unresolvable (external function, function-typed variable) — the
+// analyzer stays silent rather than guess.
+func spawnedFunc(pass *analysis.Pass, e ast.Expr) *ssalite.Func {
+	if e == nil {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return pass.SSA.FuncAt(e)
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[e].(*types.Func); ok {
+			return pass.SSA.FuncOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			return pass.SSA.FuncOf(fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, markers map[int]string, pos token.Pos, what string, spawned any) {
+	var fn *ssalite.Func
+	switch s := spawned.(type) {
+	case *ssalite.Func:
+		fn = s
+	case ast.Expr:
+		fn = spawnedFunc(pass, s)
+	}
+	if fn == nil {
+		return
+	}
+	if !pass.SSA.NeverReturns(fn) {
+		return
+	}
+	line := pass.Fset.Position(pos).Line
+	if just, ok := markerAt(markers, line); ok {
+		if strings.TrimSpace(just) == "" {
+			pass.Reportf(pos, "%s marker needs a justification: why may this goroutine outlive every shutdown path?", marker)
+		}
+		return
+	}
+	pass.Reportf(pos, "%s runs %s, which has no reachable shutdown path (no done-channel select, loop condition, error return, or panic): an orphan poller the faultsim battery cannot kill; add one, or justify with %s", what, fn.Name(), marker)
+}
+
+func markerAt(markers map[int]string, line int) (string, bool) {
+	if j, ok := markers[line]; ok {
+		return j, true
+	}
+	j, ok := markers[line-1]
+	return j, ok
+}
+
+// markerLines maps line -> justification for every //lint:goroutine marker.
+func markerLines(pass *analysis.Pass, f *ast.File) map[int]string {
+	m := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, marker) {
+				m[pass.Fset.Position(c.Pos()).Line] = strings.TrimPrefix(c.Text, marker)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/goroutineleak"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "../testdata", goroutineleak.Analyzer, "goroutineleaktest")
+}

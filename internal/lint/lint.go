@@ -14,6 +14,18 @@
 //	lockcall         no blocking call while holding a sync mutex (the S18
 //	                 reconnect wedge, as a class)
 //	statusexhaustive status-code switches cover every status* constant
+//	atomicguard      a word accessed via sync/atomic anywhere is accessed
+//	                 atomically everywhere, module-wide (Facts + Merge)
+//	regmem           registered buffers and MemoryBudget reservations reach
+//	                 exactly one Release on every CFG path and are never
+//	                 used afterwards
+//	goroutineleak    every spawned goroutine in an engine package has a
+//	                 reachable shutdown path
+//
+// The last three are interprocedural and ride on the shared SSA-lite
+// facility (internal/lint/ssalite): per-function CFGs, def-use chains, a
+// worklist dataflow solver, and the package call graph, built once per
+// package and handed to every analyzer as Pass.SSA.
 package lint
 
 import (
@@ -26,11 +38,15 @@ import (
 	"strings"
 
 	"rpcoib/internal/lint/analysis"
+	"rpcoib/internal/lint/atomicguard"
 	"rpcoib/internal/lint/determinism"
+	"rpcoib/internal/lint/goroutineleak"
 	"rpcoib/internal/lint/loader"
 	"rpcoib/internal/lint/lockcall"
 	"rpcoib/internal/lint/metricnames"
 	"rpcoib/internal/lint/poolpair"
+	"rpcoib/internal/lint/regmem"
+	"rpcoib/internal/lint/ssalite"
 	"rpcoib/internal/lint/statusexhaustive"
 )
 
@@ -41,14 +57,18 @@ var Analyzers = []*analysis.Analyzer{
 	metricnames.Analyzer,
 	lockcall.Analyzer,
 	statusexhaustive.Analyzer,
+	atomicguard.Analyzer,
+	regmem.Analyzer,
+	goroutineleak.Analyzer,
 }
 
-// deterministicScope lists the package-path infixes the determinism
-// analyzer patrols: the engine and substrate packages whose behaviour must
-// replay bit-identically under a seed. internal/exec is included so that
-// the real-mode environment's legitimate wall-clock reads stay visibly
+// engineScope lists the package-path infixes the determinism and
+// goroutineleak analyzers patrol: the engine and substrate packages whose
+// behaviour must replay bit-identically under a seed and whose logical
+// processes must all be killable. internal/exec is included so that the
+// real-mode environment's legitimate wall-clock reads stay visibly
 // allowlisted with //lint:wallclock justifications.
-var deterministicScope = []string{
+var engineScope = []string{
 	"internal/core", "internal/netsim", "internal/ibverbs",
 	"internal/bufpool", "internal/faultsim", "internal/sim",
 	"internal/cluster", "internal/hdfs", "internal/mapred",
@@ -62,10 +82,10 @@ func InScope(a *analysis.Analyzer, pkgPath string) bool {
 	if strings.Contains(pkgPath, "internal/lint") {
 		return false
 	}
-	if a.Name != determinism.Analyzer.Name {
+	if a.Name != determinism.Analyzer.Name && a.Name != goroutineleak.Analyzer.Name {
 		return true
 	}
-	for _, infix := range deterministicScope {
+	for _, infix := range engineScope {
 		if strings.HasSuffix(pkgPath, infix) || strings.Contains(pkgPath, infix+"/") {
 			return true
 		}
@@ -105,8 +125,12 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 	}
 	var findings []Finding
 	var facts []*metricnames.Facts
+	var atomicFacts []*atomicguard.Facts
 	metricsRan := false
 	for _, pkg := range pkgs {
+		// One SSA-lite build (CFGs, def-use, call graph) per package,
+		// shared by every analyzer in the suite.
+		ssa := ssalite.Build(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 		for _, a := range Analyzers {
 			if opts.Only != nil && !opts.Only[a.Name] {
 				continue
@@ -116,7 +140,7 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 			}
 			pass := &analysis.Pass{
 				Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
-				Pkg: pkg.Types, TypesInfo: pkg.Info,
+				Pkg: pkg.Types, TypesInfo: pkg.Info, SSA: ssa,
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
@@ -132,6 +156,20 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 					facts = append(facts, f)
 				}
 			}
+			if a.Name == atomicguard.Analyzer.Name {
+				if f, ok := res.(*atomicguard.Facts); ok {
+					atomicFacts = append(atomicFacts, f)
+				}
+			}
+		}
+	}
+
+	// Cross-package half of atomicguard: a word atomic in one package and
+	// plain in another only becomes visible once every package's facts are in.
+	if len(atomicFacts) > 0 {
+		fset := pkgs[0].Fset
+		for _, p := range atomicguard.Merge(atomicFacts) {
+			findings = append(findings, Finding{Pos: fset.Position(p.Pos), Analyzer: atomicguard.Analyzer.Name, Message: p.Message})
 		}
 	}
 

@@ -6,14 +6,35 @@ import (
 	"rpcoib/internal/lint"
 )
 
+// suite is the full analyzer roster TestSelfLint demands: the five AST
+// checks plus the three SSA-lite interprocedural analyzers (S25). A missing
+// name here means someone unplugged an invariant from the gate.
+var suite = []string{
+	"determinism", "poolpair", "metricnames", "lockcall",
+	"statusexhaustive", "atomicguard", "regmem", "goroutineleak",
+}
+
 // TestSelfLint runs the full suite over the module itself — the same
 // invocation as `make lint` / `go run ./cmd/rpcoiblint ./...` — and demands
-// zero findings. Every real violation must either be fixed or carry a
-// justified //lint:wallclock marker, and metric_names.golden must match the
-// statically enumerable family set both ways.
+// zero findings under all eight analyzers. Every real violation must either
+// be fixed or carry a justified marker (//lint:wallclock, //lint:atomicinit,
+// //lint:goroutine), and metric_names.golden must match the statically
+// enumerable family set both ways.
 func TestSelfLint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("self-lint shells out to go list -export over the whole module")
+	}
+	registered := map[string]bool{}
+	for _, a := range lint.Analyzers {
+		registered[a.Name] = true
+	}
+	for _, name := range suite {
+		if !registered[name] {
+			t.Errorf("analyzer %s is missing from lint.Analyzers", name)
+		}
+	}
+	if len(lint.Analyzers) != len(suite) {
+		t.Errorf("lint.Analyzers has %d analyzers, want %d", len(lint.Analyzers), len(suite))
 	}
 	findings, err := lint.Run([]string{"rpcoib/..."}, lint.Options{})
 	if err != nil {

@@ -28,12 +28,31 @@
 // held sync mutex is reported without the Env-parameter test. A shard worker
 // parked on a channel while holding a mutex stalls every other worker at the
 // next barrier — the sharded analog of the S18 reconnect wedge.
+//
+// Since S25 ring-based handoff is blessed, clearing the path for the batched
+// verbs hot path (ROADMAP): an MPSC enqueue is a bounded CAS or append, not a
+// park, so performing one while holding a mutex cannot wedge the scheduler.
+// Two shapes are allowlisted:
+//
+//   - a channel operation in the comm clause of a select that has a default
+//     case (the non-blocking poll idiom — the op either completes immediately
+//     or falls through);
+//   - an enqueue-family method (Push, TryPush, Enqueue, TryEnqueue, Offer,
+//     Put) whose receiver is a ring type — a named type called Mailbox or
+//     ending in Ring — even when it follows the Env-first-parameter
+//     convention. Rings take the Env only to stamp virtual time on the
+//     message, never to suspend.
+//
+// Statements in the select clause bodies are NOT blessed — only the comm op
+// itself; and dequeue-side ring methods (Drain, Pop) stay subject to the
+// normal rules, because the single consumer may legitimately block.
 package lockcall
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"rpcoib/internal/lint/analysis"
 )
@@ -55,6 +74,14 @@ var blockingNames = map[string]bool{
 	"Put": true, "Get": true, "GetTimeout": true, "Wait": true,
 	"lock": true, "acquire": true,
 	"Sleep": true, "Work": true,
+}
+
+// handoffNames lists the MPSC enqueue family blessed on ring receivers: a
+// bounded CAS/append that cannot park the caller, so it is safe under a held
+// sync mutex (the ring-based handoff rule, S25).
+var handoffNames = map[string]bool{
+	"Push": true, "TryPush": true, "Enqueue": true, "TryEnqueue": true,
+	"Offer": true, "Put": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -80,7 +107,8 @@ func run(pass *analysis.Pass) (any, error) {
 // tracked by the textual spelling of the lock receiver ("c.mu", "conn.mu"):
 // an approximation that matches how the codebase writes lock/unlock pairs.
 func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
-	held := map[string]ast.Expr{} // receiver spelling -> Lock call site
+	held := map[string]ast.Expr{}   // receiver spelling -> Lock call site
+	blessed := map[token.Pos]bool{} // non-blocking channel ops (select w/ default)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -89,10 +117,23 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			// defer mu.Unlock(): the mutex stays held for the rest of the
 			// function; leave it in held.
 			return false
+		case *ast.SelectStmt:
+			// A select with a default case polls: its comm-clause channel ops
+			// complete immediately or fall through, so they are blessed under
+			// a held mutex (ring-handoff notify shape). Clause bodies are not.
+			if selectHasDefault(n) {
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						blessCommOp(cc.Comm, blessed)
+					}
+				}
+			}
 		case *ast.SendStmt:
-			reportChanOp(pass, n.Arrow, "channel send", held)
+			if !blessed[n.Arrow] {
+				reportChanOp(pass, n.Arrow, "channel send", held)
+			}
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
+			if n.Op == token.ARROW && !blessed[n.OpPos] {
 				reportChanOp(pass, n.OpPos, "channel receive", held)
 			}
 		case *ast.CallExpr:
@@ -157,6 +198,60 @@ func reportChanOp(pass *analysis.Pass, pos token.Pos, what string, held map[stri
 	pass.Reportf(pos, "%s while holding mutex %s: a suspended holder wedges the cooperative scheduler and stalls shard workers at the next barrier", what, key)
 }
 
+// selectHasDefault reports whether the select statement has a default case.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blessCommOp records the channel-op position of one select comm statement so
+// the main walk skips reporting it. Comm statements are a send, a bare
+// receive, or a receive assignment.
+func blessCommOp(s ast.Stmt, blessed map[token.Pos]bool) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		blessed[s.Arrow] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			blessed[u.OpPos] = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				blessed[u.OpPos] = true
+			}
+		}
+	}
+}
+
+// isRingHandoff reports whether fn is an MPSC enqueue on a ring type — a
+// named receiver called Mailbox or ending in Ring with an enqueue-family
+// method name. Such calls are bounded (CAS loop or append), never a park, so
+// they are exempt from the blocking rules even under the Env convention.
+func isRingHandoff(fn *types.Func) bool {
+	if !handoffNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mailbox" || strings.HasSuffix(name, "Ring")
+}
+
 // isWaitGroupWait reports whether fn is sync.WaitGroup.Wait.
 func isWaitGroupWait(fn *types.Func) bool {
 	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
@@ -212,9 +307,13 @@ func isSyncMutexMethod(fn *types.Func) bool {
 	return false
 }
 
-// isBlocking applies the name + Env-convention test.
+// isBlocking applies the name + Env-convention test, after exempting the
+// blessed ring-handoff enqueue family.
 func isBlocking(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr) bool {
 	if !blockingNames[fn.Name()] {
+		return false
+	}
+	if isRingHandoff(fn) {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -1,0 +1,12 @@
+package regmem_test
+
+import (
+	"testing"
+
+	"rpcoib/internal/lint/analysistest"
+	"rpcoib/internal/lint/regmem"
+)
+
+func TestRegMem(t *testing.T) {
+	analysistest.Run(t, "../testdata", regmem.Analyzer, "regmemtest")
+}

@@ -1,0 +1,115 @@
+package ssalite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// buildRefs records every definition and use of a local variable inside fn,
+// addressed by CFG position. Parameters (and the receiver) are entry defs
+// with Index -1; range Key/Value bindings are defs against the range head
+// block. Nested function literals own their refs — a closure's touch of a
+// captured variable is visible to the enclosing function only as whatever
+// node carries the literal.
+func buildRefs(info *types.Info, fn *Func) {
+	fn.refs = map[*types.Var][]Ref{}
+	add := func(b *Block, idx int, id *ast.Ident, write bool) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		v, _ := obj.(*types.Var)
+		if v == nil || v.IsField() {
+			return
+		}
+		fn.refs[v] = append(fn.refs[v], Ref{Block: b, Index: idx, Ident: id, Write: write})
+	}
+
+	// Parameters and results named in the signature are entry definitions.
+	var ft *ast.FuncType
+	switch n := fn.Node.(type) {
+	case *ast.FuncDecl:
+		ft = n.Type
+		if n.Recv != nil {
+			for _, f := range n.Recv.List {
+				for _, nm := range f.Names {
+					add(fn.Entry, -1, nm, true)
+				}
+			}
+		}
+	case *ast.FuncLit:
+		ft = n.Type
+	}
+	if ft != nil {
+		for _, f := range ft.Params.List {
+			for _, nm := range f.Names {
+				add(fn.Entry, -1, nm, true)
+			}
+		}
+		if ft.Results != nil {
+			for _, f := range ft.Results.List {
+				for _, nm := range f.Names {
+					add(fn.Entry, -1, nm, true)
+				}
+			}
+		}
+	}
+
+	for _, b := range fn.Blocks {
+		for idx, n := range b.Nodes {
+			refNode(b, idx, n, add)
+		}
+		if rs, ok := b.Ctrl.(*ast.RangeStmt); ok {
+			if id, ok := rs.Key.(*ast.Ident); ok {
+				add(b, -1, id, true)
+			}
+			if id, ok := rs.Value.(*ast.Ident); ok {
+				add(b, -1, id, true)
+			}
+		}
+	}
+}
+
+// refNode classifies the idents under one block node as defs or uses.
+func refNode(b *Block, idx int, n ast.Node, add func(*Block, int, *ast.Ident, bool)) {
+	writes := map[*ast.Ident]bool{}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				writes[id] = true
+				if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+					add(b, idx, id, false) // compound assignment also reads
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			writes[id] = true
+			add(b, idx, id, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, nm := range vs.Names {
+						writes[nm] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			add(b, idx, id, writes[id])
+		}
+		return true
+	})
+}

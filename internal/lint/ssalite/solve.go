@@ -1,0 +1,64 @@
+package ssalite
+
+import "go/ast"
+
+// Fact is an analyzer-defined abstract state. The solver treats facts as
+// immutable values: Transfer and Branch must return fresh facts (or the
+// input unchanged), never mutate a fact they were handed — block inputs are
+// re-used across iterations.
+type Fact any
+
+// Flow defines one forward dataflow problem over a Func's CFG.
+type Flow struct {
+	// Entry produces the fact at function entry.
+	Entry func() Fact
+	// Transfer applies the effect of node n (Block.Nodes[idx]) to f.
+	Transfer func(b *Block, idx int, n ast.Node, f Fact) Fact
+	// Branch, if non-nil, refines the block's outgoing fact along edge e —
+	// the hook for branch sensitivity (e.g. "TryReserve returned true" on
+	// the EdgeTrue side of a condition). b.Ctrl names the decision.
+	Branch func(b *Block, e Edge, f Fact) Fact
+	// Join merges src into dst (dst may be nil = unreached) and reports
+	// whether the result differs from dst. Must be monotone: repeated joins
+	// reach a fixpoint.
+	Join func(dst, src Fact) (Fact, bool)
+}
+
+// Solve runs the worklist algorithm and returns the fact at entry to each
+// reached block. Blocks never reached have no map entry. The iteration
+// order is deterministic (blocks are processed in index order via a FIFO
+// seeded at Entry), so diagnostics derived from the result are stable.
+func (f *Func) Solve(fl Flow) map[*Block]Fact {
+	in := map[*Block]Fact{f.Entry: fl.Entry()}
+	queued := make([]bool, len(f.Blocks))
+	queue := []*Block{f.Entry}
+	queued[f.Entry.Index] = true
+	for steps := 0; len(queue) > 0; steps++ {
+		if steps > 64*len(f.Blocks)*(len(f.Blocks)+2) {
+			// Non-converging transfer (analyzer bug): stop rather than hang.
+			break
+		}
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+		out := in[b]
+		for idx, n := range b.Nodes {
+			out = fl.Transfer(b, idx, n, out)
+		}
+		for _, e := range b.Succs {
+			eo := out
+			if fl.Branch != nil {
+				eo = fl.Branch(b, e, out)
+			}
+			merged, changed := fl.Join(in[e.To], eo)
+			if changed {
+				in[e.To] = merged
+				if !queued[e.To.Index] {
+					queued[e.To.Index] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return in
+}

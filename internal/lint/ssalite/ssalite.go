@@ -1,0 +1,332 @@
+// Package ssalite is the lint suite's lightweight dataflow layer (DESIGN.md
+// S25): per-function control-flow graphs, def-use chains, a worklist
+// dataflow solver, and a package-level static call graph, all derived from
+// the `go/ast` + `go/types` information the loader already produces.
+//
+// It is "SSA-lite" in the sense of golang.org/x/tools/go/cfg rather than
+// go/ssa: no value renaming or instruction lowering — blocks hold the
+// original AST statements in execution order, so analyzers keep reporting
+// against source positions — but enough structure that an analyzer can be
+// flow-sensitive (facts per CFG edge rather than per syntax tree walk),
+// branch-sensitive (true/false edges out of conditions), and interprocedural
+// (call edges resolved through go/types, per-function summaries iterated to
+// a fixpoint). The driver builds one Info per package and shares it with
+// every analyzer through analysis.Pass.SSA.
+//
+// The CFG dialect:
+//
+//   - Every function (declaration or literal) with a body becomes a Func
+//     with an Entry block, a synthetic Exit block, and one Block per
+//     straight-line run of statements. Composite statements are decomposed:
+//     an if contributes its init and condition to the current block and its
+//     arms become successor blocks; the if node itself never appears.
+//   - A block that ends in a two-way branch carries the controlling node in
+//     Ctrl (the condition expression, or the range/switch statement) and
+//     exactly one EdgeTrue and one EdgeFalse successor. `for {}` emits a
+//     single unconditional back edge — a loop with no exit is visible as a
+//     CFG region from which Exit is unreachable, which is precisely what
+//     the goroutineleak analyzer checks.
+//   - `return` and calls to the builtin panic edge to Exit (panic terminates
+//     the goroutine, so it is a legitimate way out of a poller loop).
+//     `select {}` and an empty-body for loop have no successors at all.
+//   - Defer bodies are not in the CFG (they run at exit, after the facts
+//     under analysis are settled); they are collected in Func.Defers for
+//     analyzers that credit deferred cleanup, mirroring poolpair.
+package ssalite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind uint8
+
+const (
+	// EdgeNext is an unconditional transfer.
+	EdgeNext EdgeKind = iota
+	// EdgeTrue leaves a branching block when its Ctrl holds (an if/for
+	// condition is true, a range has another element, a switch case matches).
+	EdgeTrue
+	// EdgeFalse is the complementary edge out of a branching block.
+	EdgeFalse
+)
+
+// Edge is one directed CFG edge.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+}
+
+// Block is one basic block: Nodes execute in order, then control follows one
+// of Succs. A block with a non-nil Ctrl ends in a two-way branch decided by
+// that node.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Ctrl  ast.Node // controlling node for True/False successors, if any
+	Succs []Edge
+	Preds []*Block
+	what  string // debug label ("entry", "if.then", "for.head", ...)
+}
+
+// String returns a short debug label.
+func (b *Block) String() string { return b.what }
+
+// Ref is one definition or use of a variable inside a function, addressed by
+// its CFG position (block + node index within the block).
+type Ref struct {
+	Block *Block
+	Index int // index into Block.Nodes; -1 for parameters (entry defs)
+	Ident *ast.Ident
+	Write bool
+}
+
+// Func is the SSA-lite view of one function or function literal.
+type Func struct {
+	// Node is the *ast.FuncDecl or *ast.FuncLit.
+	Node ast.Node
+	// Obj is the declared function object; nil for literals.
+	Obj *types.Func
+	// Parent encloses a function literal; nil for declarations.
+	Parent *Func
+	Body   *ast.BlockStmt
+
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists the function's defer statements (not part of the CFG).
+	Defers []*ast.DeferStmt
+
+	refs map[*types.Var][]Ref
+}
+
+// Name returns a human-readable identifier for diagnostics.
+func (f *Func) Name() string {
+	if f.Obj != nil {
+		return f.Obj.Name()
+	}
+	if f.Parent != nil {
+		return "func literal in " + f.Parent.Name()
+	}
+	return "func literal"
+}
+
+// Pos returns the function's source position.
+func (f *Func) Pos() token.Pos { return f.Node.Pos() }
+
+// Refs returns the definition/use sites of v inside f, in source order.
+func (f *Func) Refs(v *types.Var) []Ref { return f.refs[v] }
+
+// CallSite is one statically resolved call inside a function.
+type CallSite struct {
+	Caller *Func
+	Call   *ast.CallExpr
+	// Callee is the called function object (which may or may not have a
+	// body in this package — FuncOf reports).
+	Callee *types.Func
+}
+
+// Info is the SSA-lite view of one type-checked package: every function's
+// CFG plus the package-internal static call graph. Build one with Build;
+// the lint driver exposes it to analyzers as Pass.SSA.
+type Info struct {
+	Fset      *token.FileSet
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Funcs lists every function and function literal with a body, in
+	// source order (literals after their enclosing declaration).
+	Funcs []*Func
+
+	funcOf    map[ast.Node]*Func
+	byObj     map[*types.Func]*Func
+	callsFrom map[*Func][]CallSite
+
+	neverReturns map[*Func]bool
+}
+
+// Build constructs the SSA-lite view of one package.
+func Build(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Info {
+	in := &Info{
+		Fset: fset, Pkg: pkg, TypesInfo: info,
+		funcOf:    map[ast.Node]*Func{},
+		byObj:     map[*types.Func]*Func{},
+		callsFrom: map[*Func][]CallSite{},
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			obj, _ := info.Defs[decl.Name].(*types.Func)
+			fn := &Func{Node: decl, Obj: obj, Body: decl.Body}
+			in.addFunc(fn)
+			return false // literals inside are collected by addFunc
+		})
+	}
+	// Top-level function literals (package var initializers).
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncDecl); ok {
+				return false
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				in.addLit(lit, nil)
+				return false
+			}
+			return true
+		})
+	}
+	in.buildNeverReturns()
+	return in
+}
+
+// addFunc registers fn, builds its CFG/def-use/call sites, and recurses into
+// nested function literals.
+func (in *Info) addFunc(fn *Func) {
+	in.Funcs = append(in.Funcs, fn)
+	in.funcOf[fn.Node] = fn
+	if fn.Obj != nil {
+		in.byObj[fn.Obj] = fn
+	}
+	buildCFG(fn)
+	buildRefs(in.TypesInfo, fn)
+	in.collectCalls(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			in.addLit(lit, fn)
+			return false
+		}
+		return true
+	})
+}
+
+func (in *Info) addLit(lit *ast.FuncLit, parent *Func) {
+	in.addFunc(&Func{Node: lit, Parent: parent, Body: lit.Body})
+}
+
+// collectCalls records every statically resolvable call in fn (excluding
+// nested literals, which own their calls).
+func (in *Info) collectCalls(fn *Func) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := in.StaticCallee(call); callee != nil {
+			in.callsFrom[fn] = append(in.callsFrom[fn], CallSite{Caller: fn, Call: call, Callee: callee})
+		}
+		return true
+	})
+}
+
+// FuncAt returns the Func for a *ast.FuncDecl or *ast.FuncLit node, or nil.
+func (in *Info) FuncAt(n ast.Node) *Func { return in.funcOf[n] }
+
+// FuncOf returns the Func whose body implements obj in this package, or nil
+// (external function, interface method, or bodyless declaration).
+func (in *Info) FuncOf(obj *types.Func) *Func { return in.byObj[obj] }
+
+// CallsFrom returns fn's statically resolved call sites in source order.
+func (in *Info) CallsFrom(fn *Func) []CallSite { return in.callsFrom[fn] }
+
+// StaticCallee resolves call to a function or method object, or nil for
+// dynamic calls (function values, type conversions, builtins).
+func (in *Info) StaticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := in.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := in.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// NeverReturns reports whether control provably cannot leave fn: its Exit
+// block is unreachable from Entry even counting panics, treating calls to
+// package-local functions that themselves never return as terminating the
+// path. A dedicated poller loop with no shutdown path is NeverReturns; a
+// loop that can break, return, or panic is not. Computed to a fixpoint over
+// the package call graph at Build time.
+func (in *Info) NeverReturns(fn *Func) bool { return in.neverReturns[fn] }
+
+// buildNeverReturns iterates exit-reachability to a fixpoint: marking one
+// function no-return can cut the only exit path of its callers, so repeat
+// until stable.
+func (in *Info) buildNeverReturns() {
+	in.neverReturns = map[*Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range in.Funcs {
+			if in.neverReturns[fn] {
+				continue
+			}
+			if !in.exitReachable(fn) {
+				in.neverReturns[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// exitReachable reports whether fn.Exit is reachable from fn.Entry, cutting
+// paths at calls to functions currently known to never return.
+func (in *Info) exitReachable(fn *Func) bool {
+	seen := make([]bool, len(fn.Blocks))
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		if b == fn.Exit {
+			return true
+		}
+		for _, n := range b.Nodes {
+			if in.nodeNeverReturns(n) {
+				return false // control never passes this node
+			}
+		}
+		for _, e := range b.Succs {
+			if visit(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(fn.Entry)
+}
+
+// nodeNeverReturns reports whether executing n is guaranteed to enter a
+// never-returning callee (so nothing after n in its block runs). Calls
+// inside nested function literals don't count — defining a closure runs
+// nothing.
+func (in *Info) nodeNeverReturns(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if callee := in.StaticCallee(call); callee != nil {
+				if cf := in.byObj[callee]; cf != nil && in.neverReturns[cf] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,216 @@
+package ssalite
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one source string and returns its Info.
+func load(t *testing.T, src string) *Info {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(fset, []*ast.File{f}, pkg, info)
+}
+
+func fn(t *testing.T, in *Info, name string) *Func {
+	t.Helper()
+	for _, f := range in.Funcs {
+		if f.Obj != nil && f.Obj.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+const cfgSrc = `package p
+
+func spin() {
+	for {
+	}
+}
+
+func spinCall() {
+	spin()
+}
+
+func poller(done chan struct{}, work chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}
+
+func bounded(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func panics(x int) {
+	for {
+		if x > 0 {
+			panic("boom")
+		}
+	}
+}
+
+func ranged(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func labeled(xs []int) {
+outer:
+	for {
+		for _, x := range xs {
+			if x == 0 {
+				break outer
+			}
+		}
+	}
+}
+
+func switcher(x int) int {
+	switch x {
+	case 0:
+		return 1
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	}
+	return 3
+}
+`
+
+// TestNeverReturns exercises exit reachability: bare spin loops (directly and
+// through a package-local call) never return; select-on-done pollers,
+// bounded loops, panicking loops, ranges, labeled breaks, and switches all
+// can leave.
+func TestNeverReturns(t *testing.T) {
+	in := load(t, cfgSrc)
+	want := map[string]bool{
+		"spin": true, "spinCall": true,
+		"poller": false, "bounded": false, "panics": false,
+		"ranged": false, "labeled": false, "switcher": false,
+	}
+	for name, w := range want {
+		if got := in.NeverReturns(fn(t, in, name)); got != w {
+			t.Errorf("NeverReturns(%s) = %v, want %v", name, got, w)
+		}
+	}
+}
+
+// TestRefs checks def-use recording: parameter defs at entry, writes vs
+// reads, range bindings.
+func TestRefs(t *testing.T) {
+	in := load(t, cfgSrc)
+	f := fn(t, in, "bounded")
+	var sum *types.Var
+	for v := range f.refs {
+		if v.Name() == "sum" {
+			sum = v
+		}
+	}
+	if sum == nil {
+		t.Fatal("no refs for sum")
+	}
+	refs := f.Refs(sum)
+	writes, reads := 0, 0
+	for _, r := range refs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	// sum := 0 and sum += i are writes; sum += i also reads; return sum reads.
+	if writes != 2 || reads < 2 {
+		t.Errorf("sum refs: %d writes, %d reads; want 2 writes, >=2 reads", writes, reads)
+	}
+}
+
+// TestSolveReachingBranch runs a tiny branch-sensitive flow: count the
+// blocks reached on the true side of `x > 0`.
+func TestSolveReachingBranch(t *testing.T) {
+	in := load(t, `package p
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}`)
+	f := fn(t, in, "f")
+	type fact struct{ onTrue bool }
+	res := f.Solve(Flow{
+		Entry:    func() Fact { return fact{} },
+		Transfer: func(_ *Block, _ int, _ ast.Node, fa Fact) Fact { return fa },
+		Branch: func(b *Block, e Edge, fa Fact) Fact {
+			if e.Kind == EdgeTrue {
+				return fact{onTrue: true}
+			}
+			return fa
+		},
+		Join: func(dst, src Fact) (Fact, bool) {
+			if dst == nil {
+				return src, true
+			}
+			d, s := dst.(fact), src.(fact)
+			m := fact{onTrue: d.onTrue || s.onTrue}
+			return m, m != d
+		},
+	})
+	sawTrue := false
+	for b, fa := range res {
+		if fa.(fact).onTrue && b != f.Exit {
+			sawTrue = true
+		}
+	}
+	if !sawTrue {
+		t.Error("no block saw the EdgeTrue fact")
+	}
+	if ex, ok := res[f.Exit]; !ok || !ex.(fact).onTrue {
+		t.Error("exit should join both arms and carry onTrue")
+	}
+}
+
+// TestCallGraph checks static call resolution and FuncOf round-trips.
+func TestCallGraph(t *testing.T) {
+	in := load(t, cfgSrc)
+	f := fn(t, in, "spinCall")
+	calls := in.CallsFrom(f)
+	if len(calls) != 1 || calls[0].Callee.Name() != "spin" {
+		t.Fatalf("spinCall calls = %v", calls)
+	}
+	if in.FuncOf(calls[0].Callee) != fn(t, in, "spin") {
+		t.Error("FuncOf(spin) mismatch")
+	}
+}

@@ -1,0 +1,10 @@
+// Package agplain reads agshared's atomically-updated word with a bare load.
+// The analyzer's per-package run stays quiet here (no local atomic access to
+// mix with); the driver-level Merge must flag it.
+package agplain
+
+import "agshared"
+
+func Peek(s *agshared.Stats) int64 {
+	return s.Ops
+}

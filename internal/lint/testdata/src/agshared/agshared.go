@@ -1,0 +1,13 @@
+// Package agshared is a fixture stub for atomicguard's cross-package merge:
+// it owns a word it only ever touches atomically.
+package agshared
+
+import "sync/atomic"
+
+type Stats struct {
+	Ops int64
+}
+
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.Ops, 1)
+}

@@ -1,0 +1,77 @@
+// Package atomicguardtest seeds mixed plain/atomic accesses and atomic-state
+// copies the atomicguard analyzer must catch, plus the marker and
+// composite-literal shapes it must stay quiet on.
+package atomicguardtest
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	drops int64 // never atomic: plain access stays legal
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.drops++
+}
+
+func (c *counter) snapshot() int64 {
+	return c.hits // want `plain access of atomicguardtest\.counter\.hits`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access of atomicguardtest\.counter\.hits`
+	c.drops = 0
+}
+
+func newCounter() *counter {
+	return &counter{hits: 0} // composite literal: unpublished, no marker needed
+}
+
+func blessedInit() *counter {
+	c := new(counter)
+	//lint:atomicinit c is not published until the return below
+	c.hits = 42
+	return c
+}
+
+func bareMarker(c *counter) int64 {
+	//lint:atomicinit
+	return c.hits // want `marker needs a justification`
+}
+
+var seq int64
+
+func nextSeq() int64 {
+	return atomic.AddInt64(&seq, 1)
+}
+
+func peekSeq() int64 {
+	return seq // want `plain access of atomicguardtest\.seq`
+}
+
+// gauge carries typed atomic state: copying it detaches the copy.
+type gauge struct {
+	level atomic.Int64
+}
+
+type board struct {
+	gauges [4]gauge
+}
+
+func observe(g *gauge) { g.level.Add(1) } // pointer: fine
+
+func copies(g gauge, b board) {
+	snap := g                     // want `assignment copies gauge`
+	sink(b)                       // want `call copies board`
+	for _, gg := range b.gauges { // want `range copies gauge`
+		observe(&gg)
+	}
+	observe(&snap)
+}
+
+func returned(g *gauge) gauge {
+	return *g // want `return copies gauge`
+}
+
+func sink(v interface{}) {}

@@ -1,0 +1,93 @@
+// Package goroutineleaktest seeds orphan goroutines — spawned loops with no
+// reachable shutdown path — the goroutineleak analyzer must catch, plus the
+// done-channel, range, bounded-loop, and marker shapes it must accept.
+package goroutineleaktest
+
+func spin() {
+	for {
+	}
+}
+
+// spinVia never returns because everything it calls never returns: the
+// interprocedural fixpoint must see through the indirection.
+func spinVia() {
+	spin()
+}
+
+func leakyLiteral(work chan int) {
+	go func() { // want `no reachable shutdown path`
+		for {
+			<-work // a closed channel yields zero values forever; this never exits
+		}
+	}()
+}
+
+func leakyNamed() {
+	go spinVia() // want `no reachable shutdown path`
+}
+
+type env struct{}
+
+func (env) Spawn(name string, fn func())             {}
+func (env) SpawnOn(node int, name string, fn func()) {}
+func (env) Log(format string, args ...interface{})   {}
+
+func leakySpawn(e env) {
+	e.Spawn("poller", spin) // want `no reachable shutdown path`
+}
+
+func leakySpawnOn(e env) {
+	e.SpawnOn(3, "flusher", func() { // want `no reachable shutdown path`
+		for {
+		}
+	})
+}
+
+func okDone(e env, done chan struct{}, work chan int) {
+	e.Spawn("worker", func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	})
+}
+
+func okRange(work chan int) {
+	go func() {
+		for range work { // exits when work is closed
+		}
+	}()
+}
+
+func okBounded() {
+	go func() {
+		for i := 0; i < 3; i++ {
+		}
+	}()
+}
+
+func okPanics() {
+	go func() {
+		for {
+			panic("teardown kills me") // a reachable panic is an exit
+		}
+	}()
+}
+
+func justified() {
+	//lint:goroutine process-lifetime metronome; dies with the process by design
+	go spin()
+}
+
+func bare() {
+	//lint:goroutine
+	go spin() // want `marker needs a justification`
+}
+
+func unresolved(fn func()) {
+	go fn() // function-typed variable: unresolvable, analyzer stays silent
+}

@@ -1,0 +1,18 @@
+// Package ibverbs is a fixture stub mirroring the reservation surface of
+// rpcoib/internal/ibverbs.MemoryBudget that the regmem analyzer matches on
+// (TryReserve/Release on a type named MemoryBudget in a package whose path
+// ends in "ibverbs").
+package ibverbs
+
+type MemoryBudget struct {
+	used int64
+}
+
+func (b *MemoryBudget) TryReserve(n int64) bool {
+	b.used += n
+	return true
+}
+
+func (b *MemoryBudget) Release(n int64) {
+	b.used -= n
+}

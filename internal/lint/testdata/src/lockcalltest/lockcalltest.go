@@ -77,6 +77,71 @@ func goodChan(ch chan int, wg *sync.WaitGroup) int {
 	return <-ch
 }
 
+// sendRing is an MPSC ring in the Mailbox mold: enqueue methods are bounded
+// CAS/append, never a park, even though they follow the Env convention.
+type sendRing struct{}
+
+func (r *sendRing) Push(e Env, v any) bool { return true }
+
+func (r *sendRing) Put(e Env, v any) bool { return true }
+
+func (r *sendRing) Get(e Env) (any, bool) { return nil, false }
+
+// goodRingHandoff: the S25 ring-based handoff bless — MPSC enqueues on a ring
+// type are allowed while a sync mutex is held.
+func goodRingHandoff(c *conn, r *sendRing, e Env) {
+	c.mu.Lock()
+	r.Push(e, 1) // blessed: enqueue-family method on a ring type
+	r.Put(e, 2)  // blessed: Put is enqueue-family when the receiver is a ring
+	c.mu.Unlock()
+}
+
+// badRingDequeue: only the enqueue side is blessed; the consumer half of a
+// ring may legitimately block and stays subject to the normal rules.
+func badRingDequeue(c *conn, r *sendRing, e Env) {
+	c.mu.Lock()
+	r.Get(e) // want `blocking call Get while holding mutex c\.mu`
+	c.mu.Unlock()
+}
+
+// goodSelectDefault: channel ops in a select with a default case poll and
+// fall through — the non-blocking notify half of a ring handoff.
+func goodSelectDefault(c *conn, ch chan int) {
+	c.mu.Lock()
+	select {
+	case ch <- 1: // blessed: completes immediately or falls through
+	default:
+	}
+	select {
+	case v := <-ch: // blessed receive form
+		_ = v
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// badSelectNoDefault: without a default case the select parks until a comm
+// op is ready, so its channel ops stay reportable.
+func badSelectNoDefault(c *conn, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1: // want `channel send while holding mutex c\.mu`
+	}
+}
+
+// badSelectDefaultBody: the bless covers the comm op only — statements in the
+// clause body still run under the mutex and blocking ones are reported.
+func badSelectDefaultBody(c *conn, ch chan int, done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1:
+		<-done // want `channel receive while holding mutex c\.mu`
+	default:
+	}
+}
+
 func good(c *conn, e Env) {
 	c.mu.Lock()
 	c.q.TryPut(1) // non-blocking: fine under a sync mutex
